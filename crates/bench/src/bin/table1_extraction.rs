@@ -1,0 +1,53 @@
+//! Table 1: timing statistics comparison among critical path extraction
+//! methods on `sb1` (the reproduction's superblue1 stand-in).
+//!
+//! The paper runs the four extraction commands on the coarse placement
+//! before timing optimization and reports path / endpoint / pin-pair
+//! counts and wall-clock time. Run with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin table1_extraction
+//! ```
+
+use bench::{load_case, suite_config};
+use placer::{GlobalPlacer, NoTimingObjective};
+use sta::Sta;
+use tdp_core::{extraction::extraction_stats, ExtractionStrategy};
+
+fn main() {
+    let case = benchgen::suite()
+        .into_iter()
+        .find(|c| c.name == "sb1")
+        .expect("suite has sb1");
+    let (design, pads) = load_case(&case);
+    let cfg = suite_config(&case);
+
+    // Coarse placement: wirelength-driven only, as in the paper (the
+    // extraction statistics are taken before timing optimization starts).
+    let mut engine = GlobalPlacer::new(&design, pads, cfg.placer);
+    let result = engine.run_with(&design, &mut NoTimingObjective);
+
+    let mut sta = Sta::new(&design, cfg.rc).expect("acyclic design");
+    sta.analyze(&design, &result.placement);
+    let n = sta.failing_endpoints().len();
+    println!(
+        "# Table 1 — critical path extraction statistics on {} ({} failing endpoints)",
+        case.name, n
+    );
+    println!(
+        "{:<24} {:<10} {:>8} {:>10} {:>10} {:>10}",
+        "Command", "Complexity", "Paths", "Endpoints", "PinPairs", "Time(s)"
+    );
+    for strategy in [
+        ExtractionStrategy::ReportTiming { factor: 1 },
+        ExtractionStrategy::ReportTiming { factor: 10 },
+        ExtractionStrategy::ReportTimingEndpoint { k: 1 },
+        ExtractionStrategy::ReportTimingEndpoint { k: 10 },
+    ] {
+        let s = extraction_stats(&sta, &design, strategy);
+        println!(
+            "{:<24} {:<10} {:>8} {:>10} {:>10} {:>10.3}",
+            s.command, s.complexity, s.num_paths, s.num_endpoints, s.num_pin_pairs, s.seconds
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Table 2: TNS / WNS / HPWL comparison of the four placement methods on
+//! the eight-case suite, with the paper's average-ratio row (normalized by
+//! ours). Distribution-TDP is not reproduced (the paper itself borrows its
+//! numbers; see DESIGN.md).
+//!
+//! ```text
+//! cargo run --release -p bench --bin table2_main
+//! ```
+
+use bench::{fmt_metrics, load_case, suite_config, RatioAccumulator};
+use tdp_core::{run_method, Method};
+
+fn main() {
+    let methods = [
+        Method::DreamPlace,
+        Method::DreamPlace4,
+        Method::DifferentiableTdp,
+        Method::EfficientTdp,
+    ];
+    println!("# Table 2 — TNS (x10^3 ps), WNS (x10^3 ps), HPWL (x10^5) per method");
+    print!("{:<6}", "case");
+    for m in methods {
+        print!(" | {:^28}", m.label());
+    }
+    println!();
+    print!("{:<6}", "");
+    for _ in methods {
+        print!(" | {:>10} {:>8} {:>8}", "TNS", "WNS", "HPWL");
+    }
+    println!();
+
+    let mut acc = RatioAccumulator::new(methods.len());
+    for case in benchgen::suite() {
+        let (design, pads) = load_case(&case);
+        let cfg = suite_config(&case);
+        let mut row_metrics = Vec::with_capacity(methods.len());
+        print!("{:<6}", case.name);
+        for m in methods {
+            let out = run_method(&design, pads.clone(), m, &cfg);
+            print!(" | {}", fmt_metrics(&out.metrics));
+            row_metrics.push(out.metrics);
+        }
+        println!();
+        acc.add(&row_metrics, methods.len() - 1);
+    }
+    print!("{:<6}", "ratio");
+    for (t, w, h) in acc.averages() {
+        print!(" | {t:>10.2} {w:>8.2} {h:>8.3}");
+    }
+    println!();
+    println!("\n(ratios are averages of per-case method/ours; paper Table II reports 6.90/2.07/1.004, 2.75/1.40/1.06, 2.00/1.09/1.02, 1.00/1.00/1.00)");
+}

@@ -1,0 +1,409 @@
+//! Layered synthetic circuit generation.
+//!
+//! Construction (acyclic by design):
+//!
+//! 1. Primary-input pads and flip-flop Q outputs form signal sources at
+//!    logic level 0.
+//! 2. Combinational gates are assigned levels `1..=levels`; every gate
+//!    input connects to a driver from a strictly lower level, so no cycles
+//!    can form.
+//! 3. Flip-flop D pins and primary-output pads consume drivers from the
+//!    upper levels, keeping almost every cone observable (every driver is
+//!    a potential critical-path segment).
+//! 4. Fanout is drawn from a geometric-flavoured distribution with a
+//!    small fraction of deliberately high-fanout nets (clock-less buffers,
+//!    reset-like distribution), mirroring the statistics the paper's
+//!    Fig. 2 discussion assumes.
+
+use netlist::{CellId, CellLibrary, Design, DesignBuilder, Placement, Rect, Sdc};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for one synthetic design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitParams {
+    /// Design name.
+    pub name: String,
+    /// RNG seed; same seed ⇒ identical design.
+    pub seed: u64,
+    /// Number of combinational gates.
+    pub num_comb: usize,
+    /// Number of flip-flops.
+    pub num_ff: usize,
+    /// Number of primary-input pads.
+    pub num_pi: usize,
+    /// Number of primary-output pads.
+    pub num_po: usize,
+    /// Combinational depth (logic levels between registers).
+    pub levels: usize,
+    /// Hard cap on net fanout.
+    pub max_fanout: usize,
+    /// Fraction of nets allowed to grow toward `max_fanout`.
+    pub high_fanout_fraction: f64,
+    /// Movable area / die area.
+    pub utilization: f64,
+    /// Clock period (paper units ≈ ps).
+    pub clock_period: f64,
+    /// Wire resistance per unit length (consumed by the STA layer).
+    pub res_per_unit: f64,
+    /// Wire capacitance per unit length (consumed by the STA layer).
+    pub cap_per_unit: f64,
+}
+
+impl CircuitParams {
+    /// A small smoke-test circuit (a few hundred cells).
+    pub fn small(name: &str, seed: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            seed,
+            num_comb: 300,
+            num_ff: 40,
+            num_pi: 12,
+            num_po: 12,
+            levels: 8,
+            max_fanout: 12,
+            high_fanout_fraction: 0.03,
+            utilization: 0.4,
+            clock_period: 1500.0,
+            res_per_unit: 0.3,
+            cap_per_unit: 0.01,
+        }
+    }
+
+    /// A medium circuit (a few thousand cells) for integration tests.
+    pub fn medium(name: &str, seed: u64) -> Self {
+        Self {
+            num_comb: 2500,
+            num_ff: 300,
+            num_pi: 32,
+            num_po: 32,
+            levels: 12,
+            clock_period: 2600.0,
+            ..Self::small(name, seed)
+        }
+    }
+}
+
+/// Deterministically generates the design plus a placement holding the
+/// fixed IO-pad positions (movable cells at the origin; the placer
+/// initializes them).
+///
+/// # Panics
+///
+/// Panics if the parameters are degenerate (no sources, no levels) — the
+/// generator is for test harnesses, not hostile input.
+pub fn generate(params: &CircuitParams) -> (Design, Placement) {
+    assert!(params.levels >= 1, "need at least one logic level");
+    assert!(params.num_pi + params.num_ff > 0, "need signal sources");
+    assert!(params.num_po + params.num_ff > 0, "need signal sinks");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let lib = CellLibrary::standard();
+
+    // Die sizing from total area and utilization, rounded to whole rows.
+    let row_h = 10.0;
+    let avg_gate_area = 28.0; // representative for the standard library
+    let total_area = (params.num_comb + params.num_ff) as f64 * avg_gate_area;
+    let side = (total_area / params.utilization).sqrt();
+    let side = (side / row_h).ceil() * row_h;
+    let die = Rect::new(0.0, 0.0, side, side);
+
+    let mut b = DesignBuilder::new(params.name.clone(), lib, die, row_h);
+    b.set_sdc(Sdc::new(params.clock_period));
+
+    // --- IO pads on the boundary --------------------------------------
+    let mut pis: Vec<CellId> = Vec::with_capacity(params.num_pi);
+    let mut pos: Vec<CellId> = Vec::with_capacity(params.num_po);
+    let mut pad_positions: Vec<(CellId, f64, f64)> = Vec::new();
+    for i in 0..params.num_pi {
+        // Input pads on the left and top edges.
+        let frac = (i as f64 + 0.5) / params.num_pi as f64;
+        let (x, y) = if i % 2 == 0 {
+            (0.0, frac * (side - row_h))
+        } else {
+            (frac * (side - 8.0), side - row_h)
+        };
+        let c = b
+            .add_fixed_cell(&format!("pi{i}"), "IOPAD_IN", x, y)
+            .expect("unique pad name");
+        pad_positions.push((c, x, y));
+        pis.push(c);
+    }
+    for i in 0..params.num_po {
+        // Output pads on the right and bottom edges.
+        let frac = (i as f64 + 0.5) / params.num_po as f64;
+        let (x, y) = if i % 2 == 0 {
+            (side - 4.0, frac * (side - row_h))
+        } else {
+            (frac * (side - 8.0), 0.0)
+        };
+        let c = b
+            .add_fixed_cell(&format!("po{i}"), "IOPAD_OUT", x, y)
+            .expect("unique pad name");
+        pad_positions.push((c, x, y));
+        pos.push(c);
+    }
+
+    // --- flip-flops and combinational gates ----------------------------
+    let mut ffs: Vec<CellId> = Vec::with_capacity(params.num_ff);
+    for i in 0..params.num_ff {
+        ffs.push(b.add_cell(&format!("ff{i}"), "DFF_X1").expect("unique name"));
+    }
+    // Weighted gate-type mix; drive strengths skew toward X1.
+    const GATES: &[(&str, u32)] = &[
+        ("INV_X1", 14),
+        ("INV_X2", 5),
+        ("INV_X4", 2),
+        ("BUF_X1", 6),
+        ("BUF_X2", 3),
+        ("NAND2_X1", 20),
+        ("NAND2_X2", 6),
+        ("NOR2_X1", 16),
+        ("NOR2_X2", 5),
+        ("AOI21_X1", 10),
+    ];
+    let gate_total: u32 = GATES.iter().map(|&(_, w)| w).sum();
+    let pick_gate = |rng: &mut StdRng| {
+        let mut t = rng.gen_range(0..gate_total);
+        for &(name, w) in GATES {
+            if t < w {
+                return name;
+            }
+            t -= w;
+        }
+        unreachable!("weights cover the range")
+    };
+
+    // Level assignment: roughly uniform with a slight bias toward middle
+    // levels so cones widen then narrow.
+    let mut comb: Vec<(CellId, usize, &'static str)> = Vec::with_capacity(params.num_comb);
+    for i in 0..params.num_comb {
+        let gate = pick_gate(&mut rng);
+        let level = 1 + rng.gen_range(0..params.levels);
+        let c = b.add_cell(&format!("g{i}"), gate).expect("unique name");
+        comb.push((c, level, gate));
+    }
+    comb.sort_by_key(|&(_, level, _)| level);
+
+    // --- connectivity ---------------------------------------------------
+    let mut drivers: Vec<Driver> = Vec::new();
+    let geometric_fanout = |rng: &mut StdRng, high: bool, max: usize| -> usize {
+        // Geometric-ish: P(f >= k+1 | f >= k) = p.
+        let p = if high { 0.85 } else { 0.45 };
+        let mut f = 1usize;
+        while f < max && rng.gen_bool(p) {
+            f += 1;
+        }
+        f
+    };
+    for &pi in &pis {
+        let high = rng.gen_bool(params.high_fanout_fraction * 4.0);
+        drivers.push(Driver {
+            cell: pi,
+            pin: "PAD",
+            level: 0,
+            fanout: 0,
+            cap: geometric_fanout(&mut rng, high, params.max_fanout),
+        });
+    }
+    for &ff in &ffs {
+        let high = rng.gen_bool(params.high_fanout_fraction * 2.0);
+        drivers.push(Driver {
+            cell: ff,
+            pin: "Q",
+            level: 0,
+            fanout: 0,
+            cap: geometric_fanout(&mut rng, high, params.max_fanout),
+        });
+    }
+
+    // For each gate input, pick a driver from a strictly lower level,
+    // preferring nearby levels and under-subscribed drivers.
+    let mut sink_assignments: Vec<(usize, CellId, &'static str)> = Vec::new(); // (driver idx, sink cell, sink pin)
+    let gate_inputs = |gate: &str| -> &'static [&'static str] {
+        match gate {
+            g if g.starts_with("INV") || g.starts_with("BUF") => &["A"],
+            g if g.starts_with("NAND") || g.starts_with("NOR") => &["A", "B"],
+            g if g.starts_with("AOI21") => &["A", "B", "C"],
+            other => panic!("unknown gate {other}"),
+        }
+    };
+    // Index of the first driver at each level for windowed picking.
+    for &(cell, level, gate) in &comb {
+        for &inp in gate_inputs(gate) {
+            let di = pick_driver(&mut rng, &drivers, level);
+            drivers[di].fanout += 1;
+            sink_assignments.push((di, cell, inp));
+        }
+        // Register this gate's output as a driver for higher levels.
+        let high = rng.gen_bool(params.high_fanout_fraction);
+        drivers.push(Driver {
+            cell,
+            pin: "Y",
+            level,
+            fanout: 0,
+            cap: geometric_fanout(&mut rng, high, params.max_fanout),
+        });
+    }
+    // Flip-flop D inputs and primary outputs consume the deepest cones.
+    for &ff in &ffs {
+        let di = pick_driver(&mut rng, &drivers, params.levels + 1);
+        drivers[di].fanout += 1;
+        sink_assignments.push((di, ff, "D"));
+    }
+    for &po in &pos {
+        let di = pick_driver(&mut rng, &drivers, params.levels + 1);
+        drivers[di].fanout += 1;
+        sink_assignments.push((di, po, "PAD"));
+    }
+    // Give every dangling driver (fanout 0) one sink so all logic is
+    // observable: route it to a random already-driven gate input? That
+    // would double-drive. Instead attach dangling combinational outputs to
+    // extra primary outputs only if within a small budget; otherwise they
+    // remain dangling (harmless: they simply do not time).
+    // Group sinks by driver and emit nets.
+    let mut per_driver: Vec<Vec<(CellId, &'static str)>> = vec![Vec::new(); drivers.len()];
+    for (di, cell, pin) in sink_assignments {
+        per_driver[di].push((cell, pin));
+    }
+    for (di, sinks) in per_driver.iter().enumerate() {
+        if sinks.is_empty() {
+            continue;
+        }
+        let d = &drivers[di];
+        let mut terms: Vec<(CellId, &str)> = Vec::with_capacity(sinks.len() + 1);
+        terms.push((d.cell, d.pin));
+        for &(cell, pin) in sinks {
+            terms.push((cell, pin));
+        }
+        b.add_net(&format!("n{di}"), &terms).expect("valid net");
+    }
+
+    let design = b.finish().expect("generated design is valid");
+    let mut placement = Placement::new(&design);
+    for (c, x, y) in pad_positions {
+        placement.set(c, x, y);
+    }
+    (design, placement)
+}
+
+/// An output pin available as a net driver during generation.
+struct Driver {
+    cell: CellId,
+    pin: &'static str,
+    level: usize,
+    fanout: usize,
+    cap: usize,
+}
+
+/// Picks a driver index with level < `level`, favouring recent levels and
+/// drivers still under their fanout target.
+fn pick_driver(rng: &mut StdRng, drivers: &[Driver], level: usize) -> usize {
+    // Eligible: strictly lower level. Drivers are appended in level order,
+    // so a suffix window biases toward nearby levels.
+    let eligible_end = drivers
+        .iter()
+        .rposition(|d| d.level < level)
+        .expect("level > 0 always has sources")
+        + 1;
+    // Prefer the most recent couple of levels with 70% probability.
+    for _ in 0..16 {
+        let idx = if rng.gen_bool(0.7) && eligible_end > 1 {
+            let window = (eligible_end / 3).max(1);
+            eligible_end - 1 - rng.gen_range(0..window)
+        } else {
+            rng.gen_range(0..eligible_end)
+        };
+        if drivers[idx].fanout < drivers[idx].cap {
+            return idx;
+        }
+    }
+    // Everybody saturated near the tail: linear scan for any headroom,
+    // else overload a random driver (the cap is soft).
+    (0..eligible_end)
+        .find(|&i| drivers[i].fanout < drivers[i].cap)
+        .unwrap_or_else(|| rng.gen_range(0..eligible_end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_design_validates() {
+        let (d, _) = generate(&CircuitParams::small("t", 1));
+        d.validate().unwrap();
+        let stats = d.stats();
+        assert_eq!(stats.num_sequential, 40);
+        assert!(stats.num_cells >= 300 + 40 + 24);
+        assert!(stats.utilization > 0.2 && stats.utilization < 0.6);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = CircuitParams::small("t", 99);
+        let (d1, pl1) = generate(&p);
+        let (d2, pl2) = generate(&p);
+        assert_eq!(d1.num_cells(), d2.num_cells());
+        assert_eq!(d1.num_nets(), d2.num_nets());
+        for n in d1.net_ids() {
+            assert_eq!(d1.net(n).pins, d2.net(n).pins);
+        }
+        for c in d1.cell_ids() {
+            assert_eq!(pl1.get(c), pl2.get(c));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (d1, _) = generate(&CircuitParams::small("t", 1));
+        let (d2, _) = generate(&CircuitParams::small("t", 2));
+        let nets_equal = d1.num_nets() == d2.num_nets()
+            && d1
+                .net_ids()
+                .all(|n| d1.net(n).pins == d2.net(n).pins);
+        assert!(!nets_equal, "seeds 1 and 2 produced identical netlists");
+    }
+
+    #[test]
+    fn fanout_respects_cap_softly() {
+        let p = CircuitParams::small("t", 5);
+        let (d, _) = generate(&p);
+        let max_degree = d.stats().max_net_degree;
+        // Degree = fanout + 1 driver; the cap is soft but should rarely
+        // blow past 2x.
+        assert!(
+            max_degree <= 2 * p.max_fanout + 1,
+            "max degree {max_degree}"
+        );
+    }
+
+    #[test]
+    fn pads_are_on_the_boundary() {
+        let p = CircuitParams::small("t", 3);
+        let (d, pl) = generate(&p);
+        let die = d.die();
+        for c in d.cell_ids() {
+            if !d.cell(c).fixed {
+                continue;
+            }
+            let (x, y) = pl.get(c);
+            let on_edge = x <= die.lx + 1e-9
+                || x >= die.ux - 8.0
+                || y <= die.ly + 1e-9
+                || y >= die.uy - 10.0;
+            assert!(on_edge, "pad {} at ({x},{y}) not on boundary", d.cell(c).name);
+        }
+    }
+
+    #[test]
+    fn timing_graph_is_acyclic() {
+        // The layered construction must never create combinational loops;
+        // verified through the netlist validity plus a topological check in
+        // the sta crate's integration tests. Here: every gate input's
+        // driver is at a strictly lower level by construction, so a simple
+        // stand-in: the design builds and validates.
+        let (d, _) = generate(&CircuitParams::medium("m", 11));
+        d.validate().unwrap();
+        assert!(d.num_cells() > 2500);
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic benchmark suite for the Efficient-TDP reproduction.
+//!
+//! The paper evaluates on the ICCAD-2015 `superblue` designs, which are not
+//! redistributable and far too large for a single-core reproduction. This
+//! crate generates deterministic, structurally similar circuits instead:
+//! flip-flop-bounded layered combinational logic with a realistic fanout
+//! distribution, IO pads fixed on the die boundary, and a clock period
+//! tight enough that a coarse placement fails timing on many endpoints —
+//! the regime the paper's optimization operates in.
+//!
+//! * [`circuit`] — the generator itself ([`CircuitParams`], [`generate`]).
+//! * [`mod@suite`] — the eight named benchmark cases (`sb1` … `sb18`) used by
+//!   every table and figure harness.
+//!
+//! # Example
+//!
+//! ```
+//! use benchgen::{CircuitParams, generate};
+//!
+//! let params = CircuitParams::small("demo", 7);
+//! let (design, placement) = generate(&params);
+//! assert!(design.num_cells() > 100);
+//! assert!(design.stats().num_sequential > 0);
+//! let _ = placement;
+//! // Regenerating with the same seed gives the identical design.
+//! let (design2, _) = generate(&params);
+//! assert_eq!(design.num_cells(), design2.num_cells());
+//! ```
+
+pub mod circuit;
+pub mod suite;
+
+pub use circuit::{generate, CircuitParams};
+pub use suite::{suite, SuiteCase};

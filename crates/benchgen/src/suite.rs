@@ -1,0 +1,98 @@
+//! The eight named benchmark cases.
+//!
+//! Sizes are scaled roughly 100x down from the ICCAD-2015 `superblue`
+//! designs so the full table sweeps run on one CPU core; the relative size
+//! ordering (sb10 largest, sb18 smallest) and the "many failing endpoints
+//! at a tight clock" regime are preserved. Clock periods were calibrated
+//! once so a wirelength-driven placement fails 5-30% of endpoints.
+
+use crate::circuit::CircuitParams;
+
+/// One named benchmark case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteCase {
+    /// Short name used in the tables (`sb1`, …).
+    pub name: &'static str,
+    /// Generator parameters.
+    pub params: CircuitParams,
+}
+
+fn case(
+    name: &'static str,
+    seed: u64,
+    num_comb: usize,
+    num_ff: usize,
+    io: usize,
+    levels: usize,
+    clock_period: f64,
+) -> SuiteCase {
+    SuiteCase {
+        name,
+        params: CircuitParams {
+            name: name.to_string(),
+            seed,
+            num_comb,
+            num_ff,
+            num_pi: io,
+            num_po: io,
+            levels,
+            max_fanout: 16,
+            high_fanout_fraction: 0.02,
+            utilization: 0.42,
+            clock_period,
+            res_per_unit: 0.3,
+            cap_per_unit: 0.01,
+        },
+    }
+}
+
+/// The eight benchmark cases used by every table and figure harness.
+///
+/// Deterministic: the same binary always regenerates identical designs.
+pub fn suite() -> Vec<SuiteCase> {
+    vec![
+        case("sb1", 101, 4200, 480, 40, 12, 2950.0),
+        case("sb3", 103, 4800, 520, 44, 13, 4040.0),
+        case("sb4", 104, 3200, 380, 36, 11, 2480.0),
+        case("sb5", 105, 3800, 420, 36, 14, 3270.0),
+        case("sb7", 107, 5600, 640, 48, 12, 4220.0),
+        case("sb10", 110, 7200, 800, 56, 15, 6210.0),
+        case("sb16", 116, 3400, 400, 40, 10, 2470.0),
+        case("sb18", 118, 2200, 280, 28, 9, 2060.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn suite_has_eight_unique_cases() {
+        let s = suite();
+        assert_eq!(s.len(), 8);
+        let names: std::collections::HashSet<_> = s.iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn all_cases_generate_and_validate() {
+        for case in suite() {
+            let (d, _) = generate(&case.params);
+            d.validate().unwrap();
+            assert!(d.stats().num_sequential > 0, "{} has no FFs", case.name);
+        }
+    }
+
+    #[test]
+    fn sb10_is_largest_sb18_smallest() {
+        let s = suite();
+        let size = |name: &str| {
+            let c = s.iter().find(|c| c.name == name).unwrap();
+            c.params.num_comb + c.params.num_ff
+        };
+        let sizes: Vec<usize> = s.iter().map(|c| c.params.num_comb + c.params.num_ff).collect();
+        assert_eq!(size("sb10"), *sizes.iter().max().unwrap());
+        assert_eq!(size("sb18"), *sizes.iter().min().unwrap());
+    }
+}

@@ -1,0 +1,116 @@
+//! Flow hyperparameters.
+
+use crate::extraction::ExtractionStrategy;
+use crate::loss::PinPairLoss;
+use placer::{OptimizerKind, PlacerConfig};
+use sta::{NetTopology, RcParams};
+
+/// Hyperparameters of the timing-driven placement flow.
+///
+/// Paper defaults (Sec. IV): `β = 2.5e-5`, `m = 15`, `w0 = 10`, `w1 = 0.2`,
+/// timing optimization starting at iteration 500. Iteration counts are
+/// scaled for CPU-sized designs; the β default is recalibrated for the
+/// synthetic suite's die dimensions (documented in DESIGN.md).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowConfig {
+    /// Pin-to-pin attraction penalty multiplier β (Eq. 6).
+    pub beta: f64,
+    /// Timing-analysis period m: STA + extraction every `m` iterations.
+    pub timing_interval: usize,
+    /// Iteration at which timing optimization commences.
+    pub timing_start: usize,
+    /// Initial pin-pair weight w0 (Eq. 9).
+    pub w0: f64,
+    /// Pin-pair weight increment scale w1 (Eq. 9).
+    pub w1: f64,
+    /// Which pin-to-pin loss to use (Table 3 ablation axis).
+    pub loss: PinPairLoss,
+    /// How critical paths are extracted (Table 1 / Table 3 ablation axis).
+    pub extraction: ExtractionStrategy,
+    /// Wire parasitics for the in-loop STA.
+    pub rc: RcParams,
+    /// Underlying placer configuration.
+    pub placer: PlacerConfig,
+    /// Momentum net-weighting decay (the DREAMPlace 4.0 baseline).
+    pub momentum_decay: f64,
+    /// Net-weight boost scale for the net-weighting baselines.
+    pub net_weight_alpha: f64,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self {
+            beta: 5e-4,
+            timing_interval: 15,
+            timing_start: 250,
+            w0: 10.0,
+            w1: 0.2,
+            loss: PinPairLoss::Quadratic,
+            extraction: ExtractionStrategy::ReportTimingEndpoint { k: 1 },
+            rc: RcParams {
+                res_per_unit: 0.3,
+                cap_per_unit: 0.01,
+                topology: NetTopology::SteinerMst,
+            },
+            placer: PlacerConfig {
+                grid: 32,
+                max_iterations: 700,
+                min_iterations: 400,
+                stop_overflow: 0.08,
+                optimizer: OptimizerKind::Nesterov,
+                ..PlacerConfig::default()
+            },
+            momentum_decay: 0.5,
+            net_weight_alpha: 8.0,
+        }
+    }
+}
+
+impl FlowConfig {
+    /// Applies the wire parameters a generated benchmark requests.
+    pub fn with_rc_from(mut self, params: &benchgen_params::RcLike) -> Self {
+        self.rc.res_per_unit = params.res_per_unit;
+        self.rc.cap_per_unit = params.cap_per_unit;
+        self
+    }
+}
+
+/// Tiny indirection so `FlowConfig` does not depend on the benchgen crate.
+pub mod benchgen_params {
+    /// Anything carrying wire parasitics per unit length.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct RcLike {
+        /// Resistance per unit length.
+        pub res_per_unit: f64,
+        /// Capacitance per unit length.
+        pub cap_per_unit: f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_hyperparameters() {
+        let c = FlowConfig::default();
+        assert_eq!(c.timing_interval, 15);
+        assert_eq!(c.w0, 10.0);
+        assert_eq!(c.w1, 0.2);
+        assert_eq!(c.loss, PinPairLoss::Quadratic);
+        assert!(matches!(
+            c.extraction,
+            ExtractionStrategy::ReportTimingEndpoint { k: 1 }
+        ));
+    }
+
+    #[test]
+    fn rc_override_applies() {
+        let c = FlowConfig::default().with_rc_from(&benchgen_params::RcLike {
+            res_per_unit: 0.5,
+            cap_per_unit: 0.7,
+        });
+        assert_eq!(c.rc.res_per_unit, 0.5);
+        assert_eq!(c.rc.cap_per_unit, 0.7);
+    }
+}

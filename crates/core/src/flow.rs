@@ -1,0 +1,383 @@
+//! The timing-driven placement flow (Fig. 1) and the method matrix.
+//!
+//! [`run_method`] executes one complete flow — global placement with the
+//! selected timing mechanism, Abacus legalization, shared evaluation — and
+//! returns metrics, a per-iteration trace (Fig. 5) and a runtime breakdown
+//! (Table 4 / Fig. 4).
+
+use crate::config::FlowConfig;
+use crate::extraction::extract_pin_pairs;
+use crate::metrics::{evaluate, Metrics};
+use crate::pinpair::PinPairSet;
+use crate::weighting::{DifferentiableTdpWeighting, MomentumNetWeighting};
+use netlist::{Design, Placement};
+use placer::{abacus_legalize, GlobalPlacer, NoTimingObjective, TimingObjective};
+use sta::Sta;
+use std::time::{Duration, Instant};
+
+/// The placement methods the tables compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Wirelength-driven DREAMPlace (no timing engine).
+    DreamPlace,
+    /// DREAMPlace 4.0: momentum-based net weighting. Also serves as the
+    /// Table 3 "w/o Path Extraction" ablation.
+    DreamPlace4,
+    /// Differentiable-TDP-style smoothed net weighting (Guo & Lin proxy).
+    DifferentiableTdp,
+    /// The paper's method: pin-to-pin attraction on extracted critical
+    /// paths; loss and extraction strategy come from the [`FlowConfig`].
+    EfficientTdp,
+}
+
+impl Method {
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::DreamPlace => "DREAMPlace",
+            Method::DreamPlace4 => "DREAMPlace 4.0",
+            Method::DifferentiableTdp => "Differentiable-TDP",
+            Method::EfficientTdp => "Efficient-TDP (ours)",
+        }
+    }
+}
+
+/// Wall-clock decomposition of one flow run (Fig. 4 categories).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RuntimeBreakdown {
+    /// Setup: timing-graph construction, engine initialization.
+    pub io: Duration,
+    /// Static timing analysis inside the loop.
+    pub timing_analysis: Duration,
+    /// Path extraction and weight updates.
+    pub weighting: Duration,
+    /// Legalization.
+    pub legalization: Duration,
+    /// Everything else (wirelength/density gradients, optimizer).
+    pub gradient_and_others: Duration,
+    /// Total flow time.
+    pub total: Duration,
+}
+
+/// Per-iteration trace row for the Fig. 5 curves. TNS/WNS carry the value
+/// of the most recent timing analysis (NaN before the first one).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowTraceRow {
+    /// Iteration index.
+    pub iter: usize,
+    /// Exact HPWL.
+    pub hpwl: f64,
+    /// Density overflow.
+    pub overflow: f64,
+    /// Last known TNS.
+    pub tns: f64,
+    /// Last known WNS.
+    pub wns: f64,
+}
+
+/// Everything a flow run produces.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// Which method ran.
+    pub method: &'static str,
+    /// Legalized placement.
+    pub placement: Placement,
+    /// Shared evaluation-kit metrics of the legalized placement.
+    pub metrics: Metrics,
+    /// Runtime decomposition.
+    pub runtime: RuntimeBreakdown,
+    /// Per-iteration trace.
+    pub trace: Vec<FlowTraceRow>,
+    /// Iterations executed by the global placer.
+    pub iterations: usize,
+}
+
+/// The paper's objective: pin-to-pin attraction over extracted paths.
+pub struct EfficientTdpObjective {
+    sta: Sta,
+    cfg: FlowConfig,
+    pairs: PinPairSet,
+    sta_time: Duration,
+    weighting_time: Duration,
+    timing_trace: Vec<(usize, f64, f64)>,
+}
+
+impl EfficientTdpObjective {
+    /// Creates the objective; builds the timing graph once.
+    pub fn new(design: &Design, cfg: FlowConfig) -> Self {
+        Self {
+            sta: Sta::new(design, cfg.rc).expect("acyclic design"),
+            cfg,
+            pairs: PinPairSet::new(),
+            sta_time: Duration::ZERO,
+            weighting_time: Duration::ZERO,
+            timing_trace: Vec::new(),
+        }
+    }
+
+    /// The maintained pin-pair set (diagnostics).
+    pub fn pairs(&self) -> &PinPairSet {
+        &self.pairs
+    }
+
+    /// `(iteration, tns, wns)` recorded at each timing iteration.
+    pub fn timing_trace(&self) -> &[(usize, f64, f64)] {
+        &self.timing_trace
+    }
+
+    /// Accumulated STA and weighting runtimes.
+    pub fn runtimes(&self) -> (Duration, Duration) {
+        (self.sta_time, self.weighting_time)
+    }
+}
+
+impl TimingObjective for EfficientTdpObjective {
+    fn begin_iteration(&mut self, iter: usize, design: &Design, placement: &Placement) {
+        if iter < self.cfg.timing_start
+            || (iter - self.cfg.timing_start) % self.cfg.timing_interval != 0
+        {
+            return;
+        }
+        let t = Instant::now();
+        self.sta.analyze(design, placement);
+        self.sta_time += t.elapsed();
+        let summary = self.sta.summary();
+        self.timing_trace.push((iter, summary.tns, summary.wns));
+        if summary.wns >= 0.0 {
+            return;
+        }
+        let t = Instant::now();
+        let tuples = extract_pin_pairs(&self.sta, design, self.cfg.extraction);
+        for (pairs, slack) in &tuples {
+            self.pairs
+                .update_path(pairs, *slack, summary.wns, self.cfg.w0, self.cfg.w1);
+        }
+        self.weighting_time += t.elapsed();
+    }
+
+    fn net_weights(&mut self, _design: &Design) -> Option<&[f64]> {
+        None
+    }
+
+    fn accumulate_gradient(
+        &mut self,
+        design: &Design,
+        placement: &Placement,
+        grad_x: &mut [f64],
+        grad_y: &mut [f64],
+    ) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        let beta = self.cfg.beta;
+        let loss_fn = self.cfg.loss;
+        let mut total = 0.0;
+        for (&(i, j), &w) in self.pairs.iter() {
+            let (xi, yi) = placement.pin_position(design, i);
+            let (xj, yj) = placement.pin_position(design, j);
+            let (dx, dy) = (xi - xj, yi - yj);
+            total += beta * w * loss_fn.value(dx, dy);
+            let (gx, gy) = loss_fn.gradient(dx, dy);
+            let ci = design.pin(i).cell.index();
+            let cj = design.pin(j).cell.index();
+            grad_x[ci] += beta * w * gx;
+            grad_y[ci] += beta * w * gy;
+            grad_x[cj] -= beta * w * gx;
+            grad_y[cj] -= beta * w * gy;
+        }
+        total
+    }
+}
+
+/// Runs one complete flow for `method` and evaluates it with the shared
+/// kit. `pads` must carry the fixed-cell positions.
+pub fn run_method(
+    design: &Design,
+    pads: Placement,
+    method: Method,
+    cfg: &FlowConfig,
+) -> FlowOutcome {
+    let t_total = Instant::now();
+    let t_io = Instant::now();
+    let mut placer_cfg = cfg.placer;
+    if method == Method::DreamPlace {
+        // Pure wirelength placement stops at density convergence, as the
+        // original DREAMPlace does (Table 4's runtime gap).
+        placer_cfg.min_iterations = placer_cfg.min_iterations.min(150);
+    } else {
+        // Timing-driven methods must keep iterating past the timing start.
+        placer_cfg.min_iterations = placer_cfg
+            .min_iterations
+            .max(cfg.timing_start + 6 * cfg.timing_interval);
+    }
+    let mut engine = GlobalPlacer::new(design, pads, placer_cfg);
+    let io = t_io.elapsed();
+
+    // Run with the method's objective, keeping access to its internals.
+    let (result, sta_time, weighting_time, timing_trace) = match method {
+        Method::DreamPlace => {
+            let mut obj = NoTimingObjective;
+            let r = engine.run_with(design, &mut obj);
+            (r, Duration::ZERO, Duration::ZERO, Vec::new())
+        }
+        Method::DreamPlace4 => {
+            let mut obj = MomentumNetWeighting::new(
+                design,
+                cfg.rc,
+                cfg.timing_start,
+                cfg.timing_interval,
+                cfg.net_weight_alpha,
+                cfg.momentum_decay,
+            );
+            let r = engine.run_with(design, &mut obj);
+            let (s, w) = obj.runtimes();
+            (r, s, w, obj.timing_trace().to_vec())
+        }
+        Method::DifferentiableTdp => {
+            let mut obj = DifferentiableTdpWeighting::new(
+                design,
+                cfg.rc,
+                cfg.timing_start,
+                cfg.timing_interval,
+                cfg.net_weight_alpha,
+            );
+            let r = engine.run_with(design, &mut obj);
+            let (s, w) = obj.runtimes();
+            (r, s, w, obj.timing_trace().to_vec())
+        }
+        Method::EfficientTdp => {
+            let mut obj = EfficientTdpObjective::new(design, cfg.clone());
+            let r = engine.run_with(design, &mut obj);
+            let (s, w) = obj.runtimes();
+            (r, s, w, obj.timing_trace().to_vec())
+        }
+    };
+
+    let t_leg = Instant::now();
+    let mut placement = result.placement;
+    abacus_legalize(design, &mut placement);
+    let legalization = t_leg.elapsed();
+
+    let metrics = evaluate(design, &placement, cfg.rc);
+    let total = t_total.elapsed();
+    let accounted = io + sta_time + weighting_time + legalization;
+    let runtime = RuntimeBreakdown {
+        io,
+        timing_analysis: sta_time,
+        weighting: weighting_time,
+        legalization,
+        gradient_and_others: total.saturating_sub(accounted),
+        total,
+    };
+
+    // Merge the engine trace with the timing trace (carry-forward).
+    let mut trace = Vec::with_capacity(result.trace.len());
+    let mut timing_idx = 0usize;
+    let mut tns = f64::NAN;
+    let mut wns = f64::NAN;
+    for row in &result.trace {
+        while timing_idx < timing_trace.len() && timing_trace[timing_idx].0 <= row.iter {
+            tns = timing_trace[timing_idx].1;
+            wns = timing_trace[timing_idx].2;
+            timing_idx += 1;
+        }
+        trace.push(FlowTraceRow {
+            iter: row.iter,
+            hpwl: row.hpwl,
+            overflow: row.overflow,
+            tns,
+            wns,
+        });
+    }
+
+    FlowOutcome {
+        method: method.label(),
+        placement,
+        metrics,
+        runtime,
+        trace,
+        iterations: result.iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benchgen::{generate, CircuitParams};
+
+    fn quick_config() -> FlowConfig {
+        let mut cfg = FlowConfig::default();
+        cfg.placer.max_iterations = 260;
+        cfg.placer.min_iterations = 60;
+        cfg.timing_start = 120;
+        cfg.timing_interval = 10;
+        cfg
+    }
+
+    #[test]
+    fn efficient_tdp_flow_runs_and_improves_timing() {
+        let (design, pads) = generate(&CircuitParams::small("f", 21));
+        let cfg = quick_config();
+        let baseline = run_method(&design, pads.clone(), Method::DreamPlace, &cfg);
+        let ours = run_method(&design, pads, Method::EfficientTdp, &cfg);
+        assert!(baseline.metrics.hpwl > 0.0);
+        // The timing trace must exist and the pin pairs must have fired.
+        assert!(ours.trace.iter().any(|r| !r.tns.is_nan()));
+        // Headline property: ours has better (less negative) TNS.
+        assert!(
+            ours.metrics.tns >= baseline.metrics.tns,
+            "ours {} vs baseline {}",
+            ours.metrics.tns,
+            baseline.metrics.tns
+        );
+    }
+
+    #[test]
+    fn runtime_breakdown_sums_to_total() {
+        let (design, pads) = generate(&CircuitParams::small("f", 22));
+        let cfg = quick_config();
+        let out = run_method(&design, pads, Method::EfficientTdp, &cfg);
+        let r = out.runtime;
+        let sum = r.io + r.timing_analysis + r.weighting + r.legalization + r.gradient_and_others;
+        let diff = r.total.abs_diff(sum);
+        assert!(diff < Duration::from_millis(5), "breakdown off by {diff:?}");
+        assert!(r.timing_analysis > Duration::ZERO);
+    }
+
+    #[test]
+    fn dreamplace_has_no_timing_overhead() {
+        let (design, pads) = generate(&CircuitParams::small("f", 23));
+        let cfg = quick_config();
+        let out = run_method(&design, pads, Method::DreamPlace, &cfg);
+        assert_eq!(out.runtime.timing_analysis, Duration::ZERO);
+        assert_eq!(out.runtime.weighting, Duration::ZERO);
+        assert!(out.trace.iter().all(|r| r.tns.is_nan()));
+    }
+
+    #[test]
+    fn all_methods_produce_legal_placements() {
+        let (design, pads) = generate(&CircuitParams::small("f", 24));
+        let cfg = quick_config();
+        for method in [
+            Method::DreamPlace,
+            Method::DreamPlace4,
+            Method::DifferentiableTdp,
+            Method::EfficientTdp,
+        ] {
+            let out = run_method(&design, pads.clone(), method, &cfg);
+            placer::legalize::check_legal(&design, &out.placement)
+                .unwrap_or_else(|e| panic!("{}: {e}", method.label()));
+            assert!(out.metrics.total_endpoints > 0);
+        }
+    }
+
+    #[test]
+    fn flow_is_deterministic() {
+        let (design, pads) = generate(&CircuitParams::small("f", 25));
+        let cfg = quick_config();
+        let a = run_method(&design, pads.clone(), Method::EfficientTdp, &cfg);
+        let b = run_method(&design, pads, Method::EfficientTdp, &cfg);
+        assert_eq!(a.metrics.tns, b.metrics.tns);
+        assert_eq!(a.metrics.hpwl, b.metrics.hpwl);
+    }
+}

@@ -1,0 +1,122 @@
+//! Pin-to-pin attraction losses.
+//!
+//! The paper's choice is the **quadratic Euclidean distance** (Eq. 8),
+//! which matches the RC delay model: with wire resistance and capacitance
+//! both linear in length, source→sink delay is quadratic in distance
+//! (Eq. 7), so pulling on the squared distance pulls directly on delay.
+//! The linear Euclidean and HPWL variants exist for the Table 3 / Fig. 3
+//! ablations — their gradients carry direction but not magnitude, which is
+//! why they cluster cells and leave a few very long segments.
+
+/// Which distance function the pin-to-pin attraction uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinPairLoss {
+    /// `Q(i,j) = (xi − xj)² + (yi − yj)²` — the paper's loss (Eq. 8).
+    Quadratic,
+    /// `√Q(i,j)` — linear Euclidean distance.
+    LinearEuclidean,
+    /// `|xi − xj| + |yi − yj|` — per-pair HPWL.
+    Hpwl,
+}
+
+impl PinPairLoss {
+    /// Loss value for a displacement `(dx, dy) = (xi − xj, yi − yj)`.
+    pub fn value(self, dx: f64, dy: f64) -> f64 {
+        match self {
+            PinPairLoss::Quadratic => dx * dx + dy * dy,
+            PinPairLoss::LinearEuclidean => (dx * dx + dy * dy).sqrt(),
+            PinPairLoss::Hpwl => dx.abs() + dy.abs(),
+        }
+    }
+
+    /// Gradient with respect to `(xi, yi)`; the gradient w.r.t. `(xj, yj)`
+    /// is the negation.
+    pub fn gradient(self, dx: f64, dy: f64) -> (f64, f64) {
+        match self {
+            PinPairLoss::Quadratic => (2.0 * dx, 2.0 * dy),
+            PinPairLoss::LinearEuclidean => {
+                let d = (dx * dx + dy * dy).sqrt();
+                if d < 1e-12 {
+                    (0.0, 0.0)
+                } else {
+                    (dx / d, dy / d)
+                }
+            }
+            PinPairLoss::Hpwl => (soft_sign(dx), soft_sign(dy)),
+        }
+    }
+
+    /// Short label used by the ablation tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PinPairLoss::Quadratic => "quadratic",
+            PinPairLoss::LinearEuclidean => "linear",
+            PinPairLoss::Hpwl => "hpwl",
+        }
+    }
+}
+
+/// Sign with a small linear region around zero, keeping the HPWL variant
+/// differentiable enough for the optimizer.
+fn soft_sign(v: f64) -> f64 {
+    const EPS: f64 = 1e-3;
+    (v / EPS).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_value_and_gradient() {
+        let l = PinPairLoss::Quadratic;
+        assert_eq!(l.value(3.0, 4.0), 25.0);
+        assert_eq!(l.gradient(3.0, 4.0), (6.0, 8.0));
+    }
+
+    #[test]
+    fn linear_gradient_is_unit_length() {
+        let l = PinPairLoss::LinearEuclidean;
+        assert!((l.value(3.0, 4.0) - 5.0).abs() < 1e-12);
+        let (gx, gy) = l.gradient(3.0, 4.0);
+        assert!(((gx * gx + gy * gy).sqrt() - 1.0).abs() < 1e-12);
+        // Degenerate at zero distance.
+        assert_eq!(l.gradient(0.0, 0.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn hpwl_gradient_is_sign_like() {
+        let l = PinPairLoss::Hpwl;
+        assert_eq!(l.value(3.0, -4.0), 7.0);
+        let (gx, gy) = l.gradient(3.0, -4.0);
+        assert_eq!((gx, gy), (1.0, -1.0));
+    }
+
+    #[test]
+    fn all_gradients_match_finite_differences() {
+        let h = 1e-7;
+        for loss in [
+            PinPairLoss::Quadratic,
+            PinPairLoss::LinearEuclidean,
+            PinPairLoss::Hpwl,
+        ] {
+            for &(dx, dy) in &[(2.0, 1.0), (-3.0, 0.5), (0.7, -0.2)] {
+                let (gx, gy) = loss.gradient(dx, dy);
+                let fdx = (loss.value(dx + h, dy) - loss.value(dx - h, dy)) / (2.0 * h);
+                let fdy = (loss.value(dx, dy + h) - loss.value(dx, dy - h)) / (2.0 * h);
+                assert!((gx - fdx).abs() < 1e-5, "{loss:?} dx");
+                assert!((gy - fdy).abs() < 1e-5, "{loss:?} dy");
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_penalizes_long_wires_superlinearly() {
+        // The property Fig. 3 relies on: doubling the distance quadruples
+        // the quadratic loss but only doubles the linear/HPWL ones.
+        let q = PinPairLoss::Quadratic;
+        let l = PinPairLoss::LinearEuclidean;
+        assert_eq!(q.value(20.0, 0.0) / q.value(10.0, 0.0), 4.0);
+        assert_eq!(l.value(20.0, 0.0) / l.value(10.0, 0.0), 2.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! The shared evaluation kit.
+//!
+//! The paper assesses every method's DEF with the official ICCAD-2015
+//! evaluation kit; the equivalent here is one function — exact HPWL plus a
+//! full STA on the legalized placement with the Steiner/MST wire topology
+//! — applied identically to every method's output.
+
+use netlist::{Design, Placement};
+use sta::{NetTopology, RcParams, Sta};
+
+/// Evaluation-kit output for one placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Total negative slack (Eq. 4); 0 when all endpoints meet timing.
+    pub tns: f64,
+    /// Worst negative slack (Eq. 3); 0 when all endpoints meet timing.
+    pub wns: f64,
+    /// Exact half-perimeter wirelength.
+    pub hpwl: f64,
+    /// Number of failing endpoints.
+    pub failing_endpoints: usize,
+    /// Number of timed endpoints.
+    pub total_endpoints: usize,
+}
+
+/// Evaluates a placement with the shared kit.
+///
+/// Uses the Steiner/MST topology regardless of what the optimization loop
+/// used, mirroring the paper's separation between the optimization model
+/// and the evaluation model.
+pub fn evaluate(design: &Design, placement: &Placement, rc: RcParams) -> Metrics {
+    let eval_rc = rc.with_topology(NetTopology::SteinerMst);
+    let mut sta = Sta::new(design, eval_rc).expect("design must be acyclic");
+    sta.analyze(design, placement);
+    let summary = sta.summary();
+    Metrics {
+        tns: summary.tns,
+        wns: summary.wns,
+        hpwl: placement.total_hpwl(design),
+        failing_endpoints: summary.failing_endpoints,
+        total_endpoints: summary.total_endpoints,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benchgen::{generate, CircuitParams};
+
+    #[test]
+    fn evaluation_is_deterministic_and_sane() {
+        let (design, mut placement) = generate(&CircuitParams::small("m", 3));
+        // Spread cells deterministically.
+        let die = design.die();
+        let mut i = 0usize;
+        let cols = 20usize;
+        for c in design.cell_ids() {
+            if design.cell(c).fixed {
+                continue;
+            }
+            let x = (i % cols) as f64 / cols as f64 * (die.width() - 8.0);
+            let y = (i / cols) as f64 * 10.0 % (die.height() - 10.0);
+            placement.set(c, x, y);
+            i += 1;
+        }
+        let rc = RcParams {
+            res_per_unit: 0.01,
+            cap_per_unit: 0.04,
+            ..RcParams::default()
+        };
+        let m1 = evaluate(&design, &placement, rc);
+        let m2 = evaluate(&design, &placement, rc);
+        assert_eq!(m1, m2);
+        assert!(m1.hpwl > 0.0);
+        assert!(m1.total_endpoints > 0);
+        assert!(m1.tns <= 0.0);
+        assert!(m1.wns <= 0.0);
+        assert!(m1.tns <= m1.wns);
+    }
+
+    #[test]
+    fn closer_cells_improve_timing() {
+        let (design, mut spread) = generate(&CircuitParams::small("m", 4));
+        let die = design.die();
+        let mut clustered = spread.clone();
+        let mut i = 0usize;
+        for c in design.cell_ids() {
+            if design.cell(c).fixed {
+                continue;
+            }
+            // Spread: full die; clustered: one corner region.
+            let fx = (i % 23) as f64 / 23.0;
+            let fy = ((i / 23) % 23) as f64 / 23.0;
+            spread.set(c, fx * (die.width() - 8.0), fy * (die.height() - 10.0));
+            clustered.set(c, fx * die.width() * 0.25, fy * die.height() * 0.25);
+            i += 1;
+        }
+        let rc = RcParams {
+            res_per_unit: 0.01,
+            cap_per_unit: 0.04,
+            ..RcParams::default()
+        };
+        let m_spread = evaluate(&design, &spread, rc);
+        let m_clustered = evaluate(&design, &clustered, rc);
+        // Clustering shortens wires (ignoring density), so timing is
+        // better and HPWL smaller. (IO pads stay on the boundary, so the
+        // effect is directional, not absolute.)
+        assert!(m_clustered.hpwl < m_spread.hpwl);
+        assert!(m_clustered.tns >= m_spread.tns);
+    }
+}

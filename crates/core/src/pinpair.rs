@@ -1,0 +1,150 @@
+//! The maintained pin-pair set `P` and the Eq. 9 weight update.
+//!
+//! As critical paths are traversed, each driver→sink pin pair `(i, j)` on
+//! a path is added to `P` with weight `w0`; pairs seen again accumulate
+//! `w1 · slack/WNS` — so a pair shared by several critical paths (the
+//! path-sharing effect of Fig. 2) receives proportionally more attraction.
+
+use netlist::PinId;
+use std::collections::BTreeMap;
+
+/// A weighted set of critical pin pairs.
+///
+/// Backed by an ordered map so gradient accumulation visits pairs in a
+/// deterministic order (floating-point sums are order-sensitive, and the
+/// flow guarantees bit-identical reruns).
+#[derive(Debug, Clone, Default)]
+pub struct PinPairSet {
+    weights: BTreeMap<(PinId, PinId), f64>,
+}
+
+impl PinPairSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct pairs in `P`.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether `P` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Current weight of a pair, if present.
+    pub fn weight(&self, i: PinId, j: PinId) -> Option<f64> {
+        self.weights.get(&(i, j)).copied()
+    }
+
+    /// Iterates over `((i, j), w)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(PinId, PinId), &f64)> {
+        self.weights.iter()
+    }
+
+    /// Applies the Eq. 9 update for every pin pair on one critical path:
+    ///
+    /// ```text
+    /// w(i,j) = w0                        if (i,j) ∉ P
+    /// w(i,j) = w(i,j) + w1·(slack/WNS)   otherwise
+    /// ```
+    ///
+    /// `slack` is the (negative) slack of the path; `wns` the design WNS.
+    /// Both must be negative for the update to make sense; non-negative
+    /// slacks contribute nothing (positive slacks are not timing
+    /// violations).
+    pub fn update_path(
+        &mut self,
+        pairs: &[(PinId, PinId)],
+        slack: f64,
+        wns: f64,
+        w0: f64,
+        w1: f64,
+    ) {
+        if slack >= 0.0 || wns >= 0.0 {
+            return;
+        }
+        let ratio = slack / wns; // both negative => positive, ≤ 1 at WNS path
+        for &(i, j) in pairs {
+            self.weights
+                .entry((i, j))
+                .and_modify(|w| *w += w1 * ratio)
+                .or_insert(w0);
+        }
+    }
+
+    /// Drops all pairs (used when re-extraction should start fresh).
+    pub fn clear(&mut self) {
+        self.weights.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pin(i: usize) -> PinId {
+        PinId::new(i)
+    }
+
+    #[test]
+    fn first_sighting_gets_w0() {
+        let mut set = PinPairSet::new();
+        set.update_path(&[(pin(0), pin(1))], -100.0, -100.0, 10.0, 0.2);
+        assert_eq!(set.weight(pin(0), pin(1)), Some(10.0));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn repeated_sighting_accumulates_by_slack_ratio() {
+        let mut set = PinPairSet::new();
+        let pairs = [(pin(0), pin(1))];
+        set.update_path(&pairs, -100.0, -200.0, 10.0, 0.2);
+        // Second path through the same pair, half as critical as WNS.
+        set.update_path(&pairs, -100.0, -200.0, 10.0, 0.2);
+        assert_eq!(set.weight(pin(0), pin(1)), Some(10.0 + 0.2 * 0.5));
+        // A WNS path adds the full w1.
+        set.update_path(&pairs, -200.0, -200.0, 10.0, 0.2);
+        assert_eq!(set.weight(pin(0), pin(1)), Some(10.0 + 0.2 * 0.5 + 0.2));
+    }
+
+    #[test]
+    fn path_sharing_weights_shared_segments_more() {
+        // Two paths share the pair (a, b); each also has a private pair.
+        let mut set = PinPairSet::new();
+        let shared = (pin(0), pin(1));
+        set.update_path(&[shared, (pin(2), pin(3))], -50.0, -50.0, 10.0, 0.2);
+        set.update_path(&[shared, (pin(4), pin(5))], -50.0, -50.0, 10.0, 0.2);
+        let w_shared = set.weight(shared.0, shared.1).unwrap();
+        let w_private = set.weight(pin(2), pin(3)).unwrap();
+        assert!(w_shared > w_private);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn positive_slack_paths_are_ignored() {
+        let mut set = PinPairSet::new();
+        set.update_path(&[(pin(0), pin(1))], 5.0, -100.0, 10.0, 0.2);
+        assert!(set.is_empty());
+        // Degenerate WNS (no violations) also ignored.
+        set.update_path(&[(pin(0), pin(1))], -5.0, 0.0, 10.0, 0.2);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn direction_matters() {
+        let mut set = PinPairSet::new();
+        set.update_path(&[(pin(0), pin(1))], -1.0, -1.0, 10.0, 0.2);
+        assert_eq!(set.weight(pin(1), pin(0)), None);
+    }
+
+    #[test]
+    fn clear_empties_the_set() {
+        let mut set = PinPairSet::new();
+        set.update_path(&[(pin(0), pin(1))], -1.0, -1.0, 10.0, 0.2);
+        set.clear();
+        assert!(set.is_empty());
+    }
+}

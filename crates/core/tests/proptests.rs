@@ -1,0 +1,103 @@
+//! Property-based tests for the Efficient-TDP core: Eq. 9 accumulation
+//! and the loss family.
+
+use netlist::PinId;
+use proptest::prelude::*;
+use tdp_core::{PinPairLoss, PinPairSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Eq. 9: after any sequence of path updates, every weight is at least
+    /// w0 and at most w0 + w1 × (number of updates touching the pair),
+    /// because slack/WNS ≤ 1.
+    #[test]
+    fn eq9_weights_are_bounded(
+        updates in prop::collection::vec(
+            (0usize..6, 0usize..6, -1000.0f64..-1.0),
+            1..40,
+        ),
+        w0 in 1.0f64..20.0,
+        w1 in 0.01f64..1.0,
+    ) {
+        let mut set = PinPairSet::new();
+        let wns = -1000.0;
+        let mut touches = std::collections::HashMap::new();
+        for (a, b, slack) in &updates {
+            if a == b {
+                continue;
+            }
+            let pair = (PinId::new(*a), PinId::new(*b));
+            set.update_path(&[pair], *slack, wns, w0, w1);
+            *touches.entry(pair).or_insert(0usize) += 1;
+        }
+        for (&pair, &count) in &touches {
+            let w = set.weight(pair.0, pair.1).unwrap();
+            prop_assert!(w >= w0 - 1e-12);
+            prop_assert!(w <= w0 + w1 * (count as f64 - 1.0) + 1e-12,
+                "pair touched {count} times has weight {w}");
+        }
+        prop_assert_eq!(set.len(), touches.len());
+    }
+
+    /// Weights grow monotonically under repeated updates.
+    #[test]
+    fn eq9_weights_are_monotone(
+        slacks in prop::collection::vec(-500.0f64..-1.0, 1..20),
+    ) {
+        let mut set = PinPairSet::new();
+        let pair = (PinId::new(0), PinId::new(1));
+        let mut prev = 0.0;
+        for s in &slacks {
+            set.update_path(&[pair], *s, -500.0, 10.0, 0.2);
+            let w = set.weight(pair.0, pair.1).unwrap();
+            prop_assert!(w >= prev);
+            prev = w;
+        }
+    }
+
+    /// All three losses are symmetric in sign: L(d) = L(−d), and their
+    /// gradients are odd: ∇L(−d) = −∇L(d).
+    #[test]
+    fn losses_are_even_gradients_odd(
+        dx in -500.0f64..500.0,
+        dy in -500.0f64..500.0,
+    ) {
+        for loss in [PinPairLoss::Quadratic, PinPairLoss::LinearEuclidean, PinPairLoss::Hpwl] {
+            prop_assert!((loss.value(dx, dy) - loss.value(-dx, -dy)).abs() < 1e-9);
+            let (gx, gy) = loss.gradient(dx, dy);
+            let (hx, hy) = loss.gradient(-dx, -dy);
+            prop_assert!((gx + hx).abs() < 1e-9);
+            prop_assert!((gy + hy).abs() < 1e-9);
+        }
+    }
+
+    /// Gradients match finite differences away from the kinks.
+    #[test]
+    fn loss_gradients_match_finite_differences(
+        dx in prop::sample::select(vec![-300.0, -50.0, -2.0, 2.0, 50.0, 300.0]),
+        dy in prop::sample::select(vec![-200.0, -10.0, -1.0, 1.0, 10.0, 200.0]),
+    ) {
+        let h = 1e-5;
+        for loss in [PinPairLoss::Quadratic, PinPairLoss::LinearEuclidean, PinPairLoss::Hpwl] {
+            let (gx, gy) = loss.gradient(dx, dy);
+            let fdx = (loss.value(dx + h, dy) - loss.value(dx - h, dy)) / (2.0 * h);
+            let fdy = (loss.value(dx, dy + h) - loss.value(dx, dy - h)) / (2.0 * h);
+            prop_assert!((gx - fdx).abs() < 1e-3, "{loss:?} gx {gx} fd {fdx}");
+            prop_assert!((gy - fdy).abs() < 1e-3, "{loss:?} gy {gy} fd {fdy}");
+        }
+    }
+
+    /// Quadratic loss dominates linear loss beyond unit distance and is
+    /// dominated inside — the crossover that drives Fig. 3.
+    #[test]
+    fn quadratic_linear_crossover_at_unit_distance(d in 0.01f64..1000.0) {
+        let q = PinPairLoss::Quadratic.value(d, 0.0);
+        let l = PinPairLoss::LinearEuclidean.value(d, 0.0);
+        if d > 1.0 {
+            prop_assert!(q > l);
+        } else {
+            prop_assert!(q <= l + 1e-12);
+        }
+    }
+}

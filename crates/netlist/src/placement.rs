@@ -1,0 +1,229 @@
+//! Cell coordinates and derived geometry.
+
+use crate::design::Design;
+use crate::ids::{CellId, NetId, PinId};
+
+/// Cell lower-left coordinates, indexed by [`CellId`].
+///
+/// A `Placement` is intentionally separate from the [`Design`]: the placer
+/// iterates over many candidate placements of one immutable design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    x: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl Placement {
+    /// Creates an all-zero placement sized for `design`.
+    pub fn new(design: &Design) -> Self {
+        Self {
+            x: vec![0.0; design.num_cells()],
+            y: vec![0.0; design.num_cells()],
+        }
+    }
+
+    /// Creates a placement from raw coordinate vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn from_coords(x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "coordinate vectors must match");
+        Self { x, y }
+    }
+
+    /// Number of cells covered.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the placement is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Lower-left position of a cell.
+    pub fn get(&self, cell: CellId) -> (f64, f64) {
+        (self.x[cell.index()], self.y[cell.index()])
+    }
+
+    /// Sets the lower-left position of a cell.
+    pub fn set(&mut self, cell: CellId, x: f64, y: f64) {
+        self.x[cell.index()] = x;
+        self.y[cell.index()] = y;
+    }
+
+    /// Raw x coordinates (cell order).
+    pub fn xs(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Raw y coordinates (cell order).
+    pub fn ys(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Mutable raw x coordinates.
+    pub fn xs_mut(&mut self) -> &mut [f64] {
+        &mut self.x
+    }
+
+    /// Mutable raw y coordinates.
+    pub fn ys_mut(&mut self) -> &mut [f64] {
+        &mut self.y
+    }
+
+    /// Center position of a cell given its master footprint.
+    pub fn cell_center(&self, design: &Design, cell: CellId) -> (f64, f64) {
+        let ty = design.cell_type(cell);
+        (
+            self.x[cell.index()] + ty.width / 2.0,
+            self.y[cell.index()] + ty.height / 2.0,
+        )
+    }
+
+    /// Absolute position of a pin: cell origin plus the master pin offset.
+    pub fn pin_position(&self, design: &Design, pin: PinId) -> (f64, f64) {
+        let p = design.pin(pin);
+        let spec = design.pin_spec(pin);
+        (
+            self.x[p.cell.index()] + spec.dx,
+            self.y[p.cell.index()] + spec.dy,
+        )
+    }
+
+    /// Exact half-perimeter wirelength of one net.
+    pub fn net_hpwl(&self, design: &Design, net: NetId) -> f64 {
+        let pins = &design.net(net).pins;
+        if pins.len() < 2 {
+            return 0.0;
+        }
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &p in pins {
+            let (px, py) = self.pin_position(design, p);
+            min_x = min_x.min(px);
+            max_x = max_x.max(px);
+            min_y = min_y.min(py);
+            max_y = max_y.max(py);
+        }
+        (max_x - min_x) + (max_y - min_y)
+    }
+
+    /// Exact total half-perimeter wirelength over all nets.
+    pub fn total_hpwl(&self, design: &Design) -> f64 {
+        design.net_ids().map(|n| self.net_hpwl(design, n)).sum()
+    }
+
+    /// Manhattan distance between two pins.
+    pub fn pin_manhattan(&self, design: &Design, a: PinId, b: PinId) -> f64 {
+        let (ax, ay) = self.pin_position(design, a);
+        let (bx, by) = self.pin_position(design, b);
+        (ax - bx).abs() + (ay - by).abs()
+    }
+
+    /// Euclidean distance between two pins.
+    pub fn pin_euclidean(&self, design: &Design, a: PinId, b: PinId) -> f64 {
+        let (ax, ay) = self.pin_position(design, a);
+        let (bx, by) = self.pin_position(design, b);
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Clamps every movable cell inside the die (fixed cells untouched).
+    pub fn clamp_to_die(&mut self, design: &Design) {
+        let die = design.die();
+        for cell in design.cell_ids() {
+            if design.cell(cell).fixed {
+                continue;
+            }
+            let ty = design.cell_type(cell);
+            let i = cell.index();
+            self.x[i] = self.x[i].clamp(die.lx, (die.ux - ty.width).max(die.lx));
+            self.y[i] = self.y[i].clamp(die.ly, (die.uy - ty.height).max(die.ly));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{DesignBuilder, Rect};
+    use crate::library::CellLibrary;
+
+    fn two_inv_design() -> (Design, CellId, CellId) {
+        let mut b = DesignBuilder::new(
+            "t",
+            CellLibrary::standard(),
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            10.0,
+        );
+        let pi = b.add_fixed_cell("pi", "IOPAD_IN", 0.0, 50.0).unwrap();
+        let u1 = b.add_cell("u1", "INV_X1").unwrap();
+        let u2 = b.add_cell("u2", "INV_X1").unwrap();
+        let po = b.add_fixed_cell("po", "IOPAD_OUT", 96.0, 50.0).unwrap();
+        b.add_net("n0", &[(pi, "PAD"), (u1, "A")]).unwrap();
+        b.add_net("n1", &[(u1, "Y"), (u2, "A")]).unwrap();
+        b.add_net("n2", &[(u2, "Y"), (po, "PAD")]).unwrap();
+        (b.finish().unwrap(), u1, u2)
+    }
+
+    #[test]
+    fn pin_positions_include_offsets() {
+        let (d, u1, _) = two_inv_design();
+        let mut p = Placement::new(&d);
+        p.set(u1, 10.0, 20.0);
+        let a = d.cell(u1).pins[0];
+        let y = d.cell(u1).pins[1];
+        assert_eq!(p.pin_position(&d, a), (10.0, 25.0)); // A at (0, h/2)
+        assert_eq!(p.pin_position(&d, y), (12.0, 25.0)); // Y at (w, h/2)
+    }
+
+    #[test]
+    fn hpwl_matches_hand_computation() {
+        let (d, u1, u2) = two_inv_design();
+        let mut p = Placement::new(&d);
+        // pi fixed at (0,50), po at (96,50); pads PAD offset (2, 5).
+        p.set(d.find_cell("pi").unwrap(), 0.0, 50.0);
+        p.set(d.find_cell("po").unwrap(), 96.0, 50.0);
+        p.set(u1, 30.0, 50.0);
+        p.set(u2, 60.0, 50.0);
+        // n0: pi PAD (2,55) -> u1 A (30,55): HPWL 28.
+        let n0 = d.net(crate::ids::NetId::new(0));
+        assert_eq!(n0.name, "n0");
+        assert!((p.net_hpwl(&d, crate::ids::NetId::new(0)) - 28.0).abs() < 1e-12);
+        // Total is the sum of per-net values.
+        let total: f64 = d.net_ids().map(|n| p.net_hpwl(&d, n)).sum();
+        assert!((p.total_hpwl(&d) - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances_are_consistent() {
+        let (d, u1, u2) = two_inv_design();
+        let mut p = Placement::new(&d);
+        p.set(u1, 0.0, 0.0);
+        p.set(u2, 30.0, 40.0);
+        let y1 = d.cell(u1).pins[1];
+        let a2 = d.cell(u2).pins[0];
+        let man = p.pin_manhattan(&d, y1, a2);
+        let euc = p.pin_euclidean(&d, y1, a2);
+        assert!(euc <= man + 1e-12);
+        assert!(euc >= man / std::f64::consts::SQRT_2 - 1e-12);
+    }
+
+    #[test]
+    fn clamp_keeps_cells_inside() {
+        let (d, u1, _) = two_inv_design();
+        let mut p = Placement::new(&d);
+        p.set(u1, -50.0, 1e6);
+        p.clamp_to_die(&d);
+        let (x, y) = p.get(u1);
+        let ty = d.cell_type(u1);
+        assert!(x >= 0.0 && x + ty.width <= 100.0);
+        assert!(y >= 0.0 && y + ty.height <= 100.0);
+        // Fixed cells are not clamped.
+        let po = d.find_cell("po").unwrap();
+        p.set(po, -5.0, -5.0);
+        p.clamp_to_die(&d);
+        assert_eq!(p.get(po), (-5.0, -5.0));
+    }
+}

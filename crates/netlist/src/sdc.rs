@@ -1,0 +1,97 @@
+//! Timing constraints (an SDC subset).
+//!
+//! Only the constraints the ICCAD-2015 flow uses are modeled: a single
+//! clock, default input arrival times at primary inputs, and default output
+//! required times at primary outputs, with optional per-cell overrides keyed
+//! by the IO pad cell.
+
+use crate::ids::CellId;
+use std::collections::HashMap;
+
+/// Timing constraints for a design.
+///
+/// All times share the delay unit of the cell library (picosecond-like).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sdc {
+    /// Clock period; setup checks compare data arrival against this.
+    pub clock_period: f64,
+    /// Default arrival time at primary inputs.
+    pub input_arrival: f64,
+    /// Default extra margin subtracted at primary outputs (output delay).
+    pub output_delay: f64,
+    overrides_arrival: HashMap<CellId, f64>,
+    overrides_output: HashMap<CellId, f64>,
+}
+
+impl Default for Sdc {
+    fn default() -> Self {
+        Self {
+            clock_period: 1000.0,
+            input_arrival: 0.0,
+            output_delay: 0.0,
+            overrides_arrival: HashMap::new(),
+            overrides_output: HashMap::new(),
+        }
+    }
+}
+
+impl Sdc {
+    /// Creates constraints with the given clock period and zero IO delays.
+    pub fn new(clock_period: f64) -> Self {
+        Self {
+            clock_period,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the arrival time at one primary-input pad.
+    pub fn set_input_arrival(&mut self, pad: CellId, arrival: f64) {
+        self.overrides_arrival.insert(pad, arrival);
+    }
+
+    /// Overrides the output delay at one primary-output pad.
+    pub fn set_output_delay(&mut self, pad: CellId, delay: f64) {
+        self.overrides_output.insert(pad, delay);
+    }
+
+    /// Arrival time at a primary-input pad.
+    pub fn arrival_at(&self, pad: CellId) -> f64 {
+        self.overrides_arrival
+            .get(&pad)
+            .copied()
+            .unwrap_or(self.input_arrival)
+    }
+
+    /// Output delay at a primary-output pad.
+    pub fn output_delay_at(&self, pad: CellId) -> f64 {
+        self.overrides_output
+            .get(&pad)
+            .copied()
+            .unwrap_or(self.output_delay)
+    }
+
+    /// Required time at a primary output: `clock_period - output_delay`.
+    pub fn required_at_output(&self, pad: CellId) -> f64 {
+        self.clock_period - self.output_delay_at(pad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_overrides() {
+        let mut sdc = Sdc::new(500.0);
+        assert_eq!(sdc.clock_period, 500.0);
+        let pad = CellId::new(3);
+        assert_eq!(sdc.arrival_at(pad), 0.0);
+        assert_eq!(sdc.required_at_output(pad), 500.0);
+        sdc.set_input_arrival(pad, 20.0);
+        sdc.set_output_delay(pad, 30.0);
+        assert_eq!(sdc.arrival_at(pad), 20.0);
+        assert_eq!(sdc.required_at_output(pad), 470.0);
+        // Other pads keep the defaults.
+        assert_eq!(sdc.arrival_at(CellId::new(4)), 0.0);
+    }
+}

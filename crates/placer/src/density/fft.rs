@@ -1,0 +1,298 @@
+//! Minimal spectral kernels: radix-2 FFT, DCT-II/III and the shifted sine
+//! transform the ePlace Poisson solver needs.
+//!
+//! Conventions (N = transform length, a power of two):
+//!
+//! * `dct2(x)[k]  = Σ_n x[n]·cos(πk(2n+1)/2N)` — forward DCT-II.
+//! * `idct(X)[n] = (2/N)·Σ_k α_k·X[k]·cos(πk(2n+1)/2N)`, α₀ = ½, αₖ = 1 —
+//!   the exact inverse: `idct(dct2(x)) == x`.
+//! * `idxst(X)[n] = (2/N)·Σ_k X[k]·sin(πk(2n+1)/2N)` — inverse shifted DST,
+//!   computed through `idct` via the identity
+//!   `sin(πu(2n+1)/2N) = (−1)ⁿ·cos(π(N−u)(2n+1)/2N)`.
+
+use std::f64::consts::PI;
+
+/// In-place iterative radix-2 complex FFT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two or the parts differ in length.
+pub fn fft(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im length mismatch");
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut cur_r = 1.0;
+            let mut cur_i = 0.0;
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = start + k + len / 2;
+                let tr = re[b] * cur_r - im[b] * cur_i;
+                let ti = re[b] * cur_i + im[b] * cur_r;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let next_r = cur_r * wr - cur_i * wi;
+                cur_i = cur_r * wi + cur_i * wr;
+                cur_r = next_r;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Inverse complex FFT (scaled by 1/N).
+pub fn ifft(re: &mut [f64], im: &mut [f64]) {
+    for v in im.iter_mut() {
+        *v = -*v;
+    }
+    fft(re, im);
+    let n = re.len() as f64;
+    for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+        *r /= n;
+        *i = -*i / n;
+    }
+}
+
+/// Forward DCT-II via Makhoul's single-FFT reordering. O(N log N).
+pub fn dct2(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "DCT length must be a power of two");
+    if n == 1 {
+        return vec![x[0]];
+    }
+    // v[k] = x[2k], v[N-1-k] = x[2k+1].
+    let mut re = vec![0.0; n];
+    let mut im = vec![0.0; n];
+    for k in 0..n / 2 {
+        re[k] = x[2 * k];
+        re[n - 1 - k] = x[2 * k + 1];
+    }
+    fft(&mut re, &mut im);
+    let mut out = vec![0.0; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let ang = -PI * k as f64 / (2.0 * n as f64);
+        *o = re[k] * ang.cos() - im[k] * ang.sin();
+    }
+    out
+}
+
+/// Inverse of [`dct2`] (a scaled DCT-III): `idct(dct2(x)) == x`.
+pub fn idct(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "DCT length must be a power of two");
+    if n == 1 {
+        return vec![x[0]];
+    }
+    // Invert Makhoul's post-processing, run an inverse FFT, then undo the
+    // even/odd reordering.
+    let mut re = vec![0.0; n];
+    let mut im = vec![0.0; n];
+    // V[k] = (X[k] - i·X[N-k]) · exp(iπk/2N), with X[N] ≡ 0 for k = 0.
+    for k in 0..n {
+        let xk = x[k];
+        let xnk = if k == 0 { 0.0 } else { x[n - k] };
+        let ang = PI * k as f64 / (2.0 * n as f64);
+        let (c, s) = (ang.cos(), ang.sin());
+        re[k] = xk * c + xnk * s;
+        im[k] = -xnk * c + xk * s;
+    }
+    ifft(&mut re, &mut im);
+    // The IFFT's 1/N factor already supplies the inverse normalization:
+    // for X = dct2(x) this reproduces x exactly, which equals the 2/N,
+    // alpha_0 = 1/2 convention by linearity.
+    let mut out = vec![0.0; n];
+    for k in 0..n / 2 {
+        out[2 * k] = re[k];
+        out[2 * k + 1] = re[n - 1 - k];
+    }
+    out
+}
+
+/// Inverse shifted discrete sine transform:
+/// `idxst(X)[n] = (2/N)·Σ_{k=0}^{N−1} X[k]·sin(πk(2n+1)/2N)`.
+///
+/// Used for the electric-field reconstruction: differentiating the cosine
+/// series of the potential produces a sine series.
+pub fn idxst(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    // Map to an IDCT with reversed coefficients: the u-th sine basis equals
+    // (−1)ⁿ times the (N−u)-th cosine basis.
+    let mut d = vec![0.0; n];
+    for k in 1..n {
+        d[k] = x[n - k];
+    }
+    // The α₀ = ½ convention in `idct` would halve d[0]; d[0] = 0 so the
+    // mapping is exact.
+    let mut out = idct(&d);
+    for (i, v) in out.iter_mut().enumerate() {
+        if i % 2 == 1 {
+            *v = -*v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dct2(x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                x.iter()
+                    .enumerate()
+                    .map(|(i, &v)| v * (PI * k as f64 * (2 * i + 1) as f64 / (2.0 * n as f64)).cos())
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn naive_idct(x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|i| {
+                (2.0 / n as f64)
+                    * x.iter()
+                        .enumerate()
+                        .map(|(k, &v)| {
+                            let alpha = if k == 0 { 0.5 } else { 1.0 };
+                            alpha * v * (PI * k as f64 * (2 * i + 1) as f64 / (2.0 * n as f64)).cos()
+                        })
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+
+    fn naive_idxst(x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|i| {
+                (2.0 / n as f64)
+                    * x.iter()
+                        .enumerate()
+                        .map(|(k, &v)| {
+                            v * (PI * k as f64 * (2 * i + 1) as f64 / (2.0 * n as f64)).sin()
+                        })
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<f64> {
+        // xorshift-based deterministic data, no external deps.
+        let mut s = seed.max(1);
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 10_000) as f64 / 1_000.0 - 5.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let n = 16;
+        let xr = pseudo_random(n, 7);
+        let xi = pseudo_random(n, 11);
+        let mut re = xr.clone();
+        let mut im = xi.clone();
+        fft(&mut re, &mut im);
+        for k in 0..n {
+            let mut sr = 0.0;
+            let mut si = 0.0;
+            for t in 0..n {
+                let ang = -2.0 * PI * (k * t) as f64 / n as f64;
+                sr += xr[t] * ang.cos() - xi[t] * ang.sin();
+                si += xr[t] * ang.sin() + xi[t] * ang.cos();
+            }
+            assert!((re[k] - sr).abs() < 1e-8, "re[{k}]");
+            assert!((im[k] - si).abs() < 1e-8, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        for n in [2usize, 8, 64] {
+            let xr = pseudo_random(n, 3);
+            let xi = pseudo_random(n, 5);
+            let mut re = xr.clone();
+            let mut im = xi.clone();
+            fft(&mut re, &mut im);
+            ifft(&mut re, &mut im);
+            for i in 0..n {
+                assert!((re[i] - xr[i]).abs() < 1e-9);
+                assert!((im[i] - xi[i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dct2_matches_naive() {
+        for n in [2usize, 4, 32] {
+            let x = pseudo_random(n, 13);
+            let fast = dct2(&x);
+            let slow = naive_dct2(&x);
+            for i in 0..n {
+                assert!((fast[i] - slow[i]).abs() < 1e-8, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn idct_matches_naive_and_inverts() {
+        for n in [2usize, 8, 64] {
+            let x = pseudo_random(n, 17);
+            let fast = idct(&x);
+            let slow = naive_idct(&x);
+            for i in 0..n {
+                assert!((fast[i] - slow[i]).abs() < 1e-8, "n={n} i={i}");
+            }
+            let round = idct(&dct2(&x));
+            for i in 0..n {
+                assert!((round[i] - x[i]).abs() < 1e-8, "round-trip n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn idxst_matches_naive() {
+        for n in [2usize, 8, 32] {
+            let x = pseudo_random(n, 23);
+            let fast = idxst(&x);
+            let slow = naive_idxst(&x);
+            for i in 0..n {
+                assert!((fast[i] - slow[i]).abs() < 1e-8, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut re = vec![0.0; 6];
+        let mut im = vec![0.0; 6];
+        fft(&mut re, &mut im);
+    }
+}

@@ -1,0 +1,546 @@
+//! The global placement driver.
+//!
+//! [`GlobalPlacer`] minimizes `Σ_e w_e·WL_e + λ·D` (Eq. 1/5) with Nesterov
+//! descent, growing λ each iteration until the density overflow target is
+//! met — the ePlace/DREAMPlace recipe. A [`TimingObjective`] can inject
+//! extra gradient terms and per-net weights; that is the hook the
+//! `tdp-core` crate uses to add the pin-to-pin attraction of Eq. 6.
+
+use crate::density::ElectrostaticDensity;
+use crate::optim::{NesterovOptimizer, OptimizerKind};
+use crate::wirelength::WaWirelength;
+use netlist::{CellId, Design, Placement};
+
+/// Extension point for timing-driven terms in the objective.
+///
+/// The engine calls the methods in this order every iteration:
+/// 1. [`TimingObjective::begin_iteration`] with the current major solution;
+/// 2. [`TimingObjective::net_weights`] when building the wirelength
+///    gradient;
+/// 3. [`TimingObjective::accumulate_gradient`] with the lookahead solution
+///    to add extra gradient terms.
+pub trait TimingObjective {
+    /// Observes the solution at the start of iteration `iter`; a good place
+    /// to run STA every m-th iteration.
+    fn begin_iteration(&mut self, iter: usize, design: &Design, placement: &Placement);
+
+    /// Multiplicative per-net wirelength weights; return `None` for all-ones.
+    fn net_weights(&mut self, design: &Design) -> Option<&[f64]>;
+
+    /// Adds gradient contributions at the gradient query point; returns the
+    /// added loss value (for the trace).
+    fn accumulate_gradient(
+        &mut self,
+        design: &Design,
+        placement: &Placement,
+        grad_x: &mut [f64],
+        grad_y: &mut [f64],
+    ) -> f64;
+}
+
+/// The identity objective: plain wirelength-driven placement (DREAMPlace).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTimingObjective;
+
+impl TimingObjective for NoTimingObjective {
+    fn begin_iteration(&mut self, _iter: usize, _design: &Design, _placement: &Placement) {}
+    fn net_weights(&mut self, _design: &Design) -> Option<&[f64]> {
+        None
+    }
+    fn accumulate_gradient(
+        &mut self,
+        _design: &Design,
+        _placement: &Placement,
+        _grad_x: &mut [f64],
+        _grad_y: &mut [f64],
+    ) -> f64 {
+        0.0
+    }
+}
+
+/// Global placer hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacerConfig {
+    /// Density grid dimension (bins per axis, power of two).
+    pub grid: usize,
+    /// Allowed bin fill ratio (ePlace target density).
+    pub target_density: f64,
+    /// WA smoothing as a multiple of the bin dimension.
+    pub gamma_factor: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Do not stop before this many iterations even if overflow is met.
+    pub min_iterations: usize,
+    /// Stop once overflow falls below this value (after `min_iterations`).
+    pub stop_overflow: f64,
+    /// Multiplier applied to λ every iteration.
+    pub lambda_mult: f64,
+    /// Scale on the initial λ balance.
+    pub lambda_init_factor: f64,
+    /// Update rule.
+    pub optimizer: OptimizerKind,
+    /// Initial optimizer step (placement units); BB adapts it afterwards.
+    pub initial_step: f64,
+    /// RNG seed for the initial cell spreading.
+    pub seed: u64,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        Self {
+            grid: 32,
+            target_density: 1.0,
+            gamma_factor: 4.0,
+            max_iterations: 1000,
+            min_iterations: 100,
+            stop_overflow: 0.07,
+            lambda_mult: 1.05,
+            lambda_init_factor: 1.0,
+            optimizer: OptimizerKind::Nesterov,
+            initial_step: 1.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Per-iteration trace entry (drives the Fig. 5 curves).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationStats {
+    /// Iteration index (0-based).
+    pub iter: usize,
+    /// Exact HPWL of the major solution.
+    pub hpwl: f64,
+    /// Density overflow of the major solution.
+    pub overflow: f64,
+    /// Current density multiplier λ.
+    pub lambda: f64,
+    /// Extra (timing) loss reported by the objective.
+    pub timing_loss: f64,
+}
+
+/// Output of a placement run.
+#[derive(Debug, Clone)]
+pub struct PlaceResult {
+    /// Final (global, not legalized) placement.
+    pub placement: Placement,
+    /// Exact HPWL of the final placement.
+    pub hpwl: f64,
+    /// Final density overflow.
+    pub overflow: f64,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Per-iteration statistics.
+    pub trace: Vec<IterationStats>,
+}
+
+/// The nonlinear global placement engine.
+#[derive(Debug)]
+pub struct GlobalPlacer {
+    config: PlacerConfig,
+    /// Current placement (fixed cells keep their seed positions).
+    placement: Placement,
+    movable: Vec<CellId>,
+    density: ElectrostaticDensity,
+    /// Per-cell pin counts (wirelength preconditioner).
+    pin_counts: Vec<f64>,
+    lambda: f64,
+}
+
+impl GlobalPlacer {
+    /// Creates an engine. `initial` must hold the fixed-cell positions;
+    /// movable cells are (re)initialized near the die center with a
+    /// deterministic jitter derived from `config.seed`.
+    pub fn new(design: &Design, initial: Placement, config: PlacerConfig) -> Self {
+        let mut placement = initial;
+        let die = design.die();
+        let (cx, cy) = (
+            die.lx + die.width() / 2.0,
+            die.ly + die.height() / 2.0,
+        );
+        let mut rng = SplitMix::new(config.seed);
+        let movable: Vec<CellId> = design
+            .cell_ids()
+            .filter(|&c| !design.cell(c).fixed)
+            .collect();
+        for &c in &movable {
+            let jx = (rng.next_f64() - 0.5) * die.width() * 0.2;
+            let jy = (rng.next_f64() - 0.5) * die.height() * 0.2;
+            let ty = design.cell_type(c);
+            placement.set(c, cx - ty.width / 2.0 + jx, cy - ty.height / 2.0 + jy);
+        }
+        placement.clamp_to_die(design);
+        let density = ElectrostaticDensity::new(
+            design,
+            &placement,
+            config.grid,
+            config.grid,
+            config.target_density,
+        );
+        let mut pin_counts = vec![0.0; design.num_cells()];
+        for pin in design.pin_ids() {
+            pin_counts[design.pin(pin).cell.index()] += 1.0;
+        }
+        Self {
+            config,
+            placement,
+            movable,
+            density,
+            pin_counts,
+            lambda: 0.0,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &PlacerConfig {
+        &self.config
+    }
+
+    /// Runs wirelength-driven placement (no timing terms).
+    pub fn run(&mut self, design: &Design) -> PlaceResult {
+        self.run_with(design, &mut NoTimingObjective)
+    }
+
+    /// Runs placement with a timing objective plugged in.
+    pub fn run_with(
+        &mut self,
+        design: &Design,
+        timing: &mut dyn TimingObjective,
+    ) -> PlaceResult {
+        let n = self.movable.len();
+        let die = design.die();
+        let bin = (self.density.grid().bin_w() + self.density.grid().bin_h()) / 2.0;
+        let base_gamma = self.config.gamma_factor * bin;
+
+        // Flatten movable coordinates into the optimizer vector [xs, ys].
+        let mut x0 = Vec::with_capacity(2 * n);
+        for &c in &self.movable {
+            x0.push(self.placement.get(c).0);
+        }
+        for &c in &self.movable {
+            x0.push(self.placement.get(c).1);
+        }
+        let mut opt = NesterovOptimizer::new(self.config.optimizer, x0, self.config.initial_step);
+        // Trust region: never move a cell more than one bin per iteration.
+        opt.set_max_move(bin.max(1.0));
+
+        let mut grad_x = vec![0.0; design.num_cells()];
+        let mut grad_y = vec![0.0; design.num_cells()];
+        let mut flat_grad = vec![0.0; 2 * n];
+        let mut trace = Vec::new();
+        let mut scratch = self.placement.clone();
+        let mut iterations = 0;
+
+        for iter in 0..self.config.max_iterations {
+            iterations = iter + 1;
+            // Publish the major solution.
+            self.write_solution(design, opt.solution());
+            timing.begin_iteration(iter, design, &self.placement);
+
+            // Evaluate gradients at the lookahead point.
+            Self::fill_placement(&self.movable, opt.query_point(), &mut scratch);
+            scratch.clamp_to_die(design);
+
+            let overflow = {
+                self.density.update(design, &scratch);
+                self.density.overflow(design)
+            };
+            // DREAMPlace-style γ annealing: smooth while unspread, sharp at
+            // convergence.
+            let gamma = base_gamma * 10.0f64.powf(2.0 * overflow - 1.0);
+            let wl = WaWirelength::new(gamma.max(1e-3));
+
+            grad_x.iter_mut().for_each(|g| *g = 0.0);
+            grad_y.iter_mut().for_each(|g| *g = 0.0);
+            let weights = timing.net_weights(design).map(|w| w.to_vec());
+            let weights_slice: &[f64] = weights.as_deref().unwrap_or(&[]);
+            wl.accumulate_gradient(design, &scratch, weights_slice, &mut grad_x, &mut grad_y);
+
+            if self.lambda == 0.0 {
+                // ePlace λ₀: balance the two gradient field magnitudes.
+                let wl_norm: f64 = self
+                    .movable
+                    .iter()
+                    .map(|&c| grad_x[c.index()].abs() + grad_y[c.index()].abs())
+                    .sum();
+                let mut dx = vec![0.0; design.num_cells()];
+                let mut dy = vec![0.0; design.num_cells()];
+                self.density
+                    .accumulate_gradient(design, &scratch, 1.0, &mut dx, &mut dy);
+                let d_norm: f64 = self
+                    .movable
+                    .iter()
+                    .map(|&c| dx[c.index()].abs() + dy[c.index()].abs())
+                    .sum();
+                self.lambda = if d_norm > 0.0 {
+                    self.config.lambda_init_factor * wl_norm / d_norm
+                } else {
+                    1e-4
+                };
+            }
+            self.density.accumulate_gradient(
+                design,
+                &scratch,
+                self.lambda,
+                &mut grad_x,
+                &mut grad_y,
+            );
+            let timing_loss = timing.accumulate_gradient(design, &scratch, &mut grad_x, &mut grad_y);
+
+            // Jacobi preconditioning: normalize by pin count + λ·area.
+            for (k, &c) in self.movable.iter().enumerate() {
+                let i = c.index();
+                let area = design.cell_type(c).area();
+                let h = (self.pin_counts[i] + self.lambda * area).max(1.0);
+                flat_grad[k] = grad_x[i] / h;
+                flat_grad[n + k] = grad_y[i] / h;
+            }
+            opt.step(&flat_grad);
+
+            // Clamp the major solution into the die.
+            {
+                let sol = opt.solution_mut();
+                for (k, &c) in self.movable.iter().enumerate() {
+                    let ty = design.cell_type(c);
+                    sol[k] = sol[k].clamp(die.lx, (die.ux - ty.width).max(die.lx));
+                    sol[n + k] =
+                        sol[n + k].clamp(die.ly, (die.uy - ty.height).max(die.ly));
+                }
+            }
+
+            self.write_solution(design, opt.solution());
+            let hpwl = self.placement.total_hpwl(design);
+            trace.push(IterationStats {
+                iter,
+                hpwl,
+                overflow,
+                lambda: self.lambda,
+                timing_loss,
+            });
+
+            // Grow the density multiplier only while the overflow target is
+            // unmet; afterwards hold it, so extended (timing) iterations
+            // refine a stable placement instead of fighting a runaway
+            // density force.
+            if overflow > self.config.stop_overflow {
+                self.lambda *= self.config.lambda_mult;
+            }
+            if overflow < self.config.stop_overflow && iter + 1 >= self.config.min_iterations {
+                break;
+            }
+        }
+
+        self.write_solution(design, opt.solution());
+        self.density.update(design, &self.placement);
+        PlaceResult {
+            placement: self.placement.clone(),
+            hpwl: self.placement.total_hpwl(design),
+            overflow: self.density.overflow(design),
+            iterations,
+            trace,
+        }
+    }
+
+    /// Copies the optimizer vector into the engine placement.
+    fn write_solution(&mut self, design: &Design, sol: &[f64]) {
+        Self::fill_placement(&self.movable, sol, &mut self.placement);
+        let _ = design;
+    }
+
+    fn fill_placement(movable: &[CellId], sol: &[f64], placement: &mut Placement) {
+        let n = movable.len();
+        for (k, &c) in movable.iter().enumerate() {
+            placement.set(c, sol[k], sol[n + k]);
+        }
+    }
+
+    /// The current placement (fixed positions plus the latest solution).
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+}
+
+/// SplitMix64: tiny deterministic RNG for the initial jitter.
+#[derive(Debug, Clone)]
+struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legalize::{abacus_legalize, check_legal};
+    use netlist::{CellLibrary, DesignBuilder, Rect};
+
+    /// A grid of small combinational clusters between IO pads — enough
+    /// structure for the placer to have something to optimize.
+    fn mesh_design(chains: usize, chain_len: usize) -> (netlist::Design, Placement) {
+        let die = 256.0;
+        let mut b = DesignBuilder::new(
+            "mesh",
+            CellLibrary::standard(),
+            Rect::new(0.0, 0.0, die, die),
+            10.0,
+        );
+        let mut fixed = Vec::new();
+        for i in 0..chains {
+            let frac = (i as f64 + 0.5) / chains as f64;
+            let pi = b
+                .add_fixed_cell(&format!("pi{i}"), "IOPAD_IN", 0.0, frac * (die - 10.0))
+                .unwrap();
+            fixed.push((pi, 0.0, frac * (die - 10.0)));
+            let mut prev = pi;
+            let mut pin = "PAD".to_string();
+            for j in 0..chain_len {
+                let c = b.add_cell(&format!("u{i}_{j}"), "INV_X1").unwrap();
+                b.add_net(&format!("n{i}_{j}"), &[(prev, pin.as_str()), (c, "A")])
+                    .unwrap();
+                prev = c;
+                pin = "Y".to_string();
+            }
+            let po = b
+                .add_fixed_cell(
+                    &format!("po{i}"),
+                    "IOPAD_OUT",
+                    die - 4.0,
+                    frac * (die - 10.0),
+                )
+                .unwrap();
+            fixed.push((po, die - 4.0, frac * (die - 10.0)));
+            b.add_net(&format!("ne{i}"), &[(prev, pin.as_str()), (po, "PAD")])
+                .unwrap();
+        }
+        let d = b.finish().unwrap();
+        let mut p = Placement::new(&d);
+        for (c, x, y) in fixed {
+            p.set(c, x, y);
+        }
+        (d, p)
+    }
+
+    #[test]
+    fn placement_reduces_overflow_and_spreads_cells() {
+        let (d, init) = mesh_design(8, 12);
+        let config = PlacerConfig {
+            max_iterations: 300,
+            min_iterations: 30,
+            ..Default::default()
+        };
+        let mut placer = GlobalPlacer::new(&d, init, config);
+        let result = placer.run(&d);
+        assert!(
+            result.overflow < 0.2,
+            "final overflow too high: {}",
+            result.overflow
+        );
+        // Overflow must broadly decrease from start to finish.
+        let first = result.trace.first().unwrap().overflow;
+        assert!(result.overflow < first, "no spreading happened");
+    }
+
+    #[test]
+    fn placement_is_deterministic_for_fixed_seed() {
+        let (d, init) = mesh_design(4, 8);
+        let config = PlacerConfig {
+            max_iterations: 50,
+            min_iterations: 10,
+            ..Default::default()
+        };
+        let r1 = GlobalPlacer::new(&d, init.clone(), config).run(&d);
+        let r2 = GlobalPlacer::new(&d, init, config).run(&d);
+        assert_eq!(r1.hpwl, r2.hpwl);
+        for c in d.cell_ids() {
+            assert_eq!(r1.placement.get(c), r2.placement.get(c));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_initializations() {
+        let (d, init) = mesh_design(4, 8);
+        let c1 = PlacerConfig {
+            seed: 1,
+            ..Default::default()
+        };
+        let c2 = PlacerConfig {
+            seed: 2,
+            ..Default::default()
+        };
+        let p1 = GlobalPlacer::new(&d, init.clone(), c1);
+        let p2 = GlobalPlacer::new(&d, init, c2);
+        let movable = d.cell_ids().find(|&c| !d.cell(c).fixed).unwrap();
+        assert_ne!(p1.placement().get(movable), p2.placement().get(movable));
+    }
+
+    #[test]
+    fn result_legalizes_cleanly() {
+        let (d, init) = mesh_design(6, 10);
+        let config = PlacerConfig {
+            max_iterations: 200,
+            min_iterations: 20,
+            ..Default::default()
+        };
+        let mut placer = GlobalPlacer::new(&d, init, config);
+        let mut result = placer.run(&d);
+        abacus_legalize(&d, &mut result.placement);
+        check_legal(&d, &result.placement).unwrap();
+    }
+
+    #[test]
+    fn timing_objective_hooks_are_called() {
+        #[derive(Default)]
+        struct Probe {
+            begins: usize,
+            grads: usize,
+        }
+        impl TimingObjective for Probe {
+            fn begin_iteration(&mut self, _i: usize, _d: &Design, _p: &Placement) {
+                self.begins += 1;
+            }
+            fn net_weights(&mut self, _d: &Design) -> Option<&[f64]> {
+                None
+            }
+            fn accumulate_gradient(
+                &mut self,
+                _d: &Design,
+                _p: &Placement,
+                _gx: &mut [f64],
+                _gy: &mut [f64],
+            ) -> f64 {
+                self.grads += 1;
+                1.25
+            }
+        }
+        let (d, init) = mesh_design(2, 4);
+        let config = PlacerConfig {
+            max_iterations: 5,
+            min_iterations: 1,
+            stop_overflow: -1.0, // never stop early
+            ..Default::default()
+        };
+        let mut placer = GlobalPlacer::new(&d, init, config);
+        let mut probe = Probe::default();
+        let result = placer.run_with(&d, &mut probe);
+        assert_eq!(probe.begins, 5);
+        assert_eq!(probe.grads, 5);
+        assert!(result.trace.iter().all(|t| t.timing_loss == 1.25));
+    }
+}

@@ -1,0 +1,494 @@
+//! Row legalization.
+//!
+//! [`abacus_legalize`] is the algorithm the paper's flow uses (Fig. 1):
+//! cells are processed left-to-right; each cell is inserted into the best
+//! nearby row, and within a row cells are packed by the Abacus cluster
+//! dynamic program, which minimizes total squared displacement subject to
+//! no overlap. [`tetris_legalize`] is a cruder greedy fallback used by
+//! tests as a displacement upper bound.
+
+use netlist::{CellId, Design, Placement};
+
+/// Displacement statistics reported by the legalizers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LegalizeStats {
+    /// Total Manhattan displacement over movable cells.
+    pub total_displacement: f64,
+    /// Largest single-cell Manhattan displacement.
+    pub max_displacement: f64,
+    /// Number of cells moved to a different row than their nearest.
+    pub row_spills: usize,
+}
+
+/// One Abacus cluster: a maximal group of touching cells in a row.
+#[derive(Debug, Clone)]
+struct Cluster {
+    /// Total weight (Abacus `e`): number of cells (unit weights).
+    e: f64,
+    /// Weighted target sum (Abacus `q`): Σ e_i (x_i' − offset_i).
+    q: f64,
+    /// Total width.
+    w: f64,
+    /// Optimal position (left edge).
+    x: f64,
+    /// First cell index in the row order covered by this cluster.
+    first: usize,
+}
+
+/// Per-row state during Abacus.
+#[derive(Debug, Clone)]
+struct RowState {
+    y: f64,
+    lx: f64,
+    ux: f64,
+    /// Cells placed in this row, in insertion (x-sorted) order.
+    cells: Vec<CellId>,
+    clusters: Vec<Cluster>,
+    used_width: f64,
+}
+
+impl RowState {
+    /// Trial-inserts `cell` (width `w`, target `x`) and returns the cost
+    /// and resulting x position without committing.
+    fn trial(&self, design: &Design, cell: CellId, target_x: f64) -> Option<(f64, f64)> {
+        let w = design.cell_type(cell).width;
+        if self.used_width + w > self.ux - self.lx {
+            return None;
+        }
+        let mut clusters = self.clusters.clone();
+        let x = Self::insert_into(&mut clusters, self.cells.len(), target_x, w, self.lx, self.ux);
+        Some(((x - target_x).abs(), x))
+    }
+
+    /// Commits the insertion, returning the legal x of the new cell.
+    fn insert(&mut self, design: &Design, cell: CellId, target_x: f64) -> f64 {
+        let w = design.cell_type(cell).width;
+        self.cells.push(cell);
+        self.used_width += w;
+        Self::insert_into(
+            &mut self.clusters,
+            self.cells.len() - 1,
+            target_x,
+            w,
+            self.lx,
+            self.ux,
+        )
+    }
+
+    /// Core Abacus collapse: appends a unit-weight cell with target
+    /// `target_x` and width `w`, merging clusters that overlap. Returns the
+    /// x position of the appended cell.
+    fn insert_into(
+        clusters: &mut Vec<Cluster>,
+        cell_index: usize,
+        target_x: f64,
+        w: f64,
+        row_lx: f64,
+        row_ux: f64,
+    ) -> f64 {
+        let mut c = Cluster {
+            e: 1.0,
+            q: target_x,
+            w,
+            x: target_x,
+            first: cell_index,
+        };
+        // Clamp the fresh cluster into the row.
+        c.x = c.x.clamp(row_lx, (row_ux - c.w).max(row_lx));
+        // Collapse while overlapping the previous cluster.
+        while let Some(prev) = clusters.last() {
+            if prev.x + prev.w > c.x {
+                let prev = clusters.pop().expect("just peeked");
+                // Merge previous cluster and c.
+                let merged = Cluster {
+                    e: prev.e + c.e,
+                    q: prev.q + c.q - c.e * prev.w,
+                    w: prev.w + c.w,
+                    x: 0.0,
+                    first: prev.first,
+                };
+                let mut m = merged;
+                m.x = (m.q / m.e).clamp(row_lx, (row_ux - m.w).max(row_lx));
+                c = m;
+            } else {
+                break;
+            }
+        }
+        let cell_x = c.x + c.w - w;
+        clusters.push(c);
+        cell_x
+    }
+
+    /// Final positions of all cells in the row after all insertions.
+    fn final_positions(&self, design: &Design) -> Vec<(CellId, f64)> {
+        let mut out = Vec::with_capacity(self.cells.len());
+        let mut cell_cursor = 0usize;
+        for cl in &self.clusters {
+            let mut x = cl.x;
+            // A cluster covers cells [cl.first ..) until the next cluster's
+            // first; reconstruct by walking widths.
+            let end = cl.first + Self::cluster_len(self, cl);
+            for idx in cl.first..end {
+                let cell = self.cells[idx];
+                out.push((cell, x));
+                x += design.cell_type(cell).width;
+                cell_cursor = idx + 1;
+            }
+        }
+        debug_assert_eq!(cell_cursor, self.cells.len());
+        out
+    }
+
+    fn cluster_len(&self, cl: &Cluster) -> usize {
+        // Determine the extent of a cluster by looking at the next one.
+        let next_first = self
+            .clusters
+            .iter()
+            .map(|c| c.first)
+            .filter(|&f| f > cl.first)
+            .min()
+            .unwrap_or(self.cells.len());
+        next_first - cl.first
+    }
+}
+
+/// Abacus legalization: snaps every movable cell onto rows without overlap,
+/// minimizing squared displacement within each row. Fixed cells are left in
+/// place (assumed off-row or pre-legal).
+///
+/// Returns the statistics; `placement` is updated in place.
+pub fn abacus_legalize(design: &Design, placement: &mut Placement) -> LegalizeStats {
+    let rows = design.rows();
+    assert!(!rows.is_empty(), "design has no rows");
+    let mut states: Vec<RowState> = rows
+        .iter()
+        .map(|r| RowState {
+            y: r.y,
+            lx: r.lx,
+            ux: r.ux,
+            cells: Vec::new(),
+            clusters: Vec::new(),
+            used_width: 0.0,
+        })
+        .collect();
+
+    // Cells sorted by target x (the Abacus processing order).
+    let mut movable: Vec<CellId> = design
+        .cell_ids()
+        .filter(|&c| !design.cell(c).fixed)
+        .collect();
+    movable.sort_by(|&a, &b| {
+        placement
+            .get(a)
+            .0
+            .partial_cmp(&placement.get(b).0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let row_h = design.row_height();
+    let mut spills = 0usize;
+    for &cell in &movable {
+        let (tx, ty) = placement.get(cell);
+        // Nearest row index.
+        let nearest = (((ty - rows[0].y) / row_h).round() as isize)
+            .clamp(0, rows.len() as isize - 1) as usize;
+        // Search outward from the nearest row; stop when the row distance
+        // alone exceeds the best cost so far.
+        let mut best: Option<(f64, usize, f64)> = None;
+        for radius in 0..rows.len() {
+            let mut candidates = Vec::new();
+            if radius == 0 {
+                candidates.push(nearest);
+            } else {
+                if nearest >= radius {
+                    candidates.push(nearest - radius);
+                }
+                if nearest + radius < rows.len() {
+                    candidates.push(nearest + radius);
+                }
+                if candidates.is_empty() {
+                    break;
+                }
+            }
+            let y_penalty = radius as f64 * row_h;
+            if let Some((bc, _, _)) = best {
+                if y_penalty - row_h > bc {
+                    break;
+                }
+            }
+            for r in candidates {
+                let dy = (states[r].y - ty).abs();
+                if let Some((cost, x)) = states[r].trial(design, cell, tx) {
+                    let total = cost + dy;
+                    if best.map_or(true, |(bc, _, _)| total < bc) {
+                        best = Some((total, r, x));
+                    }
+                }
+            }
+        }
+        let (_, row, _) = best.expect("no row can accommodate the cell; die too full");
+        if row != nearest {
+            spills += 1;
+        }
+        states[row].insert(design, cell, tx);
+    }
+
+    // Write back final positions.
+    let mut total_disp = 0.0;
+    let mut max_disp: f64 = 0.0;
+    for st in &states {
+        for (cell, x) in st.final_positions(design) {
+            let (ox, oy) = placement.get(cell);
+            let d = (x - ox).abs() + (st.y - oy).abs();
+            total_disp += d;
+            max_disp = max_disp.max(d);
+            placement.set(cell, x, st.y);
+        }
+    }
+    LegalizeStats {
+        total_displacement: total_disp,
+        max_displacement: max_disp,
+        row_spills: spills,
+    }
+}
+
+/// Tetris-style greedy legalization: cells sorted by x take the leftmost
+/// free slot in the best row. Cruder than Abacus; kept as a baseline and a
+/// fallback for pathological inputs.
+pub fn tetris_legalize(design: &Design, placement: &mut Placement) -> LegalizeStats {
+    let rows = design.rows();
+    assert!(!rows.is_empty(), "design has no rows");
+    let mut frontier: Vec<f64> = rows.iter().map(|r| r.lx).collect();
+    let mut movable: Vec<CellId> = design
+        .cell_ids()
+        .filter(|&c| !design.cell(c).fixed)
+        .collect();
+    movable.sort_by(|&a, &b| {
+        placement
+            .get(a)
+            .0
+            .partial_cmp(&placement.get(b).0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut total_disp = 0.0;
+    let mut max_disp: f64 = 0.0;
+    let mut spills = 0usize;
+    let row_h = design.row_height();
+    for &cell in &movable {
+        let (tx, ty) = placement.get(cell);
+        let w = design.cell_type(cell).width;
+        let nearest = (((ty - rows[0].y) / row_h).round() as isize)
+            .clamp(0, rows.len() as isize - 1) as usize;
+        let mut best: Option<(f64, usize, f64)> = None;
+        for (r, row) in rows.iter().enumerate() {
+            if frontier[r] + w > row.ux {
+                continue;
+            }
+            let x = frontier[r].max(tx.min(row.ux - w));
+            let x = x.max(frontier[r]);
+            let cost = (x - tx).abs() + (row.y - ty).abs();
+            if best.map_or(true, |(bc, _, _)| cost < bc) {
+                best = Some((cost, r, x));
+            }
+        }
+        let (cost, r, x) = best.expect("no row can accommodate the cell");
+        if r != nearest {
+            spills += 1;
+        }
+        frontier[r] = x + w;
+        total_disp += cost;
+        max_disp = max_disp.max(cost);
+        placement.set(cell, x, rows[r].y);
+    }
+    LegalizeStats {
+        total_displacement: total_disp,
+        max_displacement: max_disp,
+        row_spills: spills,
+    }
+}
+
+/// Checks that no two movable cells overlap and all sit on rows inside the
+/// die. Returns a description of the first violation found.
+pub fn check_legal(design: &Design, placement: &Placement) -> Result<(), String> {
+    let rows = design.rows();
+    let row_h = design.row_height();
+    let mut per_row: Vec<Vec<(f64, f64, CellId)>> = vec![Vec::new(); rows.len()];
+    for cell in design.cell_ids() {
+        if design.cell(cell).fixed {
+            continue;
+        }
+        let (x, y) = placement.get(cell);
+        let w = design.cell_type(cell).width;
+        let ri = ((y - rows[0].y) / row_h).round();
+        let ri_usize = ri as usize;
+        if ri < 0.0 || ri_usize >= rows.len() || (y - (rows[0].y + ri * row_h)).abs() > 1e-6 {
+            return Err(format!(
+                "cell {} not on a row (y = {y})",
+                design.cell(cell).name
+            ));
+        }
+        if x < rows[ri_usize].lx - 1e-6 || x + w > rows[ri_usize].ux + 1e-6 {
+            return Err(format!(
+                "cell {} outside row x-range (x = {x})",
+                design.cell(cell).name
+            ));
+        }
+        per_row[ri_usize].push((x, x + w, cell));
+    }
+    for (ri, row) in per_row.iter_mut().enumerate() {
+        row.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        for pair in row.windows(2) {
+            if pair[0].1 > pair[1].0 + 1e-6 {
+                return Err(format!(
+                    "overlap in row {ri}: {} and {}",
+                    design.cell(pair[0].2).name,
+                    design.cell(pair[1].2).name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{CellLibrary, DesignBuilder, Rect};
+
+    fn design_with_invs(n: usize, die: f64) -> netlist::Design {
+        let mut b = DesignBuilder::new(
+            "l",
+            CellLibrary::standard(),
+            Rect::new(0.0, 0.0, die, die),
+            10.0,
+        );
+        let pi = b.add_fixed_cell("pi", "IOPAD_IN", 0.0, 0.0).unwrap();
+        let mut prev = pi;
+        let mut pin = "PAD".to_string();
+        for i in 0..n {
+            let c = b.add_cell(&format!("u{i}"), "INV_X1").unwrap();
+            b.add_net(&format!("n{i}"), &[(prev, pin.as_str()), (c, "A")])
+                .unwrap();
+            prev = c;
+            pin = "Y".to_string();
+        }
+        let po = b.add_fixed_cell("po", "IOPAD_OUT", die - 4.0, 0.0).unwrap();
+        b.add_net("ne", &[(prev, pin.as_str()), (po, "PAD")]).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn jittered_placement(d: &netlist::Design, seed: u64) -> Placement {
+        let mut p = Placement::new(d);
+        let mut s = seed.max(1);
+        let die = d.die();
+        for c in d.cell_ids() {
+            if d.cell(c).fixed {
+                continue;
+            }
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let x = (s % 1000) as f64 / 1000.0 * (die.width() - 4.0);
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let y = (s % 1000) as f64 / 1000.0 * (die.height() - 10.0);
+            p.set(c, x, y);
+        }
+        p
+    }
+
+    #[test]
+    fn abacus_produces_legal_placement() {
+        let d = design_with_invs(60, 100.0);
+        let mut p = jittered_placement(&d, 17);
+        let stats = abacus_legalize(&d, &mut p);
+        check_legal(&d, &p).unwrap();
+        assert!(stats.total_displacement > 0.0);
+        assert!(stats.max_displacement <= stats.total_displacement);
+    }
+
+    #[test]
+    fn tetris_produces_legal_placement() {
+        let d = design_with_invs(60, 100.0);
+        let mut p = jittered_placement(&d, 23);
+        tetris_legalize(&d, &mut p);
+        check_legal(&d, &p).unwrap();
+    }
+
+    #[test]
+    fn abacus_beats_tetris_on_displacement() {
+        let d = design_with_invs(80, 100.0);
+        let base = jittered_placement(&d, 5);
+        let mut pa = base.clone();
+        let mut pt = base.clone();
+        let sa = abacus_legalize(&d, &mut pa);
+        let st = tetris_legalize(&d, &mut pt);
+        assert!(
+            sa.total_displacement <= st.total_displacement * 1.05,
+            "abacus {} tetris {}",
+            sa.total_displacement,
+            st.total_displacement
+        );
+    }
+
+    #[test]
+    fn already_legal_placement_is_unchanged() {
+        let d = design_with_invs(5, 100.0);
+        let mut p = Placement::new(&d);
+        let mut x = 0.0;
+        for c in d.cell_ids() {
+            if d.cell(c).fixed {
+                continue;
+            }
+            p.set(c, x, 50.0);
+            x += d.cell_type(c).width + 1.0;
+        }
+        let before = p.clone();
+        let stats = abacus_legalize(&d, &mut p);
+        check_legal(&d, &p).unwrap();
+        assert!(
+            stats.total_displacement < 1e-9,
+            "unexpected displacement {}",
+            stats.total_displacement
+        );
+        for c in d.cell_ids() {
+            assert_eq!(p.get(c), before.get(c));
+        }
+    }
+
+    #[test]
+    fn overlapping_cells_get_separated() {
+        let d = design_with_invs(10, 100.0);
+        let mut p = Placement::new(&d);
+        for c in d.cell_ids() {
+            if !d.cell(c).fixed {
+                p.set(c, 50.0, 50.0);
+            }
+        }
+        abacus_legalize(&d, &mut p);
+        check_legal(&d, &p).unwrap();
+    }
+
+    #[test]
+    fn check_legal_detects_overlap() {
+        let d = design_with_invs(2, 100.0);
+        let mut p = Placement::new(&d);
+        let cells: Vec<_> = d
+            .cell_ids()
+            .filter(|&c| !d.cell(c).fixed)
+            .collect();
+        p.set(cells[0], 10.0, 50.0);
+        p.set(cells[1], 10.5, 50.0);
+        assert!(check_legal(&d, &p).is_err());
+    }
+
+    #[test]
+    fn check_legal_detects_off_row() {
+        let d = design_with_invs(1, 100.0);
+        let mut p = Placement::new(&d);
+        let c = d.cell_ids().find(|&c| !d.cell(c).fixed).unwrap();
+        p.set(c, 10.0, 53.0);
+        assert!(check_legal(&d, &p).is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! Smoothed wirelength models and gradients.
+//!
+//! The weighted-average (WA) model approximates the max (and min) pin
+//! coordinate of a net with a softmax:
+//!
+//! ```text
+//! max_e(x) ≈ Σ_i x_i·exp(x_i/γ) / Σ_i exp(x_i/γ)
+//! ```
+//!
+//! so that `WL_e = (max_e − min_e)` in x plus the same in y is smooth, with
+//! the exact HPWL recovered as γ→0. Gradients are analytic and accumulate
+//! onto cell coordinates (pin offsets are rigid).
+
+use netlist::{Design, NetId, Placement};
+
+/// Weighted-average wirelength evaluator.
+///
+/// Holds scratch buffers so repeated evaluations do not allocate.
+#[derive(Debug, Clone)]
+pub struct WaWirelength {
+    /// Smoothing parameter γ; smaller is sharper (closer to HPWL).
+    pub gamma: f64,
+}
+
+impl WaWirelength {
+    /// Creates the evaluator with the given smoothing γ.
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma > 0.0, "gamma must be positive");
+        Self { gamma }
+    }
+
+    /// Smoothed wirelength of one net.
+    pub fn net_wirelength(&self, design: &Design, placement: &Placement, net: NetId) -> f64 {
+        let pins = &design.net(net).pins;
+        if pins.len() < 2 {
+            return 0.0;
+        }
+        let xs: Vec<f64> = pins
+            .iter()
+            .map(|&p| placement.pin_position(design, p).0)
+            .collect();
+        let ys: Vec<f64> = pins
+            .iter()
+            .map(|&p| placement.pin_position(design, p).1)
+            .collect();
+        wa_span(&xs, self.gamma).0 + wa_span(&ys, self.gamma).0
+    }
+
+    /// Total smoothed wirelength with per-net weights, accumulating the
+    /// gradient with respect to cell positions into `grad_x` / `grad_y`
+    /// (indexed by cell). Returns the weighted objective value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net_weights` (when non-empty) or the gradient buffers are
+    /// sized inconsistently with the design.
+    pub fn accumulate_gradient(
+        &self,
+        design: &Design,
+        placement: &Placement,
+        net_weights: &[f64],
+        grad_x: &mut [f64],
+        grad_y: &mut [f64],
+    ) -> f64 {
+        assert_eq!(grad_x.len(), design.num_cells());
+        assert_eq!(grad_y.len(), design.num_cells());
+        if !net_weights.is_empty() {
+            assert_eq!(net_weights.len(), design.num_nets());
+        }
+        let mut total = 0.0;
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        let mut gx: Vec<f64> = Vec::new();
+        let mut gy: Vec<f64> = Vec::new();
+        for net in design.net_ids() {
+            let pins = &design.net(net).pins;
+            if pins.len() < 2 {
+                continue;
+            }
+            let w = if net_weights.is_empty() {
+                1.0
+            } else {
+                net_weights[net.index()]
+            };
+            xs.clear();
+            ys.clear();
+            for &p in pins {
+                let (px, py) = placement.pin_position(design, p);
+                xs.push(px);
+                ys.push(py);
+            }
+            gx.clear();
+            gx.resize(pins.len(), 0.0);
+            gy.clear();
+            gy.resize(pins.len(), 0.0);
+            let (vx, _) = wa_span_grad(&xs, self.gamma, &mut gx);
+            let (vy, _) = wa_span_grad(&ys, self.gamma, &mut gy);
+            total += w * (vx + vy);
+            for (i, &p) in pins.iter().enumerate() {
+                let cell = design.pin(p).cell.index();
+                grad_x[cell] += w * gx[i];
+                grad_y[cell] += w * gy[i];
+            }
+        }
+        total
+    }
+}
+
+/// WA span (soft max − soft min) of a coordinate set. Returns the value and
+/// nothing else; see [`wa_span_grad`] for gradients.
+pub fn wa_span(coords: &[f64], gamma: f64) -> (f64, ()) {
+    let mut grad = vec![0.0; coords.len()];
+    (wa_span_grad(coords, gamma, &mut grad).0, ())
+}
+
+/// WA span with gradient. `grad` must have `coords.len()` entries and is
+/// **overwritten** with the partial derivatives.
+///
+/// Numerically stabilized by shifting coordinates by their extrema before
+/// exponentiation.
+pub fn wa_span_grad(coords: &[f64], gamma: f64, grad: &mut [f64]) -> (f64, ()) {
+    debug_assert_eq!(coords.len(), grad.len());
+    let max = coords.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = coords.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    // Soft max side.
+    let mut s_pos = 0.0;
+    let mut sx_pos = 0.0;
+    // Soft min side.
+    let mut s_neg = 0.0;
+    let mut sx_neg = 0.0;
+    for &x in coords {
+        let ep = ((x - max) / gamma).exp();
+        let en = (-(x - min) / gamma).exp();
+        s_pos += ep;
+        sx_pos += x * ep;
+        s_neg += en;
+        sx_neg += x * en;
+    }
+    let wa_max = sx_pos / s_pos;
+    let wa_min = sx_neg / s_neg;
+
+    for (g, &x) in grad.iter_mut().zip(coords) {
+        let ep = ((x - max) / gamma).exp();
+        let en = (-(x - min) / gamma).exp();
+        let d_max = ep * (1.0 + (x - wa_max) / gamma) / s_pos;
+        let d_min = en * (1.0 - (x - wa_min) / gamma) / s_neg;
+        *g = d_max - d_min;
+    }
+    (wa_max - wa_min, ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{CellLibrary, DesignBuilder, Rect};
+
+    #[test]
+    fn wa_bounds_hpwl_from_below_and_converges() {
+        let coords = [0.0, 3.0, 10.0, 4.5];
+        let hpwl = 10.0;
+        let mut grad = vec![0.0; coords.len()];
+        // WA underestimates the true span and tightens as gamma shrinks.
+        let (loose, _) = wa_span_grad(&coords, 5.0, &mut grad);
+        let (tight, _) = wa_span_grad(&coords, 0.05, &mut grad);
+        assert!(loose <= hpwl + 1e-9);
+        assert!(tight <= hpwl + 1e-9);
+        assert!(tight > loose);
+        assert!((tight - hpwl).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wa_gradient_matches_finite_difference() {
+        let coords = vec![1.0, -2.0, 5.0, 4.9, 0.3];
+        let gamma = 0.8;
+        let mut grad = vec![0.0; coords.len()];
+        wa_span_grad(&coords, gamma, &mut grad);
+        let h = 1e-6;
+        for i in 0..coords.len() {
+            let mut plus = coords.clone();
+            plus[i] += h;
+            let mut minus = coords.clone();
+            minus[i] -= h;
+            let mut scratch = vec![0.0; coords.len()];
+            let (vp, _) = wa_span_grad(&plus, gamma, &mut scratch);
+            let (vm, _) = wa_span_grad(&minus, gamma, &mut scratch);
+            let fd = (vp - vm) / (2.0 * h);
+            assert!(
+                (grad[i] - fd).abs() < 1e-5,
+                "grad[{i}] = {} vs fd {}",
+                grad[i],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn wa_gradient_sums_to_zero() {
+        // The span is translation invariant, so gradients must sum to ~0.
+        let coords = vec![3.0, 1.0, 7.5, 2.2, 2.2];
+        let mut grad = vec![0.0; coords.len()];
+        wa_span_grad(&coords, 1.3, &mut grad);
+        let sum: f64 = grad.iter().sum();
+        assert!(sum.abs() < 1e-9, "gradient sum {sum}");
+    }
+
+    #[test]
+    fn degenerate_net_is_zero() {
+        let coords = [5.0, 5.0, 5.0];
+        let mut grad = vec![0.0; 3];
+        let (v, _) = wa_span_grad(&coords, 1.0, &mut grad);
+        assert!(v.abs() < 1e-12);
+    }
+
+    fn chain_design() -> (netlist::Design, Placement) {
+        let mut b = DesignBuilder::new(
+            "t",
+            CellLibrary::standard(),
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            10.0,
+        );
+        let pi = b.add_fixed_cell("pi", "IOPAD_IN", 0.0, 50.0).unwrap();
+        let u1 = b.add_cell("u1", "INV_X1").unwrap();
+        let u2 = b.add_cell("u2", "INV_X1").unwrap();
+        let po = b.add_fixed_cell("po", "IOPAD_OUT", 96.0, 50.0).unwrap();
+        b.add_net("n0", &[(pi, "PAD"), (u1, "A")]).unwrap();
+        b.add_net("n1", &[(u1, "Y"), (u2, "A")]).unwrap();
+        b.add_net("n2", &[(u2, "Y"), (po, "PAD")]).unwrap();
+        let d = b.finish().unwrap();
+        let mut p = Placement::new(&d);
+        p.set(d.find_cell("pi").unwrap(), 0.0, 50.0);
+        p.set(d.find_cell("u1").unwrap(), 30.0, 40.0);
+        p.set(d.find_cell("u2").unwrap(), 70.0, 60.0);
+        p.set(d.find_cell("po").unwrap(), 96.0, 50.0);
+        (d, p)
+    }
+
+    #[test]
+    fn total_wa_close_to_total_hpwl_for_small_gamma() {
+        let (d, p) = chain_design();
+        let wl = WaWirelength::new(0.01);
+        let mut gx = vec![0.0; d.num_cells()];
+        let mut gy = vec![0.0; d.num_cells()];
+        let wa = wl.accumulate_gradient(&d, &p, &[], &mut gx, &mut gy);
+        let hpwl = p.total_hpwl(&d);
+        assert!((wa - hpwl).abs() / hpwl < 1e-3, "wa {wa} vs hpwl {hpwl}");
+    }
+
+    #[test]
+    fn cell_gradient_matches_finite_difference() {
+        let (d, p) = chain_design();
+        let wl = WaWirelength::new(2.0);
+        let mut gx = vec![0.0; d.num_cells()];
+        let mut gy = vec![0.0; d.num_cells()];
+        wl.accumulate_gradient(&d, &p, &[], &mut gx, &mut gy);
+        let u1 = d.find_cell("u1").unwrap();
+        let h = 1e-6;
+        let eval = |px: f64, py: f64| {
+            let mut q = p.clone();
+            q.set(u1, px, py);
+            let mut sx = vec![0.0; d.num_cells()];
+            let mut sy = vec![0.0; d.num_cells()];
+            wl.accumulate_gradient(&d, &q, &[], &mut sx, &mut sy)
+        };
+        let (x0, y0) = p.get(u1);
+        let fdx = (eval(x0 + h, y0) - eval(x0 - h, y0)) / (2.0 * h);
+        let fdy = (eval(x0, y0 + h) - eval(x0, y0 - h)) / (2.0 * h);
+        assert!((gx[u1.index()] - fdx).abs() < 1e-5);
+        assert!((gy[u1.index()] - fdy).abs() < 1e-5);
+    }
+
+    #[test]
+    fn net_weights_scale_gradients() {
+        let (d, p) = chain_design();
+        let wl = WaWirelength::new(1.0);
+        let mut gx1 = vec![0.0; d.num_cells()];
+        let mut gy1 = vec![0.0; d.num_cells()];
+        let v1 = wl.accumulate_gradient(&d, &p, &[], &mut gx1, &mut gy1);
+        let weights = vec![2.0; d.num_nets()];
+        let mut gx2 = vec![0.0; d.num_cells()];
+        let mut gy2 = vec![0.0; d.num_cells()];
+        let v2 = wl.accumulate_gradient(&d, &p, &weights, &mut gx2, &mut gy2);
+        assert!((v2 - 2.0 * v1).abs() < 1e-9);
+        for i in 0..gx1.len() {
+            assert!((gx2[i] - 2.0 * gx1[i]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Arrival / required propagation, slack, WNS and TNS.
+//!
+//! [`Sta`] owns the static [`TimingGraph`] plus the placement-dependent
+//! state: per-arc delays, per-pin arrival and required times, slacks, and
+//! the worst-predecessor tree used by path backtracing. Call
+//! [`Sta::analyze`] after every placement change of interest.
+
+use crate::graph::{ArcId, BuildGraphError, EndpointKind, SourceKind, TimingGraph};
+use crate::rctree::RcParams;
+use netlist::{Design, PinId, Placement};
+
+/// Slack at one timing endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EndpointSlack {
+    /// The endpoint pin (flip-flop D or primary-output pad).
+    pub pin: PinId,
+    /// Setup slack: required − arrival. Negative means a violation.
+    pub slack: f64,
+}
+
+/// Design-level timing metrics after an analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingSummary {
+    /// Worst negative slack: `min(0, min over endpoints of slack)`.
+    pub wns: f64,
+    /// Total negative slack: sum of negative endpoint slacks.
+    pub tns: f64,
+    /// Number of endpoints with negative slack.
+    pub failing_endpoints: usize,
+    /// Number of evaluated endpoints.
+    pub total_endpoints: usize,
+}
+
+/// The static timing analyzer.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug, Clone)]
+pub struct Sta {
+    graph: TimingGraph,
+    params: RcParams,
+    arc_delay: Vec<f64>,
+    /// Cached total downstream capacitance per net.
+    net_load: Vec<f64>,
+    arrival: Vec<f64>,
+    required: Vec<f64>,
+    /// Worst (latest-arrival) incoming arc per pin, for backtracing.
+    worst_pred: Vec<Option<ArcId>>,
+    endpoint_slacks: Vec<EndpointSlack>,
+    analyzed: bool,
+}
+
+impl Sta {
+    /// Builds an analyzer for `design` with the given wire parasitics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildGraphError`] if the design's combinational logic is
+    /// cyclic.
+    pub fn new(design: &Design, params: RcParams) -> Result<Self, BuildGraphError> {
+        let graph = TimingGraph::build(design)?;
+        let num_pins = graph.num_pins();
+        let num_arcs = graph.num_arcs();
+        // Gate arcs driving unconnected outputs never change: delay is the
+        // intrinsic component alone.
+        let mut arc_delay = vec![0.0; num_arcs];
+        for (i, arc) in graph.arcs().iter().enumerate() {
+            if let crate::graph::ArcKind::Cell { intrinsic, .. } = arc.kind {
+                if design.pin(arc.to).net.is_none() {
+                    arc_delay[i] = intrinsic;
+                }
+            }
+        }
+        Ok(Self {
+            graph,
+            params,
+            arc_delay,
+            net_load: vec![0.0; design.num_nets()],
+            arrival: vec![f64::NEG_INFINITY; num_pins],
+            required: vec![f64::INFINITY; num_pins],
+            worst_pred: vec![None; num_pins],
+            endpoint_slacks: Vec::new(),
+            analyzed: false,
+        })
+    }
+
+    /// The underlying timing graph.
+    pub fn graph(&self) -> &TimingGraph {
+        &self.graph
+    }
+
+    /// The wire parasitics in use.
+    pub fn params(&self) -> RcParams {
+        self.params
+    }
+
+    /// Runs a full setup-timing analysis against `placement`.
+    ///
+    /// Recomputes every net's RC tree, every arc delay, and both
+    /// propagation passes. Deterministic for identical inputs.
+    pub fn analyze(&mut self, design: &Design, placement: &Placement) {
+        self.refresh_nets(design, placement, design.net_ids());
+        self.repropagate(design);
+    }
+
+    /// Reruns both propagation passes and the endpoint-slack collection
+    /// against the current arc delays.
+    pub(crate) fn repropagate(&mut self, design: &Design) {
+        self.propagate_arrival(design);
+        self.propagate_required(design);
+        self.collect_endpoint_slacks();
+        self.analyzed = true;
+    }
+
+    /// Overwrites one arc's delay (incremental updates).
+    pub(crate) fn set_arc_delay(&mut self, arc: ArcId, delay: f64) {
+        self.arc_delay[arc.index()] = delay;
+    }
+
+    /// Overwrites one net's cached load (incremental updates).
+    pub(crate) fn set_net_load(&mut self, net: netlist::NetId, load: f64) {
+        self.net_load[net.index()] = load;
+    }
+
+    /// Total downstream capacitance the driver of `net` sees, as of the
+    /// last (full or incremental) analysis.
+    pub fn net_load(&self, net: netlist::NetId) -> f64 {
+        self.net_load[net.index()]
+    }
+
+    fn propagate_arrival(&mut self, design: &Design) {
+        self.arrival.fill(f64::NEG_INFINITY);
+        self.worst_pred.fill(None);
+        for &(pin, kind) in self.graph.sources() {
+            let arr = match kind {
+                SourceKind::PrimaryInput => design.sdc().arrival_at(design.pin(pin).cell),
+                SourceKind::ClockPin => 0.0,
+            };
+            self.arrival[pin.index()] = arr;
+        }
+        // Topological order guarantees predecessors are final.
+        for i in 0..self.graph.topo_order().len() {
+            let pin = self.graph.topo_order()[i];
+            let a = self.arrival[pin.index()];
+            if a == f64::NEG_INFINITY {
+                continue;
+            }
+            for arc in self.graph.out_arcs(pin) {
+                let to = self.graph.arc(arc).to;
+                let cand = a + self.arc_delay[arc.index()];
+                if cand > self.arrival[to.index()] {
+                    self.arrival[to.index()] = cand;
+                    self.worst_pred[to.index()] = Some(arc);
+                }
+            }
+        }
+    }
+
+    fn propagate_required(&mut self, design: &Design) {
+        self.required.fill(f64::INFINITY);
+        for &(pin, kind) in self.graph.endpoints() {
+            let req = match kind {
+                EndpointKind::FlipFlopData => design.sdc().clock_period,
+                EndpointKind::PrimaryOutput => {
+                    design.sdc().required_at_output(design.pin(pin).cell)
+                }
+            };
+            self.required[pin.index()] = self.required[pin.index()].min(req);
+        }
+        for i in (0..self.graph.topo_order().len()).rev() {
+            let pin = self.graph.topo_order()[i];
+            let r = self.required[pin.index()];
+            if r == f64::INFINITY {
+                continue;
+            }
+            for arc in self.graph.in_arcs(pin) {
+                let from = self.graph.arc(arc).from;
+                let cand = r - self.arc_delay[arc.index()];
+                if cand < self.required[from.index()] {
+                    self.required[from.index()] = cand;
+                }
+            }
+        }
+    }
+
+    fn collect_endpoint_slacks(&mut self) {
+        self.endpoint_slacks.clear();
+        for &(pin, _) in self.graph.endpoints() {
+            let slack = self.slack(pin);
+            if let Some(slack) = slack {
+                self.endpoint_slacks.push(EndpointSlack { pin, slack });
+            }
+        }
+        self.endpoint_slacks
+            .sort_by(|a, b| a.slack.partial_cmp(&b.slack).expect("finite slacks"));
+    }
+
+    /// Whether [`Sta::analyze`] has run at least once.
+    pub fn is_analyzed(&self) -> bool {
+        self.analyzed
+    }
+
+    /// Arrival time at a pin, if it is reachable from a source.
+    pub fn arrival(&self, pin: PinId) -> Option<f64> {
+        let a = self.arrival[pin.index()];
+        (a != f64::NEG_INFINITY).then_some(a)
+    }
+
+    /// Required time at a pin, if it reaches an endpoint.
+    pub fn required(&self, pin: PinId) -> Option<f64> {
+        let r = self.required[pin.index()];
+        (r != f64::INFINITY).then_some(r)
+    }
+
+    /// Setup slack at a pin (`required − arrival`), if both are defined.
+    pub fn slack(&self, pin: PinId) -> Option<f64> {
+        match (self.arrival(pin), self.required(pin)) {
+            (Some(a), Some(r)) => Some(r - a),
+            _ => None,
+        }
+    }
+
+    /// Delay currently assigned to an arc.
+    pub fn arc_delay(&self, arc: ArcId) -> f64 {
+        self.arc_delay[arc.index()]
+    }
+
+    /// The worst (latest) incoming arc of a pin, if any.
+    pub fn worst_pred(&self, pin: PinId) -> Option<ArcId> {
+        self.worst_pred[pin.index()]
+    }
+
+    /// Endpoint slacks sorted ascending (most critical first).
+    pub fn endpoint_slacks(&self) -> &[EndpointSlack] {
+        &self.endpoint_slacks
+    }
+
+    /// Endpoints with negative slack, most critical first.
+    pub fn failing_endpoints(&self) -> &[EndpointSlack] {
+        let cut = self
+            .endpoint_slacks
+            .partition_point(|e| e.slack < 0.0);
+        &self.endpoint_slacks[..cut]
+    }
+
+    /// WNS / TNS summary of the last analysis.
+    ///
+    /// Matches the paper's Eq. 3–4: only violated endpoints contribute; an
+    /// all-passing design reports zeros.
+    pub fn summary(&self) -> TimingSummary {
+        let failing = self.failing_endpoints();
+        TimingSummary {
+            wns: failing.first().map_or(0.0, |e| e.slack),
+            tns: failing.iter().map(|e| e.slack).sum(),
+            failing_endpoints: failing.len(),
+            total_endpoints: self.endpoint_slacks.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{CellLibrary, DesignBuilder, Rect, Sdc};
+
+    /// pi -> inv -> po straight line, pins spread over `span` units.
+    fn line_design(span: f64, period: f64) -> (Design, Placement) {
+        let mut b = DesignBuilder::new(
+            "t",
+            CellLibrary::standard(),
+            Rect::new(0.0, 0.0, span.max(100.0), 100.0),
+            10.0,
+        );
+        b.set_sdc(Sdc::new(period));
+        let pi = b.add_fixed_cell("pi", "IOPAD_IN", 0.0, 50.0).unwrap();
+        let inv = b.add_cell("inv", "INV_X1").unwrap();
+        let po = b
+            .add_fixed_cell("po", "IOPAD_OUT", span.max(100.0) - 4.0, 50.0)
+            .unwrap();
+        b.add_net("n0", &[(pi, "PAD"), (inv, "A")]).unwrap();
+        b.add_net("n1", &[(inv, "Y"), (po, "PAD")]).unwrap();
+        let d = b.finish().unwrap();
+        let mut p = Placement::new(&d);
+        p.set(d.find_cell("pi").unwrap(), 0.0, 50.0);
+        p.set(d.find_cell("inv").unwrap(), span / 2.0, 50.0);
+        p.set(d.find_cell("po").unwrap(), span.max(100.0) - 4.0, 50.0);
+        (d, p)
+    }
+
+    #[test]
+    fn slack_is_required_minus_arrival_everywhere() {
+        let (d, p) = line_design(400.0, 100.0);
+        let mut sta = Sta::new(&d, RcParams::default()).unwrap();
+        sta.analyze(&d, &p);
+        for pin in d.pin_ids() {
+            if let (Some(a), Some(r), Some(s)) = (sta.arrival(pin), sta.required(pin), sta.slack(pin))
+            {
+                assert!((s - (r - a)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn tight_clock_fails_loose_clock_passes() {
+        let (d, p) = line_design(400.0, 10.0);
+        let mut sta = Sta::new(&d, RcParams::default()).unwrap();
+        sta.analyze(&d, &p);
+        let tight = sta.summary();
+        assert!(tight.wns < 0.0);
+        assert!(tight.tns <= tight.wns);
+        assert_eq!(tight.failing_endpoints, 1);
+
+        let (d2, p2) = line_design(400.0, 1e7);
+        let mut sta2 = Sta::new(&d2, RcParams::default()).unwrap();
+        sta2.analyze(&d2, &p2);
+        let loose = sta2.summary();
+        assert_eq!(loose.wns, 0.0);
+        assert_eq!(loose.tns, 0.0);
+        assert_eq!(loose.failing_endpoints, 0);
+    }
+
+    #[test]
+    fn moving_cells_apart_increases_delay() {
+        let arrival_at_po = |span: f64| {
+            let (d, p) = line_design(span, 100.0);
+            let mut sta = Sta::new(&d, RcParams::default()).unwrap();
+            sta.analyze(&d, &p);
+            let po = d.find_cell("po").unwrap();
+            sta.arrival(d.cell(po).pins[0]).unwrap()
+        };
+        let near = arrival_at_po(100.0);
+        let far = arrival_at_po(800.0);
+        assert!(far > near * 2.0, "near {near} far {far}");
+    }
+
+    #[test]
+    fn tns_is_sum_of_negative_endpoint_slacks() {
+        // Two independent lines failing by different amounts.
+        let mut b = DesignBuilder::new(
+            "t2",
+            CellLibrary::standard(),
+            Rect::new(0.0, 0.0, 800.0, 100.0),
+            10.0,
+        );
+        b.set_sdc(Sdc::new(30.0));
+        for (i, span) in [300.0, 700.0].iter().enumerate() {
+            let pi = b
+                .add_fixed_cell(&format!("pi{i}"), "IOPAD_IN", 0.0, 20.0 + 30.0 * i as f64)
+                .unwrap();
+            let inv = b.add_cell(&format!("inv{i}"), "INV_X1").unwrap();
+            let po = b
+                .add_fixed_cell(&format!("po{i}"), "IOPAD_OUT", *span, 20.0 + 30.0 * i as f64)
+                .unwrap();
+            b.add_net(&format!("a{i}"), &[(pi, "PAD"), (inv, "A")]).unwrap();
+            b.add_net(&format!("b{i}"), &[(inv, "Y"), (po, "PAD")]).unwrap();
+        }
+        let d = b.finish().unwrap();
+        let mut p = Placement::new(&d);
+        for c in d.cell_ids() {
+            if d.cell(c).fixed {
+                continue;
+            }
+            p.set(c, 150.0, 40.0);
+        }
+        p.set(d.find_cell("pi0").unwrap(), 0.0, 20.0);
+        p.set(d.find_cell("po0").unwrap(), 300.0, 20.0);
+        p.set(d.find_cell("pi1").unwrap(), 0.0, 50.0);
+        p.set(d.find_cell("po1").unwrap(), 700.0, 50.0);
+        let mut sta = Sta::new(&d, RcParams::default()).unwrap();
+        sta.analyze(&d, &p);
+        let s = sta.summary();
+        assert_eq!(s.failing_endpoints, 2);
+        let sum: f64 = sta.failing_endpoints().iter().map(|e| e.slack).sum();
+        assert!((s.tns - sum).abs() < 1e-9);
+        assert!((s.wns - sta.failing_endpoints()[0].slack).abs() < 1e-12);
+        // Sorted most-critical first.
+        assert!(sta.failing_endpoints()[0].slack <= sta.failing_endpoints()[1].slack);
+    }
+
+    #[test]
+    fn worst_pred_traces_back_to_a_source() {
+        let (d, p) = line_design(400.0, 10.0);
+        let mut sta = Sta::new(&d, RcParams::default()).unwrap();
+        sta.analyze(&d, &p);
+        let ep = sta.failing_endpoints()[0].pin;
+        let mut pin = ep;
+        let mut hops = 0;
+        while let Some(arc) = sta.worst_pred(pin) {
+            pin = sta.graph().arc(arc).from;
+            hops += 1;
+            assert!(hops < 100, "backtrace does not terminate");
+        }
+        // The chain must end at a pin with a defined source arrival.
+        assert!(sta.arrival(pin).is_some());
+        assert_eq!(hops, 3); // pi.PAD -> inv.A -> inv.Y -> po.PAD has 3 arcs.
+    }
+
+    #[test]
+    fn reanalysis_is_deterministic() {
+        let (d, p) = line_design(400.0, 50.0);
+        let mut sta = Sta::new(&d, RcParams::default()).unwrap();
+        sta.analyze(&d, &p);
+        let first = sta.summary();
+        sta.analyze(&d, &p);
+        let second = sta.summary();
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,458 @@
+//! Timing graph construction and levelization.
+//!
+//! The timing graph has one node per pin and two kinds of directed arcs:
+//!
+//! * **cell arcs** — input pin → output pin through a gate, carrying the
+//!   master's [`netlist::TimingArcSpec`] linear delay model (for flip-flops
+//!   this is the clock→Q launch arc);
+//! * **net arcs** — net driver pin → each sink pin, whose delay is the
+//!   Elmore wire delay recomputed from the placement on every analysis.
+//!
+//! Sources are primary-input pads and flip-flop clock pins (ideal clock);
+//! endpoints are flip-flop data pins and primary-output pads. The graph is
+//! levelized once at construction; delays change with placement but the
+//! topology does not.
+
+use netlist::{CellId, Design, NetId, PinDirection, PinId};
+use std::error::Error;
+use std::fmt;
+
+/// Index of an arc in the timing graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArcId(u32);
+
+impl ArcId {
+    /// Creates an arc id from a dense index.
+    pub fn new(index: usize) -> Self {
+        assert!(index <= u32::MAX as usize, "arc index overflows u32");
+        Self(index as u32)
+    }
+
+    /// Dense index for vector addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// What an arc models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArcKind {
+    /// Gate propagation arc with the linear drive model parameters.
+    Cell {
+        /// Load-independent delay.
+        intrinsic: f64,
+        /// Multiplied by the driven net's downstream capacitance.
+        drive_resistance: f64,
+    },
+    /// Wire arc from a net's driver to one sink; delay comes from the
+    /// placement-dependent RC tree.
+    Net {
+        /// The net this arc belongs to.
+        net: NetId,
+        /// Index of the sink within the net's sink list.
+        sink_index: usize,
+    },
+}
+
+/// A directed timing arc.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingArc {
+    /// Source pin.
+    pub from: PinId,
+    /// Destination pin.
+    pub to: PinId,
+    /// Arc payload.
+    pub kind: ArcKind,
+}
+
+/// Why a pin is a timing startpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SourceKind {
+    /// Primary-input pad pin; arrival from the SDC.
+    PrimaryInput,
+    /// Flip-flop clock pin; ideal clock, arrival 0.
+    ClockPin,
+}
+
+/// Why a pin is a timing endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EndpointKind {
+    /// Flip-flop data pin; required time = clock period.
+    FlipFlopData,
+    /// Primary-output pad pin; required time from the SDC.
+    PrimaryOutput,
+}
+
+/// Errors from [`TimingGraph::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildGraphError {
+    /// The combinational portion of the design contains a cycle.
+    CombinationalCycle {
+        /// A pin on the cycle, as a `cell/pin` label.
+        pin: String,
+    },
+}
+
+impl fmt::Display for BuildGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildGraphError::CombinationalCycle { pin } => {
+                write!(f, "combinational cycle through pin {pin}")
+            }
+        }
+    }
+}
+
+impl Error for BuildGraphError {}
+
+/// The static timing graph of a design.
+///
+/// Built once per design; placement changes only affect arc delays, which
+/// live in [`crate::Sta`], not here.
+#[derive(Debug, Clone)]
+pub struct TimingGraph {
+    arcs: Vec<TimingArc>,
+    // CSR adjacency: arcs leaving / entering each pin.
+    out_start: Vec<u32>,
+    out_arcs: Vec<u32>,
+    in_start: Vec<u32>,
+    in_arcs: Vec<u32>,
+    /// Pins in a topological order (every arc goes forward in this order).
+    topo_order: Vec<PinId>,
+    sources: Vec<(PinId, SourceKind)>,
+    endpoints: Vec<(PinId, EndpointKind)>,
+    num_pins: usize,
+}
+
+impl TimingGraph {
+    /// Builds the timing graph for `design`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildGraphError::CombinationalCycle`] if the combinational
+    /// logic contains a loop (flip-flops legally break cycles because their
+    /// D input has no arc to Q).
+    pub fn build(design: &Design) -> Result<Self, BuildGraphError> {
+        let num_pins = design.num_pins();
+        let mut arcs: Vec<TimingArc> = Vec::new();
+
+        // Cell arcs.
+        for cell in design.cell_ids() {
+            let c = design.cell(cell);
+            let ty = design.library().get(c.type_id);
+            for spec in &ty.arcs {
+                arcs.push(TimingArc {
+                    from: c.pins[spec.from_pin],
+                    to: c.pins[spec.to_pin],
+                    kind: ArcKind::Cell {
+                        intrinsic: spec.intrinsic,
+                        drive_resistance: spec.drive_resistance,
+                    },
+                });
+            }
+        }
+
+        // Net arcs (driver -> each sink).
+        for net in design.net_ids() {
+            let n = design.net(net);
+            let driver = n.driver();
+            for (sink_index, &sink) in n.sinks().iter().enumerate() {
+                arcs.push(TimingArc {
+                    from: driver,
+                    to: sink,
+                    kind: ArcKind::Net { net, sink_index },
+                });
+            }
+        }
+
+        // CSR adjacency.
+        let (out_start, out_arcs) = build_csr(num_pins, arcs.iter().map(|a| a.from.index()));
+        let (in_start, in_arcs) = build_csr(num_pins, arcs.iter().map(|a| a.to.index()));
+
+        // Kahn levelization.
+        let mut indegree: Vec<u32> = vec![0; num_pins];
+        for a in &arcs {
+            indegree[a.to.index()] += 1;
+        }
+        let mut queue: Vec<usize> = (0..num_pins).filter(|&p| indegree[p] == 0).collect();
+        let mut topo_order: Vec<PinId> = Vec::with_capacity(num_pins);
+        let mut head = 0;
+        while head < queue.len() {
+            let p = queue[head];
+            head += 1;
+            topo_order.push(PinId::new(p));
+            for i in out_start[p]..out_start[p + 1] {
+                let arc = &arcs[out_arcs[i as usize] as usize];
+                let t = arc.to.index();
+                indegree[t] -= 1;
+                if indegree[t] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        if topo_order.len() != num_pins {
+            let stuck = (0..num_pins).find(|&p| indegree[p] > 0).expect("cycle pin");
+            return Err(BuildGraphError::CombinationalCycle {
+                pin: design.pin_label(PinId::new(stuck)),
+            });
+        }
+
+        // Sources and endpoints.
+        let mut sources = Vec::new();
+        let mut endpoints = Vec::new();
+        for cell in design.cell_ids() {
+            let c = design.cell(cell);
+            let ty = design.library().get(c.type_id);
+            if ty.is_sequential {
+                if let Some(ck) = ty.clock_pin {
+                    sources.push((c.pins[ck], SourceKind::ClockPin));
+                }
+                if let Some(d) = ty.data_pin() {
+                    endpoints.push((c.pins[d], EndpointKind::FlipFlopData));
+                }
+            } else if ty.arcs.is_empty() {
+                // Pads: classify by pin direction.
+                for (i, spec) in ty.pins.iter().enumerate() {
+                    match spec.direction {
+                        PinDirection::Output => {
+                            sources.push((c.pins[i], SourceKind::PrimaryInput))
+                        }
+                        PinDirection::Input => {
+                            endpoints.push((c.pins[i], EndpointKind::PrimaryOutput))
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(Self {
+            arcs,
+            out_start,
+            out_arcs,
+            in_start,
+            in_arcs,
+            topo_order,
+            sources,
+            endpoints,
+            num_pins,
+        })
+    }
+
+    /// Number of pins (graph nodes).
+    pub fn num_pins(&self) -> usize {
+        self.num_pins
+    }
+
+    /// Number of arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Arc accessor.
+    pub fn arc(&self, id: ArcId) -> &TimingArc {
+        &self.arcs[id.index()]
+    }
+
+    /// All arcs in construction order.
+    pub fn arcs(&self) -> &[TimingArc] {
+        &self.arcs
+    }
+
+    /// Arcs leaving a pin.
+    pub fn out_arcs(&self, pin: PinId) -> impl Iterator<Item = ArcId> + '_ {
+        let p = pin.index();
+        self.out_arcs[self.out_start[p] as usize..self.out_start[p + 1] as usize]
+            .iter()
+            .map(|&i| ArcId(i))
+    }
+
+    /// Arcs entering a pin.
+    pub fn in_arcs(&self, pin: PinId) -> impl Iterator<Item = ArcId> + '_ {
+        let p = pin.index();
+        self.in_arcs[self.in_start[p] as usize..self.in_start[p + 1] as usize]
+            .iter()
+            .map(|&i| ArcId(i))
+    }
+
+    /// Pins in topological order (arc sources before destinations).
+    pub fn topo_order(&self) -> &[PinId] {
+        &self.topo_order
+    }
+
+    /// Timing startpoints with their kinds.
+    pub fn sources(&self) -> &[(PinId, SourceKind)] {
+        &self.sources
+    }
+
+    /// Timing endpoints with their kinds.
+    pub fn endpoints(&self) -> &[(PinId, EndpointKind)] {
+        &self.endpoints
+    }
+
+    /// The cell a source pin's arrival time comes from (for SDC lookup).
+    pub fn pin_cell(design: &Design, pin: PinId) -> CellId {
+        design.pin(pin).cell
+    }
+}
+
+/// Builds a CSR adjacency table: for each node, the list of arc indices
+/// whose key (from/to) equals the node.
+fn build_csr(
+    num_nodes: usize,
+    keys: impl Iterator<Item = usize> + Clone,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut start = vec![0u32; num_nodes + 1];
+    for k in keys.clone() {
+        start[k + 1] += 1;
+    }
+    for i in 0..num_nodes {
+        start[i + 1] += start[i];
+    }
+    let mut cursor = start.clone();
+    let mut table = vec![0u32; start[num_nodes] as usize];
+    for (arc_idx, k) in keys.enumerate() {
+        table[cursor[k] as usize] = arc_idx as u32;
+        cursor[k] += 1;
+    }
+    (start, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{CellLibrary, DesignBuilder, Rect};
+
+    fn pipeline_design() -> Design {
+        // pi -> inv -> DFF -> nand -> po, plus a second input to the nand.
+        let mut b = DesignBuilder::new(
+            "t",
+            CellLibrary::standard(),
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            10.0,
+        );
+        let pi = b.add_fixed_cell("pi", "IOPAD_IN", 0.0, 50.0).unwrap();
+        let pi2 = b.add_fixed_cell("pi2", "IOPAD_IN", 0.0, 70.0).unwrap();
+        let inv = b.add_cell("inv", "INV_X1").unwrap();
+        let ff = b.add_cell("ff", "DFF_X1").unwrap();
+        let nand = b.add_cell("nand", "NAND2_X1").unwrap();
+        let po = b.add_fixed_cell("po", "IOPAD_OUT", 96.0, 50.0).unwrap();
+        b.add_net("n0", &[(pi, "PAD"), (inv, "A")]).unwrap();
+        b.add_net("n1", &[(inv, "Y"), (ff, "D")]).unwrap();
+        b.add_net("n2", &[(ff, "Q"), (nand, "A")]).unwrap();
+        b.add_net("n3", &[(pi2, "PAD"), (nand, "B")]).unwrap();
+        b.add_net("n4", &[(nand, "Y"), (po, "PAD")]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn graph_counts_match_design() {
+        let d = pipeline_design();
+        let g = TimingGraph::build(&d).unwrap();
+        assert_eq!(g.num_pins(), d.num_pins());
+        // Cell arcs: inv(1) + dff(1) + nand(2) = 4; net arcs: 5 nets x1 sink.
+        assert_eq!(g.num_arcs(), 9);
+    }
+
+    #[test]
+    fn sources_and_endpoints_classified() {
+        let d = pipeline_design();
+        let g = TimingGraph::build(&d).unwrap();
+        let src_kinds: Vec<_> = g.sources().iter().map(|&(_, k)| k).collect();
+        assert_eq!(
+            src_kinds
+                .iter()
+                .filter(|k| **k == SourceKind::PrimaryInput)
+                .count(),
+            2
+        );
+        assert_eq!(
+            src_kinds
+                .iter()
+                .filter(|k| **k == SourceKind::ClockPin)
+                .count(),
+            1
+        );
+        let ep_kinds: Vec<_> = g.endpoints().iter().map(|&(_, k)| k).collect();
+        assert_eq!(
+            ep_kinds
+                .iter()
+                .filter(|k| **k == EndpointKind::FlipFlopData)
+                .count(),
+            1
+        );
+        assert_eq!(
+            ep_kinds
+                .iter()
+                .filter(|k| **k == EndpointKind::PrimaryOutput)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn topo_order_respects_arcs() {
+        let d = pipeline_design();
+        let g = TimingGraph::build(&d).unwrap();
+        let mut position = vec![0usize; g.num_pins()];
+        for (i, &p) in g.topo_order().iter().enumerate() {
+            position[p.index()] = i;
+        }
+        for a in g.arcs() {
+            assert!(
+                position[a.from.index()] < position[a.to.index()],
+                "arc {} -> {} violates topo order",
+                d.pin_label(a.from),
+                d.pin_label(a.to)
+            );
+        }
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let d = pipeline_design();
+        let g = TimingGraph::build(&d).unwrap();
+        for pin in d.pin_ids() {
+            for arc in g.out_arcs(pin) {
+                assert_eq!(g.arc(arc).from, pin);
+            }
+            for arc in g.in_arcs(pin) {
+                assert_eq!(g.arc(arc).to, pin);
+            }
+        }
+        let total_out: usize = d.pin_ids().map(|p| g.out_arcs(p).count()).sum();
+        assert_eq!(total_out, g.num_arcs());
+    }
+
+    #[test]
+    fn flip_flop_breaks_cycles() {
+        // inv1 -> ff -> inv2 -> back into inv1's net is illegal (two drivers),
+        // but ff in a feedback loop through combinational logic is fine.
+        let mut b = DesignBuilder::new(
+            "loop",
+            CellLibrary::standard(),
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            10.0,
+        );
+        let ff = b.add_cell("ff", "DFF_X1").unwrap();
+        let inv = b.add_cell("inv", "INV_X1").unwrap();
+        b.add_net("q", &[(ff, "Q"), (inv, "A")]).unwrap();
+        b.add_net("d", &[(inv, "Y"), (ff, "D")]).unwrap();
+        let d = b.finish().unwrap();
+        assert!(TimingGraph::build(&d).is_ok());
+    }
+
+    #[test]
+    fn csr_handles_empty_nodes() {
+        let (start, table) = build_csr(4, [2usize, 2, 0].into_iter());
+        assert_eq!(start, vec![0, 1, 1, 3, 3]);
+        assert_eq!(table.len(), 3);
+        // Node 2 owns arcs 0 and 1.
+        assert_eq!(&table[start[2] as usize..start[3] as usize], &[0, 1]);
+    }
+}

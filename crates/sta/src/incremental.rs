@@ -1,0 +1,206 @@
+//! Incremental timing updates.
+//!
+//! A full [`Sta::analyze`] rebuilds every net's RC tree, which dominates
+//! analysis cost. Between placement iterations only some cells move, so
+//! [`Sta::analyze_incremental`] recomputes wire delays for the **dirty
+//! nets** (nets with at least one pin on a moved cell) plus the gate arcs
+//! whose load changed, then reruns the (cheap) propagation passes. The
+//! result is bit-identical to a full analysis.
+
+use crate::analysis::Sta;
+use crate::graph::ArcKind;
+use crate::rctree::RcTree;
+use netlist::{CellId, Design, NetId, Placement};
+use std::collections::HashSet;
+
+impl Sta {
+    /// Re-analyzes after moving only `moved_cells`, reusing every other
+    /// net's cached wire delays. Produces exactly the same state as
+    /// [`Sta::analyze`] on the same placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before an initial full [`Sta::analyze`] (there is
+    /// no cache to update incrementally).
+    pub fn analyze_incremental(
+        &mut self,
+        design: &Design,
+        placement: &Placement,
+        moved_cells: &[CellId],
+    ) {
+        assert!(
+            self.is_analyzed(),
+            "run a full analyze() before analyze_incremental()"
+        );
+        // Dirty nets: any net touching a moved cell's pins.
+        let mut dirty: HashSet<NetId> = HashSet::new();
+        for &cell in moved_cells {
+            for &pin in &design.cell(cell).pins {
+                if let Some(net) = design.pin(pin).net {
+                    dirty.insert(net);
+                }
+            }
+        }
+        self.refresh_nets(design, placement, dirty.iter().copied());
+        self.repropagate(design);
+    }
+
+    /// Recomputes the RC tree, wire-arc delays, load cache and dependent
+    /// gate-arc delays for the given nets.
+    pub(crate) fn refresh_nets(
+        &mut self,
+        design: &Design,
+        placement: &Placement,
+        nets: impl Iterator<Item = NetId>,
+    ) {
+        let params = self.params();
+        for net in nets {
+            let tree = RcTree::build(design, placement, net, &params);
+            let load = tree.total_load();
+            self.set_net_load(net, load);
+            let delays = tree.elmore_delays();
+            let driver = design.net(net).driver();
+            // Wire arcs of this net.
+            let arcs: Vec<_> = self.graph().out_arcs(driver).collect();
+            for arc in arcs {
+                if let ArcKind::Net { net: n, sink_index } = self.graph().arc(arc).kind {
+                    if n == net {
+                        self.set_arc_delay(arc, delays[sink_index]);
+                    }
+                }
+            }
+            // The gate arc(s) driving this net see a new load.
+            let in_arcs: Vec<_> = self.graph().in_arcs(driver).collect();
+            for arc in in_arcs {
+                if let ArcKind::Cell {
+                    intrinsic,
+                    drive_resistance,
+                } = self.graph().arc(arc).kind
+                {
+                    self.set_arc_delay(arc, intrinsic + drive_resistance * load);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rctree::RcParams;
+    use netlist::{CellLibrary, DesignBuilder, Rect, Sdc};
+
+    /// Three-stage chain with a fanout in the middle.
+    fn chain() -> (Design, Placement, Vec<CellId>) {
+        let mut b = DesignBuilder::new(
+            "inc",
+            CellLibrary::standard(),
+            Rect::new(0.0, 0.0, 500.0, 200.0),
+            10.0,
+        );
+        b.set_sdc(Sdc::new(50.0));
+        let pi = b.add_fixed_cell("pi", "IOPAD_IN", 0.0, 100.0).unwrap();
+        let a = b.add_cell("a", "INV_X1").unwrap();
+        let m = b.add_cell("m", "BUF_X1").unwrap();
+        let c = b.add_cell("c", "INV_X1").unwrap();
+        let po = b.add_fixed_cell("po", "IOPAD_OUT", 496.0, 100.0).unwrap();
+        let po2 = b.add_fixed_cell("po2", "IOPAD_OUT", 496.0, 150.0).unwrap();
+        b.add_net("n0", &[(pi, "PAD"), (a, "A")]).unwrap();
+        b.add_net("n1", &[(a, "Y"), (m, "A"), (c, "A")]).unwrap();
+        b.add_net("n2", &[(m, "Y"), (po, "PAD")]).unwrap();
+        b.add_net("n3", &[(c, "Y"), (po2, "PAD")]).unwrap();
+        let d = b.finish().unwrap();
+        let mut p = Placement::new(&d);
+        p.set(pi, 0.0, 100.0);
+        p.set(a, 100.0, 100.0);
+        p.set(m, 250.0, 100.0);
+        p.set(c, 250.0, 150.0);
+        p.set(po, 496.0, 100.0);
+        p.set(po2, 496.0, 150.0);
+        (d, p, vec![a, m, c])
+    }
+
+    fn assert_same_state(a: &Sta, b: &Sta, design: &Design) {
+        for pin in design.pin_ids() {
+            assert_eq!(a.arrival(pin), b.arrival(pin), "arrival at {}", design.pin_label(pin));
+            assert_eq!(a.required(pin), b.required(pin), "required at {}", design.pin_label(pin));
+        }
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn incremental_matches_full_analysis_after_single_move() {
+        let (d, p0, cells) = chain();
+        let rc = RcParams::default();
+        let mut full = Sta::new(&d, rc).unwrap();
+        let mut inc = Sta::new(&d, rc).unwrap();
+        full.analyze(&d, &p0);
+        inc.analyze(&d, &p0);
+
+        let mut p1 = p0.clone();
+        p1.set(cells[1], 350.0, 60.0);
+        full.analyze(&d, &p1);
+        inc.analyze_incremental(&d, &p1, &[cells[1]]);
+        assert_same_state(&full, &inc, &d);
+    }
+
+    #[test]
+    fn incremental_matches_after_many_sequential_moves() {
+        let (d, p0, cells) = chain();
+        let rc = RcParams::default();
+        let mut full = Sta::new(&d, rc).unwrap();
+        let mut inc = Sta::new(&d, rc).unwrap();
+        full.analyze(&d, &p0);
+        inc.analyze(&d, &p0);
+
+        let mut p = p0.clone();
+        let moves = [
+            (0usize, 60.0, 130.0),
+            (2, 420.0, 40.0),
+            (1, 30.0, 20.0),
+            (0, 400.0, 180.0),
+        ];
+        for (i, x, y) in moves {
+            p.set(cells[i], x, y);
+            full.analyze(&d, &p);
+            inc.analyze_incremental(&d, &p, &[cells[i]]);
+            assert_same_state(&full, &inc, &d);
+        }
+    }
+
+    #[test]
+    fn moving_an_unconnected_region_leaves_far_delays_alone() {
+        let (d, p0, cells) = chain();
+        let rc = RcParams::default();
+        let mut sta = Sta::new(&d, rc).unwrap();
+        sta.analyze(&d, &p0);
+        // Arc delays on n2 (m -> po) before moving c (which is not on n2).
+        let po_pin = d.cell(d.find_cell("po").unwrap()).pins[0];
+        let arc_into_po = sta.graph().in_arcs(po_pin).next().unwrap();
+        let before = sta.arc_delay(arc_into_po);
+
+        let mut p1 = p0.clone();
+        p1.set(cells[2], 10.0, 10.0); // move c
+        sta.analyze_incremental(&d, &p1, &[cells[2]]);
+        assert_eq!(sta.arc_delay(arc_into_po), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "full analyze")]
+    fn incremental_before_full_panics() {
+        let (d, p, cells) = chain();
+        let mut sta = Sta::new(&d, RcParams::default()).unwrap();
+        sta.analyze_incremental(&d, &p, &[cells[0]]);
+    }
+
+    #[test]
+    fn empty_move_set_is_a_noop_reanalysis() {
+        let (d, p, _) = chain();
+        let rc = RcParams::default();
+        let mut sta = Sta::new(&d, rc).unwrap();
+        sta.analyze(&d, &p);
+        let before = sta.summary();
+        sta.analyze_incremental(&d, &p, &[]);
+        assert_eq!(sta.summary(), before);
+    }
+}

@@ -1,0 +1,58 @@
+//! Static timing analysis for the Efficient-TDP reproduction.
+//!
+//! This crate is the in-repo replacement for OpenTimer. It models the
+//! circuit as a directed acyclic timing graph over pins and provides:
+//!
+//! * [`graph`] — timing-graph construction from a [`netlist::Design`]
+//!   (cell arcs and net arcs), topological levelization, source/endpoint
+//!   classification.
+//! * [`rctree`] — per-net RC trees built from pin positions (star or
+//!   Steiner/MST topology) with Elmore delay and downstream capacitance.
+//! * [`analysis`] — forward arrival / backward required propagation,
+//!   per-pin slack, endpoint slacks, WNS and TNS.
+//! * [`report`] — critical path enumeration: the OpenTimer-style
+//!   [`Sta::report_timing`] (k worst paths globally, O(n²) when used the
+//!   way DREAMPlace 4.0 does) and the paper's
+//!   [`Sta::report_timing_endpoint`] (k worst paths *per failing endpoint*,
+//!   O(n·k)) — Sec. III-B of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::{CellLibrary, DesignBuilder, Placement, Rect, Sdc};
+//! use sta::{RcParams, Sta};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = CellLibrary::standard();
+//! let mut b = DesignBuilder::new("t", lib, Rect::new(0.0, 0.0, 200.0, 200.0), 10.0);
+//! b.set_sdc(Sdc::new(60.0));
+//! let pi = b.add_fixed_cell("pi", "IOPAD_IN", 0.0, 100.0)?;
+//! let u1 = b.add_cell("u1", "INV_X1")?;
+//! let po = b.add_fixed_cell("po", "IOPAD_OUT", 196.0, 100.0)?;
+//! b.add_net("n0", &[(pi, "PAD"), (u1, "A")])?;
+//! b.add_net("n1", &[(u1, "Y"), (po, "PAD")])?;
+//! let design = b.finish()?;
+//!
+//! let mut placement = Placement::new(&design);
+//! placement.set(pi, 0.0, 100.0);
+//! placement.set(u1, 100.0, 100.0);
+//! placement.set(po, 196.0, 100.0);
+//!
+//! let mut sta = Sta::new(&design, RcParams::default())?;
+//! sta.analyze(&design, &placement);
+//! let report = sta.report_timing(&design, 1);
+//! assert_eq!(report.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod graph;
+pub mod incremental;
+pub mod rctree;
+pub mod report;
+
+pub use analysis::{EndpointSlack, Sta, TimingSummary};
+pub use graph::{ArcId, ArcKind, BuildGraphError, TimingArc, TimingGraph};
+pub use rctree::{NetTopology, RcParams, RcTree};
+pub use report::{PathElement, TimingPath};

@@ -1,0 +1,356 @@
+//! Per-net RC trees and Elmore delay.
+//!
+//! Each net's interconnect is modeled as a tree of resistive wire segments
+//! with distributed capacitance, rooted at the driver pin. Wire resistance
+//! and capacitance are both linear in segment length, so the Elmore delay of
+//! a two-pin connection grows **quadratically** with distance — exactly the
+//! property the paper's quadratic pin-to-pin loss (Sec. III-C, Eq. 7-8)
+//! aligns with.
+//!
+//! Two topologies are provided:
+//!
+//! * [`NetTopology::Star`] — every sink connects straight to the driver;
+//!   cheapest to build, used inside the placement loop.
+//! * [`NetTopology::SteinerMst`] — Prim's minimum spanning tree under the
+//!   Manhattan metric, a closer match to routed topology; used by the
+//!   evaluation kit.
+
+use netlist::{Design, NetId, Placement};
+
+/// Wire parasitics per unit length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RcParams {
+    /// Resistance per unit wirelength.
+    pub res_per_unit: f64,
+    /// Capacitance per unit wirelength.
+    pub cap_per_unit: f64,
+    /// Interconnect topology to construct.
+    pub topology: NetTopology,
+}
+
+impl Default for RcParams {
+    fn default() -> Self {
+        Self {
+            res_per_unit: 0.1,
+            cap_per_unit: 0.2,
+            topology: NetTopology::Star,
+        }
+    }
+}
+
+impl RcParams {
+    /// Same parasitics with a different topology.
+    pub fn with_topology(self, topology: NetTopology) -> Self {
+        Self { topology, ..self }
+    }
+}
+
+/// How a net's wire tree is constructed from pin positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetTopology {
+    /// Direct driver→sink segments (a star rooted at the driver).
+    Star,
+    /// Rectilinear minimum spanning tree (Prim), rooted at the driver.
+    SteinerMst,
+}
+
+/// An RC tree for one net.
+///
+/// Node 0 is always the driver. Each non-root node stores its parent, the
+/// resistance of the edge to the parent, and its node capacitance (half the
+/// wire capacitance of each incident segment plus the sink pin cap).
+#[derive(Debug, Clone)]
+pub struct RcTree {
+    parent: Vec<usize>,
+    edge_res: Vec<f64>,
+    node_cap: Vec<f64>,
+    /// Map from sink index (position in `net.sinks()`) to tree node.
+    sink_node: Vec<usize>,
+    /// Node indices with every parent before its children (root first).
+    topo: Vec<usize>,
+}
+
+impl RcTree {
+    /// Builds the RC tree for `net` from the current placement.
+    ///
+    /// `sink_caps[i]` is the input capacitance of the i-th sink pin.
+    pub fn build(
+        design: &Design,
+        placement: &Placement,
+        net: NetId,
+        params: &RcParams,
+    ) -> Self {
+        let n = design.net(net);
+        let mut positions: Vec<(f64, f64)> = Vec::with_capacity(n.pins.len());
+        for &p in &n.pins {
+            positions.push(placement.pin_position(design, p));
+        }
+        let sink_caps: Vec<f64> = n
+            .sinks()
+            .iter()
+            .map(|&p| design.pin_spec(p).cap)
+            .collect();
+        match params.topology {
+            NetTopology::Star => Self::build_star(&positions, &sink_caps, params),
+            NetTopology::SteinerMst => Self::build_mst(&positions, &sink_caps, params),
+        }
+    }
+
+    /// Star topology: node 0 = driver, node i = sink i-1.
+    fn build_star(positions: &[(f64, f64)], sink_caps: &[f64], params: &RcParams) -> Self {
+        let num_nodes = positions.len();
+        let mut parent = vec![usize::MAX; num_nodes];
+        let mut edge_res = vec![0.0; num_nodes];
+        let mut node_cap = vec![0.0; num_nodes];
+        let mut sink_node = Vec::with_capacity(sink_caps.len());
+        let (dx, dy) = positions[0];
+        for i in 1..num_nodes {
+            let (sx, sy) = positions[i];
+            let len = (sx - dx).abs() + (sy - dy).abs();
+            parent[i] = 0;
+            edge_res[i] = params.res_per_unit * len;
+            let wire_cap = params.cap_per_unit * len;
+            node_cap[0] += wire_cap / 2.0;
+            node_cap[i] += wire_cap / 2.0 + sink_caps[i - 1];
+            sink_node.push(i);
+        }
+        Self {
+            parent,
+            edge_res,
+            node_cap,
+            sink_node,
+            topo: (0..num_nodes).collect(),
+        }
+    }
+
+    /// Prim MST under the Manhattan metric, rooted at the driver (node 0).
+    /// O(p²) per net, acceptable because real net degrees are small.
+    fn build_mst(positions: &[(f64, f64)], sink_caps: &[f64], params: &RcParams) -> Self {
+        let num_nodes = positions.len();
+        let mut parent = vec![usize::MAX; num_nodes];
+        let mut edge_res = vec![0.0; num_nodes];
+        let mut node_cap = vec![0.0; num_nodes];
+        for (i, &cap) in sink_caps.iter().enumerate() {
+            node_cap[i + 1] += cap;
+        }
+        let manhattan = |a: usize, b: usize| {
+            let (ax, ay) = positions[a];
+            let (bx, by) = positions[b];
+            (ax - bx).abs() + (ay - by).abs()
+        };
+
+        let mut in_tree = vec![false; num_nodes];
+        let mut best_dist = vec![f64::INFINITY; num_nodes];
+        let mut best_from = vec![0usize; num_nodes];
+        let mut topo = Vec::with_capacity(num_nodes);
+        topo.push(0);
+        in_tree[0] = true;
+        for v in 1..num_nodes {
+            best_dist[v] = manhattan(0, v);
+        }
+        for _ in 1..num_nodes {
+            let mut pick = usize::MAX;
+            let mut pick_dist = f64::INFINITY;
+            for v in 1..num_nodes {
+                if !in_tree[v] && best_dist[v] < pick_dist {
+                    pick = v;
+                    pick_dist = best_dist[v];
+                }
+            }
+            if pick == usize::MAX {
+                break;
+            }
+            in_tree[pick] = true;
+            topo.push(pick);
+            let from = best_from[pick];
+            parent[pick] = from;
+            let len = pick_dist;
+            edge_res[pick] = params.res_per_unit * len;
+            let wire_cap = params.cap_per_unit * len;
+            node_cap[from] += wire_cap / 2.0;
+            node_cap[pick] += wire_cap / 2.0;
+            for v in 1..num_nodes {
+                if !in_tree[v] {
+                    let d = manhattan(pick, v);
+                    if d < best_dist[v] {
+                        best_dist[v] = d;
+                        best_from[v] = pick;
+                    }
+                }
+            }
+        }
+        let sink_node = (1..num_nodes).collect();
+        Self {
+            parent,
+            edge_res,
+            node_cap,
+            sink_node,
+            topo,
+        }
+    }
+
+    /// Number of tree nodes (driver + sinks + Steiner points).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the tree has no sinks.
+    pub fn is_empty(&self) -> bool {
+        self.sink_node.is_empty()
+    }
+
+    /// Total capacitance seen by the driver: the load used in the gate
+    /// delay model.
+    pub fn total_load(&self) -> f64 {
+        self.node_cap.iter().sum()
+    }
+
+    /// Elmore delay from the driver to every sink, in `net.sinks()` order.
+    ///
+    /// For each tree edge `e`, the delay contribution is
+    /// `R_e × C_downstream(e)`; the delay to a sink is the sum over edges on
+    /// the root→sink path.
+    pub fn elmore_delays(&self) -> Vec<f64> {
+        let n = self.len();
+        // `topo` lists parents before children; iterating it in reverse is a
+        // valid post-order for downstream-cap accumulation.
+        let mut downstream = self.node_cap.clone();
+        for i in (1..n).rev() {
+            let v = self.topo[i];
+            let p = self.parent[v];
+            downstream[p] += downstream[v];
+        }
+        let mut delay = vec![0.0; n];
+        for i in 1..n {
+            let v = self.topo[i];
+            let p = self.parent[v];
+            delay[v] = delay[p] + self.edge_res[v] * downstream[v];
+        }
+        self.sink_node.iter().map(|&v| delay[v]).collect()
+    }
+
+    /// Total wirelength implied by the tree (sum of edge lengths), derived
+    /// from the edge resistances.
+    pub fn wirelength(&self, params: &RcParams) -> f64 {
+        if params.res_per_unit == 0.0 {
+            return 0.0;
+        }
+        self.edge_res.iter().sum::<f64>() / params.res_per_unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{CellLibrary, DesignBuilder, Rect};
+
+    /// Builds a net with one driver and `sinks` INV loads at the given
+    /// positions; returns design/placement/net plus the sink input cap.
+    fn fanout_net(sinks: &[(f64, f64)]) -> (Design, Placement, NetId, f64) {
+        let lib = CellLibrary::standard();
+        let inv_cap = {
+            let ty = lib.get(lib.by_name("INV_X1").unwrap());
+            ty.pins[0].cap
+        };
+        let mut b = DesignBuilder::new("t", lib, Rect::new(0.0, 0.0, 1000.0, 1000.0), 10.0);
+        let drv = b.add_cell("drv", "INV_X1").unwrap();
+        let mut terms: Vec<(netlist::CellId, String)> = vec![(drv, "Y".to_string())];
+        let mut cells = vec![];
+        for i in 0..sinks.len() {
+            let c = b.add_cell(&format!("s{i}"), "INV_X1").unwrap();
+            cells.push(c);
+            terms.push((c, "A".to_string()));
+        }
+        let terms_ref: Vec<(netlist::CellId, &str)> =
+            terms.iter().map(|(c, s)| (*c, s.as_str())).collect();
+        let net = b.add_net("n", &terms_ref).unwrap();
+        // Tie off the sink outputs and driver input so the design validates.
+        let pi = b.add_fixed_cell("pi", "IOPAD_IN", 0.0, 0.0).unwrap();
+        b.add_net("nin", &[(pi, "PAD"), (drv, "A")]).unwrap();
+        for (i, &c) in cells.iter().enumerate() {
+            let po = b
+                .add_fixed_cell(&format!("po{i}"), "IOPAD_OUT", 0.0, 0.0)
+                .unwrap();
+            b.add_net(&format!("no{i}"), &[(c, "Y"), (po, "PAD")])
+                .unwrap();
+        }
+        let d = b.finish().unwrap();
+        let mut p = Placement::new(&d);
+        // Want driver OUTPUT pin at origin: INV_X1 Y offset is (2, 5).
+        p.set(drv, -2.0, -5.0);
+        for (i, &(x, y)) in sinks.iter().enumerate() {
+            // Sink INPUT pin A offset is (0, 5).
+            p.set(cells[i], x, y - 5.0);
+        }
+        (d, p, net, inv_cap)
+    }
+
+    #[test]
+    fn star_two_pin_elmore_matches_hand_formula() {
+        let (d, p, net, sink_cap) = fanout_net(&[(100.0, 0.0)]);
+        let params = RcParams::default();
+        let tree = RcTree::build(&d, &p, net, &params);
+        let delays = tree.elmore_delays();
+        assert_eq!(delays.len(), 1);
+        let len = 100.0;
+        let r = params.res_per_unit * len;
+        let cw = params.cap_per_unit * len;
+        // Elmore: R * (Cw/2 + Cpin) for the lumped pi model.
+        let expected = r * (cw / 2.0 + sink_cap);
+        assert!(
+            (delays[0] - expected).abs() < 1e-9,
+            "got {} expected {expected}",
+            delays[0]
+        );
+        assert!((tree.total_load() - (cw + sink_cap)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elmore_delay_is_quadratic_in_distance() {
+        let params = RcParams::default();
+        let delay_at = |dist: f64| {
+            let (d, p, net, _) = fanout_net(&[(dist, 0.0)]);
+            RcTree::build(&d, &p, net, &params).elmore_delays()[0]
+        };
+        let d1 = delay_at(100.0);
+        let d2 = delay_at(200.0);
+        // Doubling the distance should scale the wire term 4x; with the pin
+        // cap the ratio lies strictly between 2 and 4.
+        assert!(d2 / d1 > 2.5 && d2 / d1 <= 4.0, "ratio {}", d2 / d1);
+    }
+
+    #[test]
+    fn mst_never_longer_than_star() {
+        let sinks = [(100.0, 0.0), (110.0, 10.0), (120.0, -5.0), (-50.0, 30.0)];
+        let (d, p, net, _) = fanout_net(&sinks);
+        let star = RcParams::default();
+        let mst = RcParams::default().with_topology(NetTopology::SteinerMst);
+        let t_star = RcTree::build(&d, &p, net, &star);
+        let t_mst = RcTree::build(&d, &p, net, &mst);
+        assert!(t_mst.wirelength(&mst) <= t_star.wirelength(&star) + 1e-9);
+        // Clustered sinks make the MST strictly shorter.
+        assert!(t_mst.wirelength(&mst) < t_star.wirelength(&star));
+        assert_eq!(t_mst.elmore_delays().len(), sinks.len());
+    }
+
+    #[test]
+    fn mst_chain_has_increasing_delays() {
+        // Three sinks in a line: the farther sink accumulates delay through
+        // the nearer ones in the MST topology.
+        let (d, p, net, _) = fanout_net(&[(100.0, 0.0), (200.0, 0.0), (300.0, 0.0)]);
+        let params = RcParams::default().with_topology(NetTopology::SteinerMst);
+        let tree = RcTree::build(&d, &p, net, &params);
+        let delays = tree.elmore_delays();
+        assert!(delays[0] < delays[1] && delays[1] < delays[2]);
+        // Chain wirelength equals the span.
+        assert!((tree.wirelength(&params) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_length_net_has_zero_wire_delay() {
+        let (d, p, net, sink_cap) = fanout_net(&[(0.0, 0.0)]);
+        let tree = RcTree::build(&d, &p, net, &RcParams::default());
+        assert_eq!(tree.elmore_delays()[0], 0.0);
+        assert!((tree.total_load() - sink_cap).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a tiny design by hand, run the timing-driven flow and
+//! print the evaluation metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use netlist::{CellLibrary, DesignBuilder, Placement, Rect, Sdc};
+use tdp_core::{run_method, FlowConfig, Method};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4-stage pipeline: pi -> nand -> inv -> DFF -> buf -> po, with a
+    // side input. Real users would parse a netlist; the builder API is the
+    // programmatic equivalent.
+    let lib = CellLibrary::standard();
+    let die = Rect::new(0.0, 0.0, 200.0, 200.0);
+    let mut b = DesignBuilder::new("quickstart", lib, die, 10.0);
+    b.set_sdc(Sdc::new(400.0));
+
+    let pi_a = b.add_fixed_cell("pi_a", "IOPAD_IN", 0.0, 80.0)?;
+    let pi_b = b.add_fixed_cell("pi_b", "IOPAD_IN", 0.0, 120.0)?;
+    let nand = b.add_cell("u_nand", "NAND2_X1")?;
+    let inv = b.add_cell("u_inv", "INV_X1")?;
+    let dff = b.add_cell("u_dff", "DFF_X1")?;
+    let buf = b.add_cell("u_buf", "BUF_X1")?;
+    let po = b.add_fixed_cell("po", "IOPAD_OUT", 196.0, 100.0)?;
+
+    b.add_net("n_a", &[(pi_a, "PAD"), (nand, "A")])?;
+    b.add_net("n_b", &[(pi_b, "PAD"), (nand, "B")])?;
+    b.add_net("n_1", &[(nand, "Y"), (inv, "A")])?;
+    b.add_net("n_2", &[(inv, "Y"), (dff, "D")])?;
+    b.add_net("n_q", &[(dff, "Q"), (buf, "A")])?;
+    b.add_net("n_o", &[(buf, "Y"), (po, "PAD")])?;
+
+    let (design, fixed) = b.finish_with_positions()?;
+    let mut pads = Placement::new(&design);
+    for (cell, x, y) in fixed {
+        pads.set(cell, x, y);
+    }
+
+    // Small design: shrink the schedule accordingly.
+    let mut cfg = FlowConfig::default();
+    cfg.placer.min_iterations = 150;
+    cfg.placer.max_iterations = 200;
+    cfg.timing_start = 60;
+    cfg.timing_interval = 10;
+
+    let outcome = run_method(&design, pads, Method::EfficientTdp, &cfg);
+    println!("method     : {}", outcome.method);
+    println!("iterations : {}", outcome.iterations);
+    println!("HPWL       : {:.1}", outcome.metrics.hpwl);
+    println!(
+        "TNS / WNS  : {:.1} / {:.1} ps ({} of {} endpoints failing)",
+        outcome.metrics.tns,
+        outcome.metrics.wns,
+        outcome.metrics.failing_endpoints,
+        outcome.metrics.total_endpoints
+    );
+    for cell in design.cell_ids() {
+        let (x, y) = outcome.placement.get(cell);
+        println!("  {:8} at ({x:7.2}, {y:7.2})", design.cell(cell).name);
+    }
+    Ok(())
+}

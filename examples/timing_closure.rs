@@ -1,0 +1,54 @@
+//! Timing closure on a generated benchmark: compares the wirelength-driven
+//! baseline against the Efficient-TDP flow on one suite case and shows how
+//! much negative slack the pin-to-pin attraction recovers.
+//!
+//! ```text
+//! cargo run --release --example timing_closure [case]
+//! ```
+
+use tdp_core::{run_method, FlowConfig, Method};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "sb16".to_string());
+    let case = benchgen::suite()
+        .into_iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("unknown case {name}; try sb1/sb3/sb4/sb5/sb7/sb10/sb16/sb18"));
+    let (design, pads) = benchgen::generate(&case.params);
+    let stats = design.stats();
+    println!(
+        "case {}: {} cells ({} movable, {} flip-flops), {} nets, clock {} ps",
+        case.name,
+        stats.num_cells,
+        stats.num_movable,
+        stats.num_sequential,
+        stats.num_nets,
+        case.params.clock_period
+    );
+
+    let mut cfg = FlowConfig::default();
+    cfg.rc.res_per_unit = case.params.res_per_unit;
+    cfg.rc.cap_per_unit = case.params.cap_per_unit;
+
+    let baseline = run_method(&design, pads.clone(), Method::DreamPlace, &cfg);
+    let ours = run_method(&design, pads, Method::EfficientTdp, &cfg);
+
+    println!("\n{:<24} {:>12} {:>10} {:>12} {:>8}", "method", "TNS (ps)", "WNS (ps)", "HPWL", "failing");
+    for out in [&baseline, &ours] {
+        println!(
+            "{:<24} {:>12.0} {:>10.0} {:>12.0} {:>5}/{}",
+            out.method,
+            out.metrics.tns,
+            out.metrics.wns,
+            out.metrics.hpwl,
+            out.metrics.failing_endpoints,
+            out.metrics.total_endpoints
+        );
+    }
+    let tns_gain = 100.0 * (1.0 - ours.metrics.tns / baseline.metrics.tns.min(-1.0));
+    let hpwl_delta = 100.0 * (ours.metrics.hpwl / baseline.metrics.hpwl - 1.0);
+    println!(
+        "\nTNS improved by {:.1}% at {:+.1}% HPWL.",
+        tns_gain, hpwl_delta
+    );
+}

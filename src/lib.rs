@@ -1,0 +1,6 @@
+//! Facade crate re-exporting the Efficient-TDP workspace.
+pub use benchgen;
+pub use netlist;
+pub use placer;
+pub use sta;
+pub use tdp_core;

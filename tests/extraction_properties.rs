@@ -1,0 +1,122 @@
+//! Cross-crate integration tests for the critical-path extraction claims
+//! of Sec. III-B / Table 1.
+
+use efficient_tdp::benchgen::{generate, CircuitParams};
+use efficient_tdp::netlist::Placement;
+use efficient_tdp::sta::{RcParams, Sta};
+use efficient_tdp::tdp_core::{extraction::extraction_stats, ExtractionStrategy};
+
+fn analyzed(seed: u64) -> (efficient_tdp::netlist::Design, Sta) {
+    let params = CircuitParams::small("xprop", seed);
+    let (design, mut placement) = generate(&params);
+    let die = design.die();
+    let mut s = seed.wrapping_mul(2654435761).max(1);
+    for c in design.cell_ids() {
+        if design.cell(c).fixed {
+            continue;
+        }
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let x = (s % 9973) as f64 / 9973.0 * (die.width() - 8.0);
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let y = (s % 9973) as f64 / 9973.0 * (die.height() - 10.0);
+        placement.set(c, x, y);
+    }
+    let rc = RcParams {
+        res_per_unit: params.res_per_unit,
+        cap_per_unit: params.cap_per_unit,
+        ..RcParams::default()
+    };
+    let mut sta = Sta::new(&design, rc).expect("acyclic");
+    sta.analyze(&design, &placement);
+    let _ = placement;
+    (design, sta)
+}
+
+#[test]
+fn endpoint_extraction_covers_all_failing_endpoints_on_every_seed() {
+    for seed in [1u64, 7, 42] {
+        let (design, sta) = analyzed(seed);
+        let n = sta.failing_endpoints().len();
+        assert!(n > 0, "seed {seed}: no failing endpoints");
+        let stats = extraction_stats(
+            &sta,
+            &design,
+            ExtractionStrategy::ReportTimingEndpoint { k: 1 },
+        );
+        assert_eq!(stats.num_endpoints, n, "seed {seed}");
+        assert_eq!(stats.num_paths, n, "seed {seed}");
+    }
+}
+
+#[test]
+fn global_extraction_is_endpoint_concentrated() {
+    // The Table 1 phenomenon: with the same path budget, report_timing
+    // covers no more (usually far fewer) endpoints than the per-endpoint
+    // command, while both stay within the budget.
+    let (design, sta) = analyzed(3);
+    let global = extraction_stats(&sta, &design, ExtractionStrategy::ReportTiming { factor: 1 });
+    let per_ep = extraction_stats(
+        &sta,
+        &design,
+        ExtractionStrategy::ReportTimingEndpoint { k: 1 },
+    );
+    assert!(global.num_endpoints <= per_ep.num_endpoints);
+    assert!(global.num_paths <= per_ep.num_paths);
+    assert!(per_ep.num_pin_pairs >= global.num_pin_pairs / 2);
+}
+
+#[test]
+fn deeper_per_endpoint_extraction_is_monotone() {
+    let (design, sta) = analyzed(11);
+    let mut prev_paths = 0usize;
+    let mut prev_pairs = 0usize;
+    for k in [1usize, 2, 5, 10] {
+        let s = extraction_stats(
+            &sta,
+            &design,
+            ExtractionStrategy::ReportTimingEndpoint { k },
+        );
+        assert!(s.num_paths >= prev_paths, "k={k}");
+        assert!(s.num_pin_pairs >= prev_pairs, "k={k}");
+        prev_paths = s.num_paths;
+        prev_pairs = s.num_pin_pairs;
+    }
+}
+
+#[test]
+fn extracted_paths_are_exact_worst_paths() {
+    // The k-th reported path per endpoint must be no later than the
+    // (k-1)-th and the first must match the graph-worst arrival.
+    let (design, sta) = analyzed(19);
+    let paths = sta.report_timing_endpoint(&design, 20, 5);
+    let mut per_endpoint: std::collections::HashMap<_, Vec<f64>> = Default::default();
+    for p in &paths {
+        per_endpoint.entry(p.endpoint()).or_default().push(p.arrival());
+    }
+    for (ep, arrivals) in per_endpoint {
+        assert!(
+            (arrivals[0] - sta.arrival(ep).unwrap()).abs() < 1e-9,
+            "first path must be the graph-worst arrival"
+        );
+        for w in arrivals.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "paths out of order at {ep:?}");
+        }
+    }
+    let _ = design;
+}
+
+#[test]
+fn pin_pairs_follow_net_direction() {
+    let (design, sta) = analyzed(23);
+    for path in sta.report_timing_endpoint(&design, 50, 1) {
+        for (a, b) in path.net_pin_pairs(&sta) {
+            let net = design.pin(a).net.expect("pair pins are connected");
+            assert_eq!(design.net(net).driver(), a);
+            assert!(design.net(net).sinks().contains(&b));
+        }
+    }
+}

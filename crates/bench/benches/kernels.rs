@@ -1,64 +1,38 @@
-//! Criterion micro-benchmarks for the placement kernels: WA wirelength
-//! gradient, spectral Poisson solve, Abacus legalization and the
-//! pin-to-pin attraction gradient.
+//! Micro-benchmarks for the placement kernels: WA wirelength gradient,
+//! spectral Poisson solve, Abacus legalization and the pin-to-pin
+//! attraction gradient.
+//!
+//! `cargo bench -p bench --bench kernels`
 
-use bench::load_case;
-use criterion::{criterion_group, criterion_main, Criterion};
-use netlist::Placement;
+use bench::{load_case, micro, scatter_placement};
 use placer::{abacus_legalize, ElectrostaticDensity, WaWirelength};
 use std::hint::black_box;
 
-/// Deterministic scatter of the movable cells over the die.
-fn scattered(design: &netlist::Design, pads: &Placement) -> Placement {
-    let mut p = pads.clone();
-    let die = design.die();
-    let mut s = 99u64;
-    for c in design.cell_ids() {
-        if design.cell(c).fixed {
-            continue;
-        }
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        let x = (s % 9973) as f64 / 9973.0 * (die.width() - 8.0);
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        let y = (s % 9973) as f64 / 9973.0 * (die.height() - 10.0);
-        p.set(c, x, y);
-    }
-    p
-}
-
-fn bench_kernels(c: &mut Criterion) {
+fn main() {
     let case = benchgen::suite()
         .into_iter()
         .find(|s| s.name == "sb18")
         .expect("suite has sb18");
     let (design, pads) = load_case(&case);
-    let placement = scattered(&design, &pads);
+    let placement = scatter_placement(&design, &pads, 99);
 
     let wl = WaWirelength::new(10.0);
     let mut gx = vec![0.0; design.num_cells()];
     let mut gy = vec![0.0; design.num_cells()];
-    c.bench_function("wa_wirelength_gradient", |b| {
-        b.iter(|| {
-            gx.iter_mut().for_each(|g| *g = 0.0);
-            gy.iter_mut().for_each(|g| *g = 0.0);
-            black_box(wl.accumulate_gradient(&design, &placement, &[], &mut gx, &mut gy))
-        })
+    micro::bench("wa_wirelength_gradient", || {
+        gx.iter_mut().for_each(|g| *g = 0.0);
+        gy.iter_mut().for_each(|g| *g = 0.0);
+        black_box(wl.accumulate_gradient(&design, &placement, &[], &mut gx, &mut gy))
     });
 
     let mut density = ElectrostaticDensity::new(&design, &placement, 32, 32, 1.0);
-    c.bench_function("electrostatic_poisson_solve_32x32", |b| {
-        b.iter(|| black_box(density.update(&design, &placement)))
+    micro::bench("electrostatic_poisson_solve_32x32", || {
+        black_box(density.update(&design, &placement))
     });
 
-    c.bench_function("abacus_legalize", |b| {
-        b.iter(|| {
-            let mut p = placement.clone();
-            abacus_legalize(&design, &mut p)
-        })
+    micro::bench("abacus_legalize", || {
+        let mut p = placement.clone();
+        abacus_legalize(&design, &mut p)
     });
 
     // Pin-to-pin attraction over the extracted pair set.
@@ -75,28 +49,23 @@ fn bench_kernels(c: &mut Criterion) {
         pairs.update_path(&ps, slack, wns, 10.0, 0.2);
     }
     let loss = tdp_core::PinPairLoss::Quadratic;
-    c.bench_function("pin_pair_gradient", |b| {
-        b.iter(|| {
-            gx.iter_mut().for_each(|g| *g = 0.0);
-            gy.iter_mut().for_each(|g| *g = 0.0);
-            let mut total = 0.0;
-            for (&(i, j), &w) in pairs.iter() {
-                let (xi, yi) = placement.pin_position(&design, i);
-                let (xj, yj) = placement.pin_position(&design, j);
-                let (dx, dy) = (xi - xj, yi - yj);
-                total += w * loss.value(dx, dy);
-                let (gdx, gdy) = loss.gradient(dx, dy);
-                gx[design.pin(i).cell.index()] += w * gdx;
-                gy[design.pin(j).cell.index()] -= w * gdy;
-            }
-            black_box(total)
-        })
+    micro::bench("pin_pair_gradient", || {
+        gx.iter_mut().for_each(|g| *g = 0.0);
+        gy.iter_mut().for_each(|g| *g = 0.0);
+        let mut total = 0.0;
+        for (&(i, j), &w) in pairs.iter() {
+            let (xi, yi) = placement.pin_position(&design, i);
+            let (xj, yj) = placement.pin_position(&design, j);
+            let (dx, dy) = (xi - xj, yi - yj);
+            total += w * loss.value(dx, dy);
+            let (gdx, gdy) = loss.gradient(dx, dy);
+            let ci = design.pin(i).cell.index();
+            let cj = design.pin(j).cell.index();
+            gx[ci] += w * gdx;
+            gy[ci] += w * gdy;
+            gx[cj] -= w * gdx;
+            gy[cj] -= w * gdy;
+        }
+        black_box(total)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_kernels
-}
-criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Micro-benchmarks for this PR's hot-loop refactor: full vs incremental
+//! STA, serial vs parallel analysis, and 1-thread vs N-thread gradient
+//! accumulation. Every compared pair is bit-identical by construction
+//! (asserted in the test suites), so these numbers are pure speed.
+//!
+//! `cargo bench -p bench --bench parallel_sta`
+
+use bench::micro;
+use benchgen::{generate, CircuitParams};
+use netlist::{CellId, Design, Placement};
+use placer::WaWirelength;
+use sta::Sta;
+use std::hint::black_box;
+
+/// Moves `fraction` of the movable cells a few units (the typical
+/// between-timing-iterations churn of the flow).
+fn nudge(design: &Design, placement: &mut Placement, fraction: f64, seed: u64) -> Vec<CellId> {
+    let movable: Vec<_> = design
+        .cell_ids()
+        .filter(|&c| !design.cell(c).fixed)
+        .collect();
+    let count = ((movable.len() as f64 * fraction) as usize).max(1);
+    let mut s = seed.max(1);
+    let mut moved = Vec::with_capacity(count);
+    for _ in 0..count {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let c = movable[(s % movable.len() as u64) as usize];
+        let (x, y) = placement.get(c);
+        placement.set(c, x + 2.5, y + 1.5);
+        moved.push(c);
+    }
+    moved.sort_unstable();
+    moved.dedup();
+    moved
+}
+
+fn main() {
+    let threads = parx::resolve_threads(0);
+    println!("machine parallelism: {threads} threads\n");
+    let (design, pads) = generate(&CircuitParams::medium("par", 42));
+    println!(
+        "design: {} cells, {} nets, {} pins\n",
+        design.num_cells(),
+        design.num_nets(),
+        design.num_pins()
+    );
+    let placement = bench::scatter_placement(&design, &pads, 5);
+    let rc = sta::RcParams::default();
+
+    // --- full STA, serial vs parallel --------------------------------
+    let mut sta1 = Sta::new(&design, rc).unwrap().with_threads(1);
+    let serial_full = micro::bench("sta_full_analysis_1_thread", || {
+        sta1.analyze(&design, &placement);
+        black_box(sta1.summary())
+    });
+    let mut stan = Sta::new(&design, rc).unwrap().with_threads(threads);
+    let par_full = micro::bench("sta_full_analysis_n_threads", || {
+        stan.analyze(&design, &placement);
+        black_box(stan.summary())
+    });
+    micro::report_speedup("  full STA parallel speedup", serial_full, par_full);
+
+    // --- full vs incremental (2% of cells moved) ---------------------
+    let mut p2 = placement.clone();
+    let moved = nudge(&design, &mut p2, 0.02, 77);
+    println!("\nincremental: {} moved cells", moved.len());
+    let mut full = Sta::new(&design, rc).unwrap().with_threads(1);
+    full.analyze(&design, &placement);
+    let full_time = micro::bench("sta_full_reanalysis_after_move", || {
+        full.analyze(&design, &p2);
+        black_box(full.summary())
+    });
+    let mut inc = Sta::new(&design, rc).unwrap().with_threads(1);
+    inc.analyze(&design, &placement);
+    let inc_time = micro::bench("sta_incremental_after_move", || {
+        inc.analyze_incremental(&design, &p2, &moved);
+        black_box(inc.summary())
+    });
+    micro::report_speedup("  incremental STA speedup", full_time, inc_time);
+
+    // --- WA wirelength gradient, 1 vs N threads ----------------------
+    println!();
+    let wl = WaWirelength::new(10.0);
+    let mut wl_scratch = placer::WaScratch::default();
+    let mut gx = vec![0.0; design.num_cells()];
+    let mut gy = vec![0.0; design.num_cells()];
+    let wl1 = micro::bench("wa_gradient_1_thread", || {
+        gx.iter_mut().for_each(|g| *g = 0.0);
+        gy.iter_mut().for_each(|g| *g = 0.0);
+        black_box(wl.accumulate_gradient_threads(
+            &design,
+            &placement,
+            &[],
+            &mut gx,
+            &mut gy,
+            1,
+            &mut wl_scratch,
+        ))
+    });
+    let wln = micro::bench("wa_gradient_n_threads", || {
+        gx.iter_mut().for_each(|g| *g = 0.0);
+        gy.iter_mut().for_each(|g| *g = 0.0);
+        black_box(wl.accumulate_gradient_threads(
+            &design,
+            &placement,
+            &[],
+            &mut gx,
+            &mut gy,
+            threads,
+            &mut wl_scratch,
+        ))
+    });
+    micro::report_speedup("  wirelength gradient parallel speedup", wl1, wln);
+}

@@ -1,86 +1,52 @@
-//! Criterion micro-benchmarks for the STA engine: full analysis and the
-//! two path-extraction strategies (the paper's 6× speedup claim).
+//! Micro-benchmarks for the STA engine: full analysis and the two
+//! path-extraction strategies (the paper's 6× speedup claim).
+//!
+//! `cargo bench -p bench --bench sta_bench`
 
-use bench::load_case;
-use criterion::{criterion_group, criterion_main, Criterion};
-use netlist::Placement;
+use bench::{load_case, micro, scatter_placement};
 use sta::Sta;
 use std::hint::black_box;
 use tdp_core::extraction::extract_paths;
 use tdp_core::ExtractionStrategy;
 
-fn scattered(design: &netlist::Design, pads: &Placement) -> Placement {
-    let mut p = pads.clone();
-    let die = design.die();
-    let mut s = 5u64;
-    for c in design.cell_ids() {
-        if design.cell(c).fixed {
-            continue;
-        }
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        let x = (s % 9973) as f64 / 9973.0 * (die.width() - 8.0);
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        let y = (s % 9973) as f64 / 9973.0 * (die.height() - 10.0);
-        p.set(c, x, y);
-    }
-    p
-}
-
-fn bench_sta(c: &mut Criterion) {
+fn main() {
     let case = benchgen::suite()
         .into_iter()
         .find(|s| s.name == "sb1")
         .expect("suite has sb1");
     let (design, pads) = load_case(&case);
-    let placement = scattered(&design, &pads);
+    let placement = scatter_placement(&design, &pads, 5);
     let cfg = bench::suite_config(&case);
 
-    c.bench_function("sta_full_analysis_sb1", |b| {
+    {
         let mut sta = Sta::new(&design, cfg.rc).expect("acyclic");
-        b.iter(|| {
+        micro::bench("sta_full_analysis_sb1", || {
             sta.analyze(&design, &placement);
             black_box(sta.summary())
-        })
-    });
+        });
+    }
 
     let mut sta = Sta::new(&design, cfg.rc).expect("acyclic");
     sta.analyze(&design, &placement);
-    c.bench_function("extract_report_timing_n", |b| {
-        b.iter(|| {
-            black_box(extract_paths(
-                &sta,
-                &design,
-                ExtractionStrategy::ReportTiming { factor: 1 },
-            ))
-        })
+    micro::bench("extract_report_timing_n", || {
+        black_box(extract_paths(
+            &sta,
+            &design,
+            ExtractionStrategy::ReportTiming { factor: 1 },
+        ))
     });
-    c.bench_function("extract_report_timing_endpoint_n_1", |b| {
-        b.iter(|| {
-            black_box(extract_paths(
-                &sta,
-                &design,
-                ExtractionStrategy::ReportTimingEndpoint { k: 1 },
-            ))
-        })
+    micro::bench("extract_report_timing_endpoint_n_1", || {
+        black_box(extract_paths(
+            &sta,
+            &design,
+            ExtractionStrategy::ReportTimingEndpoint { k: 1 },
+        ))
     });
-    c.bench_function("extract_report_timing_endpoint_n_10", |b| {
-        b.iter(|| {
-            black_box(extract_paths(
-                &sta,
-                &design,
-                ExtractionStrategy::ReportTimingEndpoint { k: 10 },
-            ))
-        })
+    micro::bench("extract_report_timing_endpoint_n_10", || {
+        black_box(extract_paths(
+            &sta,
+            &design,
+            ExtractionStrategy::ReportTimingEndpoint { k: 10 },
+        ))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_sta
-}
-criterion_main!(benches);

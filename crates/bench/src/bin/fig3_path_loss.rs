@@ -36,13 +36,21 @@ fn main() {
     let (design, pads) = load_case(&case);
     let cfg = suite_config(&case);
 
-    println!("# Fig. 3 — one critical path optimized with different distance losses ({})", case.name);
+    println!(
+        "# Fig. 3 — one critical path optimized with different distance losses ({})",
+        case.name
+    );
 
     // (a) Before timing optimization: wirelength-driven placement.
     let before = run_method(&design, pads.clone(), Method::DreamPlace, &cfg);
     let (path0, _) = path_of(&design, &before.placement, &cfg);
     let endpoint = path0.endpoint();
-    print_path("(a) before optimization", &design, &before.placement, &path0);
+    print_path(
+        "(a) before optimization",
+        &design,
+        &before.placement,
+        &path0,
+    );
 
     // (b)-(d): the flow with each loss; report the same endpoint's worst
     // path afterwards.

@@ -10,7 +10,11 @@ use tdp_core::{run_method, Method, RuntimeBreakdown};
 
 fn print_breakdown(label: &str, r: &RuntimeBreakdown, norm: f64) {
     let pct = |d: std::time::Duration| 100.0 * d.as_secs_f64() / norm;
-    println!("## {label} (total {:.2}s = {:.1}% of DREAMPlace 4.0)", r.total.as_secs_f64(), 100.0 * r.total.as_secs_f64() / norm);
+    println!(
+        "## {label} (total {:.2}s = {:.1}% of DREAMPlace 4.0)",
+        r.total.as_secs_f64(),
+        100.0 * r.total.as_secs_f64() / norm
+    );
     println!("  IO/setup          {:6.1}%", pct(r.io));
     println!("  Timing analysis   {:6.1}%", pct(r.timing_analysis));
     println!("  Weighting         {:6.1}%", pct(r.weighting));

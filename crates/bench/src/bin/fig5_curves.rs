@@ -26,7 +26,15 @@ fn main() {
 
     println!(
         "{:>5} | {:>10} {:>8} {:>10} {:>8} | {:>10} {:>8} {:>10} {:>8}",
-        "iter", "dp4.hpwl", "dp4.ovf", "dp4.tns", "dp4.wns", "our.hpwl", "our.ovf", "our.tns", "our.wns"
+        "iter",
+        "dp4.hpwl",
+        "dp4.ovf",
+        "dp4.tns",
+        "dp4.wns",
+        "our.hpwl",
+        "our.ovf",
+        "our.tns",
+        "our.wns"
     );
     let len = dp4.trace.len().max(ours.trace.len());
     for i in (0..len).step_by(10) {

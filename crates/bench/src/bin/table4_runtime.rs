@@ -13,7 +13,11 @@ use bench::{load_case, suite_config};
 use tdp_core::{run_method, Method};
 
 fn main() {
-    let methods = [Method::DreamPlace, Method::DreamPlace4, Method::EfficientTdp];
+    let methods = [
+        Method::DreamPlace,
+        Method::DreamPlace4,
+        Method::EfficientTdp,
+    ];
     println!("# Table 4 — runtime (seconds, single-core)");
     println!(
         "{:<6} {:>12} {:>16} {:>12}",

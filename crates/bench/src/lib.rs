@@ -14,6 +14,8 @@
 //!
 //! Run with `cargo run --release -p bench --bin <name>`.
 
+pub mod micro;
+
 use benchgen::SuiteCase;
 use netlist::{Design, Placement};
 use tdp_core::{FlowConfig, Metrics};
@@ -24,6 +26,10 @@ pub fn suite_config(case: &SuiteCase) -> FlowConfig {
     let mut cfg = FlowConfig::default();
     cfg.rc.res_per_unit = case.params.res_per_unit;
     cfg.rc.cap_per_unit = case.params.cap_per_unit;
+    // The paper harness reports single-core numbers (table4_runtime is
+    // labeled as such); the threads knob is benchmarked separately by
+    // `benches/parallel_sta.rs`.
+    cfg.threads = 1;
     cfg
 }
 
@@ -31,6 +37,8 @@ pub fn suite_config(case: &SuiteCase) -> FlowConfig {
 pub fn load_case(case: &SuiteCase) -> (Design, Placement) {
     benchgen::generate(&case.params)
 }
+
+pub use benchgen::scatter_placement;
 
 /// One row of a metric table: `(tns, wns, hpwl)` per method column.
 #[derive(Debug, Clone, Default)]

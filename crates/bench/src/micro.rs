@@ -1,0 +1,46 @@
+//! Minimal micro-benchmark harness.
+//!
+//! The build container cannot fetch criterion, so the `benches/` targets
+//! use this instead (`harness = false`): warm up, run until a time
+//! budget or an iteration cap is hit, and report min / median / mean
+//! per-iteration wall-clock. No statistics beyond that — the BENCH
+//! trajectory only needs stable relative numbers.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Time budget per benchmark (after warm-up).
+const BUDGET: Duration = Duration::from_millis(700);
+/// Hard cap on measured iterations.
+const MAX_ITERS: usize = 500;
+
+/// Runs `f` repeatedly and prints a one-line summary; returns the mean.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Duration {
+    // Warm-up (also primes caches and page tables).
+    black_box(f());
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < BUDGET && samples.len() < MAX_ITERS {
+        let t = Instant::now();
+        black_box(f());
+        samples.push(t.elapsed());
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<44} {:>10} iters  min {:>12?}  median {:>12?}  mean {:>12?}",
+        samples.len(),
+        min,
+        median,
+        mean
+    );
+    mean
+}
+
+/// Prints a speedup line comparing two means from [`bench`].
+pub fn report_speedup(label: &str, baseline: Duration, contender: Duration) {
+    let ratio = baseline.as_secs_f64() / contender.as_secs_f64().max(1e-12);
+    println!("{label:<44} {ratio:>10.2}x");
+}

@@ -146,7 +146,10 @@ pub fn generate(params: &CircuitParams) -> (Design, Placement) {
     // --- flip-flops and combinational gates ----------------------------
     let mut ffs: Vec<CellId> = Vec::with_capacity(params.num_ff);
     for i in 0..params.num_ff {
-        ffs.push(b.add_cell(&format!("ff{i}"), "DFF_X1").expect("unique name"));
+        ffs.push(
+            b.add_cell(&format!("ff{i}"), "DFF_X1")
+                .expect("unique name"),
+        );
     }
     // Weighted gate-type mix; drive strengths skew toward X1.
     const GATES: &[(&str, u32)] = &[
@@ -358,9 +361,7 @@ mod tests {
         let (d1, _) = generate(&CircuitParams::small("t", 1));
         let (d2, _) = generate(&CircuitParams::small("t", 2));
         let nets_equal = d1.num_nets() == d2.num_nets()
-            && d1
-                .net_ids()
-                .all(|n| d1.net(n).pins == d2.net(n).pins);
+            && d1.net_ids().all(|n| d1.net(n).pins == d2.net(n).pins);
         assert!(!nets_equal, "seeds 1 and 2 produced identical netlists");
     }
 
@@ -387,11 +388,13 @@ mod tests {
                 continue;
             }
             let (x, y) = pl.get(c);
-            let on_edge = x <= die.lx + 1e-9
-                || x >= die.ux - 8.0
-                || y <= die.ly + 1e-9
-                || y >= die.uy - 10.0;
-            assert!(on_edge, "pad {} at ({x},{y}) not on boundary", d.cell(c).name);
+            let on_edge =
+                x <= die.lx + 1e-9 || x >= die.ux - 8.0 || y <= die.ly + 1e-9 || y >= die.uy - 10.0;
+            assert!(
+                on_edge,
+                "pad {} at ({x},{y}) not on boundary",
+                d.cell(c).name
+            );
         }
     }
 

@@ -32,3 +32,30 @@ pub mod suite;
 
 pub use circuit::{generate, CircuitParams};
 pub use suite::{suite, SuiteCase};
+
+use netlist::{Design, Placement};
+
+/// Deterministic xorshift scatter of the movable cells across the die —
+/// the shared "mid-flow placement" stand-in the micro-benches and
+/// equivalence tests measure against. Fixed cells keep their `pads`
+/// positions.
+pub fn scatter_placement(design: &Design, pads: &Placement, seed: u64) -> Placement {
+    let mut p = pads.clone();
+    let die = design.die();
+    let mut s = seed.max(1);
+    for c in design.cell_ids() {
+        if design.cell(c).fixed {
+            continue;
+        }
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let x = (s % 9973) as f64 / 9973.0 * (die.width() - 8.0);
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let y = (s % 9973) as f64 / 9973.0 * (die.height() - 10.0);
+        p.set(c, x, y);
+    }
+    p
+}

@@ -91,7 +91,10 @@ mod tests {
             let c = s.iter().find(|c| c.name == name).unwrap();
             c.params.num_comb + c.params.num_ff
         };
-        let sizes: Vec<usize> = s.iter().map(|c| c.params.num_comb + c.params.num_ff).collect();
+        let sizes: Vec<usize> = s
+            .iter()
+            .map(|c| c.params.num_comb + c.params.num_ff)
+            .collect();
         assert_eq!(size("sb10"), *sizes.iter().max().unwrap());
         assert_eq!(size("sb18"), *sizes.iter().min().unwrap());
     }

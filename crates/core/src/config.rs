@@ -35,6 +35,10 @@ pub struct FlowConfig {
     pub momentum_decay: f64,
     /// Net-weight boost scale for the net-weighting baselines.
     pub net_weight_alpha: f64,
+    /// Worker count for STA and the gradient kernels: `0` = one per
+    /// hardware thread, `1` = serial. Results are bit-identical for
+    /// every value — this is a speed knob only.
+    pub threads: usize,
 }
 
 impl Default for FlowConfig {
@@ -62,6 +66,7 @@ impl Default for FlowConfig {
             },
             momentum_decay: 0.5,
             net_weight_alpha: 8.0,
+            threads: 0,
         }
     }
 }

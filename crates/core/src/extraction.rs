@@ -59,11 +59,7 @@ pub struct ExtractionStats {
 }
 
 /// Extracts critical paths per the strategy. `sta` must be analyzed.
-pub fn extract_paths(
-    sta: &Sta,
-    design: &Design,
-    strategy: ExtractionStrategy,
-) -> Vec<TimingPath> {
+pub fn extract_paths(sta: &Sta, design: &Design, strategy: ExtractionStrategy) -> Vec<TimingPath> {
     let n_failing = sta.failing_endpoints().len();
     match strategy {
         ExtractionStrategy::ReportTiming { factor } => {
@@ -122,7 +118,7 @@ pub fn extraction_stats(
 mod tests {
     use super::*;
     use benchgen::{generate, CircuitParams};
-    use netlist::Placement;
+
     use sta::RcParams;
 
     fn analyzed_case() -> (Design, Sta) {
@@ -174,7 +170,11 @@ mod tests {
     fn report_timing_concentrates_on_few_endpoints() {
         let (design, sta) = analyzed_case();
         let failing = sta.failing_endpoints().len();
-        let global = extraction_stats(&sta, &design, ExtractionStrategy::ReportTiming { factor: 1 });
+        let global = extraction_stats(
+            &sta,
+            &design,
+            ExtractionStrategy::ReportTiming { factor: 1 },
+        );
         let per_ep = extraction_stats(
             &sta,
             &design,

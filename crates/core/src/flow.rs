@@ -4,13 +4,24 @@
 //! selected timing mechanism, Abacus legalization, shared evaluation — and
 //! returns metrics, a per-iteration trace (Fig. 5) and a runtime breakdown
 //! (Table 4 / Fig. 4).
+//!
+//! The paper's method ([`EfficientTdpObjective`]) runs one full STA at
+//! its first timing iteration and **incremental** analyses afterwards:
+//! the placement engine's [`netlist::MoveTracker`] reports which cells
+//! moved since the previous timing call, and only the nets they touch
+//! get their RC trees rebuilt. With the default zero move threshold the
+//! incremental results are bit-identical to a full analysis, so this is
+//! purely a runtime optimization. RC refresh, both propagation passes
+//! and the pin-pair gradient all parallelize across
+//! [`FlowConfig::threads`] workers with thread-count-invariant results.
 
 use crate::config::FlowConfig;
 use crate::extraction::extract_pin_pairs;
 use crate::metrics::{evaluate, Metrics};
 use crate::pinpair::PinPairSet;
 use crate::weighting::{DifferentiableTdpWeighting, MomentumNetWeighting};
-use netlist::{Design, Placement};
+use netlist::{Design, MoveTracker, PinId, Placement};
+use parx::UnsafeSlice;
 use placer::{abacus_legalize, GlobalPlacer, NoTimingObjective, TimingObjective};
 use sta::Sta;
 use std::time::{Duration, Instant};
@@ -57,6 +68,9 @@ pub struct RuntimeBreakdown {
     pub gradient_and_others: Duration,
     /// Total flow time.
     pub total: Duration,
+    /// Resolved worker count the run used (`FlowConfig::threads` after
+    /// 0-means-auto resolution).
+    pub threads: usize,
 }
 
 /// Per-iteration trace row for the Fig. 5 curves. TNS/WNS carry the value
@@ -93,25 +107,42 @@ pub struct FlowOutcome {
 }
 
 /// The paper's objective: pin-to-pin attraction over extracted paths.
+///
+/// The first timing iteration runs a full [`Sta::analyze`]; every later
+/// one runs [`Sta::analyze_incremental`] over the cells the engine's
+/// [`MoveTracker`] reports, rebasing the tracker afterwards. The pin-pair
+/// gradient is evaluated through a cell-incidence index so each cell
+/// accumulates its own contributions — deterministic for any worker
+/// count.
 pub struct EfficientTdpObjective {
     sta: Sta,
     cfg: FlowConfig,
     pairs: PinPairSet,
+    /// Pin-pair snapshot + cell incidence, rebuilt when `pairs` changes.
+    grad_index: PairGradIndex,
+    pairs_dirty: bool,
     sta_time: Duration,
     weighting_time: Duration,
     timing_trace: Vec<(usize, f64, f64)>,
+    /// Number of timing iterations served incrementally (diagnostics).
+    incremental_analyses: usize,
 }
 
 impl EfficientTdpObjective {
     /// Creates the objective; builds the timing graph once.
     pub fn new(design: &Design, cfg: FlowConfig) -> Self {
         Self {
-            sta: Sta::new(design, cfg.rc).expect("acyclic design"),
+            sta: Sta::new(design, cfg.rc)
+                .expect("acyclic design")
+                .with_threads(cfg.threads),
             cfg,
             pairs: PinPairSet::new(),
+            grad_index: PairGradIndex::default(),
+            pairs_dirty: false,
             sta_time: Duration::ZERO,
             weighting_time: Duration::ZERO,
             timing_trace: Vec::new(),
+            incremental_analyses: 0,
         }
     }
 
@@ -129,17 +160,36 @@ impl EfficientTdpObjective {
     pub fn runtimes(&self) -> (Duration, Duration) {
         (self.sta_time, self.weighting_time)
     }
+
+    /// How many timing iterations used the incremental path (all but the
+    /// first, unless analyses never ran).
+    pub fn incremental_analyses(&self) -> usize {
+        self.incremental_analyses
+    }
 }
 
 impl TimingObjective for EfficientTdpObjective {
-    fn begin_iteration(&mut self, iter: usize, design: &Design, placement: &Placement) {
+    fn begin_iteration(
+        &mut self,
+        iter: usize,
+        design: &Design,
+        placement: &Placement,
+        moves: &mut MoveTracker,
+    ) {
         if iter < self.cfg.timing_start
-            || (iter - self.cfg.timing_start) % self.cfg.timing_interval != 0
+            || !(iter - self.cfg.timing_start).is_multiple_of(self.cfg.timing_interval)
         {
             return;
         }
         let t = Instant::now();
-        self.sta.analyze(design, placement);
+        if self.sta.is_analyzed() {
+            let moved = moves.moved_cells(placement);
+            self.sta.analyze_incremental(design, placement, &moved);
+            self.incremental_analyses += 1;
+        } else {
+            self.sta.analyze(design, placement);
+        }
+        moves.rebase(placement);
         self.sta_time += t.elapsed();
         let summary = self.sta.summary();
         self.timing_trace.push((iter, summary.tns, summary.wns));
@@ -152,6 +202,7 @@ impl TimingObjective for EfficientTdpObjective {
             self.pairs
                 .update_path(pairs, *slack, summary.wns, self.cfg.w0, self.cfg.w1);
         }
+        self.pairs_dirty = true;
         self.weighting_time += t.elapsed();
     }
 
@@ -169,21 +220,155 @@ impl TimingObjective for EfficientTdpObjective {
         if self.pairs.is_empty() {
             return 0.0;
         }
-        let beta = self.cfg.beta;
-        let loss_fn = self.cfg.loss;
-        let mut total = 0.0;
-        for (&(i, j), &w) in self.pairs.iter() {
-            let (xi, yi) = placement.pin_position(design, i);
-            let (xj, yj) = placement.pin_position(design, j);
-            let (dx, dy) = (xi - xj, yi - yj);
-            total += beta * w * loss_fn.value(dx, dy);
-            let (gx, gy) = loss_fn.gradient(dx, dy);
+        if self.pairs_dirty {
+            self.grad_index.rebuild(design, &self.pairs);
+            self.pairs_dirty = false;
+        }
+        self.grad_index.accumulate(
+            design,
+            placement,
+            self.cfg.beta,
+            self.cfg.loss,
+            grad_x,
+            grad_y,
+            self.cfg.threads,
+        )
+    }
+}
+
+/// Pin-pair gradient evaluator: a snapshot of the pair set plus a
+/// cell → incident-pair index (CSR), so the gradient becomes two
+/// slot-disjoint parallel phases — per pair, then per cell — instead of
+/// a serial scatter loop.
+#[derive(Debug, Default)]
+struct PairGradIndex {
+    /// `(i, j, weight)` snapshot in the set's deterministic order.
+    pairs: Vec<(PinId, PinId, f64)>,
+    /// CSR offsets per cell into `incidence`.
+    cell_start: Vec<u32>,
+    /// Cells with at least one incident pair, sorted; phase 2 iterates
+    /// these instead of scanning every cell in the design.
+    touched_cells: Vec<u32>,
+    /// `(pair index << 1) | side` — side 0 carries `+grad`, 1 `−grad`.
+    incidence: Vec<u32>,
+    /// Phase-1 scratch: `(gx, gy)` per pair (β·w folded in).
+    scratch: Vec<(f64, f64)>,
+}
+
+impl PairGradIndex {
+    /// Rebuilds the snapshot and the cell incidence from `pairs`.
+    fn rebuild(&mut self, design: &Design, pairs: &PinPairSet) {
+        self.pairs.clear();
+        self.pairs
+            .extend(pairs.iter().map(|(&(i, j), &w)| (i, j, w)));
+        let num_cells = design.num_cells();
+        self.cell_start.clear();
+        self.cell_start.resize(num_cells + 1, 0);
+        for &(i, j, _) in &self.pairs {
+            self.cell_start[design.pin(i).cell.index() + 1] += 1;
+            self.cell_start[design.pin(j).cell.index() + 1] += 1;
+        }
+        for c in 0..num_cells {
+            self.cell_start[c + 1] += self.cell_start[c];
+        }
+        let mut cursor = self.cell_start.clone();
+        self.incidence.clear();
+        self.incidence.resize(2 * self.pairs.len(), 0);
+        for (k, &(i, j, _)) in self.pairs.iter().enumerate() {
             let ci = design.pin(i).cell.index();
             let cj = design.pin(j).cell.index();
-            grad_x[ci] += beta * w * gx;
-            grad_y[ci] += beta * w * gy;
-            grad_x[cj] -= beta * w * gx;
-            grad_y[cj] -= beta * w * gy;
+            self.incidence[cursor[ci] as usize] = (k as u32) << 1;
+            cursor[ci] += 1;
+            self.incidence[cursor[cj] as usize] = ((k as u32) << 1) | 1;
+            cursor[cj] += 1;
+        }
+        self.scratch.clear();
+        self.scratch.resize(self.pairs.len(), (0.0, 0.0));
+        self.touched_cells.clear();
+        for c in 0..num_cells {
+            if self.cell_start[c] != self.cell_start[c + 1] {
+                self.touched_cells.push(c as u32);
+            }
+        }
+    }
+
+    /// Evaluates `β·Σ w·L` and its gradient. Phase 1 computes each pair's
+    /// loss and gradient into the pair's own slot; phase 2 lets each cell
+    /// pull its incident pairs in index order. Both phases are
+    /// slot-disjoint and the value reduction is chunk-ordered, so the
+    /// result is bit-identical for every thread count.
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate(
+        &mut self,
+        design: &Design,
+        placement: &Placement,
+        beta: f64,
+        loss_fn: crate::loss::PinPairLoss,
+        grad_x: &mut [f64],
+        grad_y: &mut [f64],
+        threads: usize,
+    ) -> f64 {
+        let workers = if self.pairs.len() < 512 {
+            1
+        } else {
+            parx::resolve_threads(threads)
+        };
+        let mut total = 0.0f64;
+        {
+            let pairs = &self.pairs;
+            let slots = UnsafeSlice::new(&mut self.scratch);
+            parx::par_map_reduce(
+                workers,
+                pairs.len(),
+                64,
+                |range| {
+                    let mut partial = 0.0f64;
+                    for k in range {
+                        let (i, j, w) = pairs[k];
+                        let (xi, yi) = placement.pin_position(design, i);
+                        let (xj, yj) = placement.pin_position(design, j);
+                        let (dx, dy) = (xi - xj, yi - yj);
+                        partial += beta * w * loss_fn.value(dx, dy);
+                        let (gx, gy) = loss_fn.gradient(dx, dy);
+                        // SAFETY: slot `k` is written by this chunk alone.
+                        unsafe { slots.write(k, (beta * w * gx, beta * w * gy)) };
+                    }
+                    partial
+                },
+                |partial| total += partial,
+            );
+        }
+        {
+            let gx_slots = UnsafeSlice::new(grad_x);
+            let gy_slots = UnsafeSlice::new(grad_y);
+            let scratch = &self.scratch;
+            let cell_start = &self.cell_start;
+            let incidence = &self.incidence;
+            let touched = &self.touched_cells;
+            parx::par_for(workers, touched.len(), 128, |range| {
+                for t in range {
+                    let c = touched[t] as usize;
+                    let lo = cell_start[c] as usize;
+                    let hi = cell_start[c + 1] as usize;
+                    let mut sx = 0.0;
+                    let mut sy = 0.0;
+                    for &entry in &incidence[lo..hi] {
+                        let (gx, gy) = scratch[(entry >> 1) as usize];
+                        if entry & 1 == 0 {
+                            sx += gx;
+                            sy += gy;
+                        } else {
+                            sx -= gx;
+                            sy -= gy;
+                        }
+                    }
+                    // SAFETY: cell slot `c` is written by this chunk alone.
+                    unsafe {
+                        gx_slots.write(c, gx_slots.read(c) + sx);
+                        gy_slots.write(c, gy_slots.read(c) + sy);
+                    }
+                }
+            });
         }
         total
     }
@@ -200,6 +385,8 @@ pub fn run_method(
     let t_total = Instant::now();
     let t_io = Instant::now();
     let mut placer_cfg = cfg.placer;
+    // One knob drives every parallel kernel in the run.
+    placer_cfg.threads = cfg.threads;
     if method == Method::DreamPlace {
         // Pure wirelength placement stops at density convergence, as the
         // original DREAMPlace does (Table 4's runtime gap).
@@ -268,6 +455,7 @@ pub fn run_method(
         legalization,
         gradient_and_others: total.saturating_sub(accounted),
         total,
+        threads: parx::resolve_threads(cfg.threads),
     };
 
     // Merge the engine trace with the timing trace (carry-forward).
@@ -369,6 +557,23 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", method.label()));
             assert!(out.metrics.total_endpoints > 0);
         }
+    }
+
+    #[test]
+    fn default_flow_uses_incremental_sta_after_first_analysis() {
+        let (design, pads) = generate(&CircuitParams::small("f", 26));
+        let cfg = quick_config();
+        let mut placer_cfg = cfg.placer;
+        placer_cfg.min_iterations = placer_cfg
+            .min_iterations
+            .max(cfg.timing_start + 6 * cfg.timing_interval);
+        let mut engine = GlobalPlacer::new(&design, pads, placer_cfg);
+        let mut obj = EfficientTdpObjective::new(&design, cfg.clone());
+        engine.run_with(&design, &mut obj);
+        let analyses = obj.timing_trace().len();
+        assert!(analyses >= 2, "expected several timing iterations");
+        // Every analysis after the first full one took the incremental path.
+        assert_eq!(obj.incremental_analyses(), analyses - 1);
     }
 
     #[test]

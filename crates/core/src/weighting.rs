@@ -12,7 +12,7 @@
 //!   backpropagated timing engine (see DESIGN.md for the substitution
 //!   argument).
 
-use netlist::{Design, Placement};
+use netlist::{Design, MoveTracker, Placement};
 use placer::TimingObjective;
 use sta::{ArcKind, RcParams, Sta};
 use std::time::{Duration, Instant};
@@ -34,7 +34,13 @@ struct NetWeightBase {
 }
 
 impl NetWeightBase {
-    fn new(design: &Design, rc: RcParams, timing_start: usize, interval: usize, alpha: f64) -> Self {
+    fn new(
+        design: &Design,
+        rc: RcParams,
+        timing_start: usize,
+        interval: usize,
+        alpha: f64,
+    ) -> Self {
         Self {
             sta: Sta::new(design, rc).expect("acyclic design"),
             weights: vec![1.0; design.num_nets()],
@@ -48,7 +54,7 @@ impl NetWeightBase {
     }
 
     fn timing_iteration(&self, iter: usize) -> bool {
-        iter >= self.timing_start && (iter - self.timing_start) % self.interval == 0
+        iter >= self.timing_start && (iter - self.timing_start).is_multiple_of(self.interval)
     }
 
     fn analyze(&mut self, iter: usize, design: &Design, placement: &Placement) {
@@ -100,7 +106,16 @@ impl MomentumNetWeighting {
 }
 
 impl TimingObjective for MomentumNetWeighting {
-    fn begin_iteration(&mut self, iter: usize, design: &Design, placement: &Placement) {
+    fn begin_iteration(
+        &mut self,
+        iter: usize,
+        design: &Design,
+        placement: &Placement,
+        _moves: &mut MoveTracker,
+    ) {
+        // The net-weighting baselines deliberately run a full STA every
+        // timing iteration (that is the cost the paper compares against),
+        // so the move tracker is left untouched.
         if !self.base.timing_iteration(iter) {
             return;
         }
@@ -181,7 +196,16 @@ impl DifferentiableTdpWeighting {
 }
 
 impl TimingObjective for DifferentiableTdpWeighting {
-    fn begin_iteration(&mut self, iter: usize, design: &Design, placement: &Placement) {
+    fn begin_iteration(
+        &mut self,
+        iter: usize,
+        design: &Design,
+        placement: &Placement,
+        _moves: &mut MoveTracker,
+    ) {
+        // The net-weighting baselines deliberately run a full STA every
+        // timing iteration (that is the cost the paper compares against),
+        // so the move tracker is left untouched.
         if !self.base.timing_iteration(iter) {
             return;
         }
@@ -276,7 +300,8 @@ mod tests {
         let (design, mut placement) = generate(&CircuitParams::small("w", 9));
         scattered(&design, &mut placement);
         let mut obj = MomentumNetWeighting::new(&design, rc(), 0, 1, 4.0, 0.5);
-        obj.begin_iteration(0, &design, &placement);
+        let mut moves = MoveTracker::new(&placement, 0.0);
+        obj.begin_iteration(0, &design, &placement, &mut moves);
         let w = obj.weights();
         let max = w.iter().cloned().fold(0.0, f64::max);
         let min = w.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -291,9 +316,10 @@ mod tests {
         let (design, mut placement) = generate(&CircuitParams::small("w", 9));
         scattered(&design, &mut placement);
         let mut obj = MomentumNetWeighting::new(&design, rc(), 0, 1, 4.0, 0.5);
-        obj.begin_iteration(0, &design, &placement);
+        let mut moves = MoveTracker::new(&placement, 0.0);
+        obj.begin_iteration(0, &design, &placement, &mut moves);
         let w1 = obj.weights().to_vec();
-        obj.begin_iteration(1, &design, &placement);
+        obj.begin_iteration(1, &design, &placement, &mut moves);
         let w2 = obj.weights().to_vec();
         // Same placement, same target: weights keep moving toward it, so
         // the most critical net's weight must not decrease.
@@ -312,7 +338,8 @@ mod tests {
         scattered(&design, &mut placement);
         let alpha = 4.0;
         let mut obj = DifferentiableTdpWeighting::new(&design, rc(), 0, 1, alpha);
-        obj.begin_iteration(0, &design, &placement);
+        let mut moves = MoveTracker::new(&placement, 0.0);
+        obj.begin_iteration(0, &design, &placement, &mut moves);
         for &w in obj.weights() {
             assert!((1.0..=1.0 + alpha).contains(&w), "weight {w} out of range");
         }
@@ -325,12 +352,13 @@ mod tests {
         let (design, mut placement) = generate(&CircuitParams::small("w", 12));
         scattered(&design, &mut placement);
         let mut obj = MomentumNetWeighting::new(&design, rc(), 100, 15, 4.0, 0.5);
-        obj.begin_iteration(0, &design, &placement);
-        obj.begin_iteration(99, &design, &placement);
-        obj.begin_iteration(101, &design, &placement);
+        let mut moves = MoveTracker::new(&placement, 0.0);
+        obj.begin_iteration(0, &design, &placement, &mut moves);
+        obj.begin_iteration(99, &design, &placement, &mut moves);
+        obj.begin_iteration(101, &design, &placement, &mut moves);
         assert!(obj.timing_trace().is_empty());
-        obj.begin_iteration(100, &design, &placement);
-        obj.begin_iteration(115, &design, &placement);
+        obj.begin_iteration(100, &design, &placement, &mut moves);
+        obj.begin_iteration(115, &design, &placement, &mut moves);
         assert_eq!(obj.timing_trace().len(), 2);
     }
 }

@@ -428,6 +428,9 @@ impl Design {
     }
 }
 
+/// Fixed-cell seed positions recorded by [`DesignBuilder::add_fixed_cell`].
+pub type FixedPositions = Vec<(CellId, f64, f64)>;
+
 /// Incrementally builds a [`Design`], validating as it goes.
 ///
 /// See the crate-level example for typical usage.
@@ -449,12 +452,7 @@ pub struct DesignBuilder {
 impl DesignBuilder {
     /// Starts a new design over `library` with the given die outline and
     /// standard row height.
-    pub fn new(
-        name: impl Into<String>,
-        library: CellLibrary,
-        die: Rect,
-        row_height: f64,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, library: CellLibrary, die: Rect, row_height: f64) -> Self {
         Self {
             name: name.into(),
             library,
@@ -557,10 +555,12 @@ impl DesignBuilder {
         let mut sinks: Vec<PinId> = Vec::with_capacity(terminals.len().saturating_sub(1));
         for &(cell, pin_name) in terminals {
             let ty = self.library.get(self.cells[cell.index()].type_id);
-            let spec = ty.pin_index(pin_name).ok_or_else(|| NetlistError::UnknownPin {
-                cell_type: ty.name.clone(),
-                pin: pin_name.to_string(),
-            })?;
+            let spec = ty
+                .pin_index(pin_name)
+                .ok_or_else(|| NetlistError::UnknownPin {
+                    cell_type: ty.name.clone(),
+                    pin: pin_name.to_string(),
+                })?;
             let pid = self.cells[cell.index()].pins[spec];
             if self.pins[pid.index()].net.is_some() {
                 return Err(NetlistError::PinReconnected {
@@ -631,9 +631,7 @@ impl DesignBuilder {
     /// # Errors
     ///
     /// Same as [`DesignBuilder::finish`].
-    pub fn finish_with_positions(
-        mut self,
-    ) -> Result<(Design, Vec<(CellId, f64, f64)>), NetlistError> {
+    pub fn finish_with_positions(mut self) -> Result<(Design, FixedPositions), NetlistError> {
         let fixed = std::mem::take(&mut self.fixed_positions);
         let design = self.finish()?;
         Ok((design, fixed))

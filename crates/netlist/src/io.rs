@@ -113,7 +113,6 @@ pub fn read_pl(
     Ok(placement)
 }
 
-
 /// Serializes the placement as a minimal DEF subset (DESIGN/DIEAREA/
 /// COMPONENTS), the exchange format of the paper's flow (Fig. 1 emits
 /// `.def`). Coordinates are written in integer DBU at `dbu` units per
@@ -175,9 +174,9 @@ pub fn read_def(design: &Design, text: &str) -> Result<Placement, NetlistError> 
         let line = line.trim();
         if let Some(rest) = line.strip_prefix("UNITS DISTANCE MICRONS ") {
             let v = rest.trim_end_matches(';').trim();
-            dbu = v.parse().map_err(|_| {
-                NetlistError::Invalid(format!("bad UNITS value {v:?}"))
-            })?;
+            dbu = v
+                .parse()
+                .map_err(|_| NetlistError::Invalid(format!("bad UNITS value {v:?}")))?;
             continue;
         }
         let Some(rest) = line.strip_prefix("- ") else {
@@ -190,9 +189,9 @@ pub fn read_def(design: &Design, text: &str) -> Result<Placement, NetlistError> 
                 "malformed DEF component line: {line:?}"
             )));
         }
-        let cell = *names.get(tokens[0]).ok_or_else(|| {
-            NetlistError::Invalid(format!("unknown component {:?}", tokens[0]))
-        })?;
+        let cell = *names
+            .get(tokens[0])
+            .ok_or_else(|| NetlistError::Invalid(format!("unknown component {:?}", tokens[0])))?;
         let expected = &design.cell_type(cell).name;
         if tokens[1] != expected {
             return Err(NetlistError::Invalid(format!(
@@ -200,12 +199,12 @@ pub fn read_def(design: &Design, text: &str) -> Result<Placement, NetlistError> 
                 tokens[0], tokens[1], expected
             )));
         }
-        let x: f64 = tokens[5].parse().map_err(|_| {
-            NetlistError::Invalid(format!("bad x in DEF line {line:?}"))
-        })?;
-        let y: f64 = tokens[6].parse().map_err(|_| {
-            NetlistError::Invalid(format!("bad y in DEF line {line:?}"))
-        })?;
+        let x: f64 = tokens[5]
+            .parse()
+            .map_err(|_| NetlistError::Invalid(format!("bad x in DEF line {line:?}")))?;
+        let y: f64 = tokens[6]
+            .parse()
+            .map_err(|_| NetlistError::Invalid(format!("bad y in DEF line {line:?}")))?;
         placement.set(cell, x / dbu, y / dbu);
     }
     Ok(placement)
@@ -228,7 +227,8 @@ mod tests {
         let u1 = b.add_cell("u1", "NAND2_X1").unwrap();
         let u2 = b.add_cell("u2", "INV_X1").unwrap();
         let po = b.add_fixed_cell("po", "IOPAD_OUT", 96.0, 50.0).unwrap();
-        b.add_net("n0", &[(pi, "PAD"), (u1, "A"), (u1, "B")]).unwrap();
+        b.add_net("n0", &[(pi, "PAD"), (u1, "A"), (u1, "B")])
+            .unwrap();
         b.add_net("n1", &[(u1, "Y"), (u2, "A")]).unwrap();
         b.add_net("n2", &[(u2, "Y"), (po, "PAD")]).unwrap();
         let d = b.finish().unwrap();
@@ -278,7 +278,6 @@ mod tests {
         assert!(read_pl(&d, "u1 abc def : N", None).is_err());
     }
 
-
     #[test]
     fn def_round_trips() {
         let (d, p) = sample();
@@ -316,6 +315,9 @@ mod tests {
         let partial = "u1 5.0 6.0 : N\n";
         let back = read_pl(&d, partial, Some(&p)).unwrap();
         assert_eq!(back.get(d.find_cell("u1").unwrap()), (5.0, 6.0));
-        assert_eq!(back.get(d.find_cell("u2").unwrap()), p.get(d.find_cell("u2").unwrap()));
+        assert_eq!(
+            back.get(d.find_cell("u2").unwrap()),
+            p.get(d.find_cell("u2").unwrap())
+        );
     }
 }

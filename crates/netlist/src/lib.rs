@@ -54,5 +54,5 @@ pub mod sdc;
 pub use design::{Cell, Design, DesignBuilder, DesignStats, Net, NetlistError, Pin, Rect, Row};
 pub use ids::{CellId, CellTypeId, NetId, PinId};
 pub use library::{CellLibrary, CellType, PinDirection, PinSpec, TimingArcSpec};
-pub use placement::Placement;
+pub use placement::{MoveTracker, Placement};
 pub use sdc::Sdc;

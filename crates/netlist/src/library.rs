@@ -326,11 +326,7 @@ impl CellLibrary {
             name: "DFF_X1".to_string(),
             width: 5.0,
             height: row,
-            pins: vec![
-                inp("CK", 0.0, 1.0),
-                inp("D", 2.0, 1.5),
-                outp("Q", 5.0),
-            ],
+            pins: vec![inp("CK", 0.0, 1.0), inp("D", 2.0, 1.5), outp("Q", 5.0)],
             arcs: vec![TimingArcSpec {
                 from_pin: 0,
                 to_pin: 2,
@@ -374,8 +370,17 @@ mod tests {
     fn standard_library_has_expected_masters() {
         let lib = CellLibrary::standard();
         for name in [
-            "INV_X1", "INV_X2", "INV_X4", "BUF_X1", "NAND2_X1", "NAND2_X2", "NOR2_X1",
-            "AOI21_X1", "DFF_X1", "IOPAD_IN", "IOPAD_OUT",
+            "INV_X1",
+            "INV_X2",
+            "INV_X4",
+            "BUF_X1",
+            "NAND2_X1",
+            "NAND2_X2",
+            "NOR2_X1",
+            "AOI21_X1",
+            "DFF_X1",
+            "IOPAD_IN",
+            "IOPAD_OUT",
         ] {
             assert!(lib.by_name(name).is_some(), "missing {name}");
         }

@@ -144,6 +144,79 @@ impl Placement {
     }
 }
 
+/// Tracks which cells moved since a reference snapshot — the feed for
+/// incremental timing analysis.
+///
+/// The placement engine rebases the tracker every time the timing
+/// objective consumes the moved set. "Moved" means "displaced more than
+/// `threshold` (Manhattan) since the cell's position was last consumed":
+/// [`MoveTracker::rebase`] only advances the reference of cells that
+/// currently exceed the threshold, so sub-threshold drift keeps
+/// accumulating across rebases and is reported once the *total* drift
+/// crosses the threshold — a slowly creeping cell can never escape
+/// refresh forever. With a threshold of 0 every nonzero displacement is
+/// reported and incremental analysis stays bit-identical to a full one;
+/// a positive threshold trades exactness for fewer RC rebuilds.
+#[derive(Debug, Clone)]
+pub struct MoveTracker {
+    base_x: Vec<f64>,
+    base_y: Vec<f64>,
+    threshold: f64,
+}
+
+impl MoveTracker {
+    /// Snapshots `placement` as the reference state.
+    pub fn new(placement: &Placement, threshold: f64) -> Self {
+        assert!(threshold >= 0.0, "negative move threshold");
+        Self {
+            base_x: placement.x.clone(),
+            base_y: placement.y.clone(),
+            threshold,
+        }
+    }
+
+    /// The Manhattan displacement below which a cell counts as unmoved.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Cells displaced more than the threshold since the last rebase,
+    /// sorted by cell index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placement` covers a different cell count than the
+    /// snapshot.
+    pub fn moved_cells(&self, placement: &Placement) -> Vec<CellId> {
+        assert_eq!(placement.len(), self.base_x.len(), "placement size changed");
+        let mut moved = Vec::new();
+        for i in 0..self.base_x.len() {
+            let d =
+                (placement.x[i] - self.base_x[i]).abs() + (placement.y[i] - self.base_y[i]).abs();
+            if d > self.threshold {
+                moved.push(CellId::new(i));
+            }
+        }
+        moved
+    }
+
+    /// Advances the reference state of every cell currently reported by
+    /// [`MoveTracker::moved_cells`], leaving sub-threshold drift in
+    /// place so it still accumulates toward the threshold. Call after
+    /// consuming the moved set.
+    pub fn rebase(&mut self, placement: &Placement) {
+        assert_eq!(placement.len(), self.base_x.len(), "placement size changed");
+        for i in 0..self.base_x.len() {
+            let d =
+                (placement.x[i] - self.base_x[i]).abs() + (placement.y[i] - self.base_y[i]).abs();
+            if d > self.threshold {
+                self.base_x[i] = placement.x[i];
+                self.base_y[i] = placement.y[i];
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +281,43 @@ mod tests {
         let euc = p.pin_euclidean(&d, y1, a2);
         assert!(euc <= man + 1e-12);
         assert!(euc >= man / std::f64::consts::SQRT_2 - 1e-12);
+    }
+
+    #[test]
+    fn move_tracker_reports_and_rebases() {
+        let (d, u1, u2) = two_inv_design();
+        let mut p = Placement::new(&d);
+        p.set(u1, 10.0, 10.0);
+        p.set(u2, 50.0, 50.0);
+        let mut tracker = MoveTracker::new(&p, 1.0);
+        assert!(tracker.moved_cells(&p).is_empty());
+
+        // Sub-threshold drift is invisible; a real move is reported.
+        p.set(u1, 10.4, 10.4); // Manhattan 0.8 <= 1.0
+        assert!(tracker.moved_cells(&p).is_empty());
+        p.set(u2, 60.0, 50.0);
+        assert_eq!(tracker.moved_cells(&p), vec![u2]);
+
+        // Rebase forgets consumed moves but keeps sub-threshold drift.
+        tracker.rebase(&p);
+        assert!(tracker.moved_cells(&p).is_empty());
+
+        // A second sub-threshold step pushes the *accumulated* drift of
+        // u1 over the threshold: 0.8 + 0.8 = 1.6 > 1.0. A tracker that
+        // snapshotted everything at rebase would miss this forever.
+        p.set(u1, 10.8, 10.8);
+        assert_eq!(tracker.moved_cells(&p), vec![u1]);
+        tracker.rebase(&p);
+        assert!(tracker.moved_cells(&p).is_empty());
+
+        // Zero threshold reports any nonzero displacement, sorted.
+        let mut exact = MoveTracker::new(&p, 0.0);
+        p.set(u2, 60.0, 50.0 + 1e-12);
+        p.set(u1, 10.4 - 1e-12, 10.4);
+        let moved = exact.moved_cells(&p);
+        assert_eq!(moved, vec![u1, u2]);
+        exact.rebase(&p);
+        assert!(exact.moved_cells(&p).is_empty());
     }
 
     #[test]

@@ -23,7 +23,8 @@ fn chain(n: usize) -> netlist::Design {
         pin = "Y".to_string();
     }
     let po = b.add_fixed_cell("po", "IOPAD_OUT", 396.0, 0.0).unwrap();
-    b.add_net("no", &[(prev, pin.as_str()), (po, "PAD")]).unwrap();
+    b.add_net("no", &[(prev, pin.as_str()), (po, "PAD")])
+        .unwrap();
     b.finish().unwrap()
 }
 

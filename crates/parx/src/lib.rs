@@ -1,0 +1,293 @@
+//! Deterministic data-parallel kernels on `std::thread::scope`.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! hot loops cannot pull in rayon. This crate provides the small slice of
+//! rayon's functionality they need, built on scoped threads, with one
+//! extra guarantee rayon does not make: **every kernel produces the same
+//! bits for every thread count**, including 1. That is what lets the flow
+//! expose a `threads` knob while keeping its results reproducible, and
+//! what the serial-vs-parallel equivalence tests assert.
+//!
+//! Determinism comes from two rules:
+//!
+//! * work is partitioned into chunks whose boundaries depend only on the
+//!   problem size (never on the thread count or on scheduling), and
+//! * every combining step (gradient reduction, value sums) happens in
+//!   chunk order on one thread.
+//!
+//! The building blocks:
+//!
+//! * [`resolve_threads`] — maps the user-facing knob (0 = auto) to a
+//!   concrete worker count.
+//! * [`par_for`] — parallel loop over disjoint index chunks; the closure
+//!   gets a chunk range and may write anywhere it can prove disjoint.
+//! * [`par_map_reduce`] — chunked map with an ordered, serial reduction;
+//!   the reduction order is chunk order, independent of thread count.
+//! * [`UnsafeSlice`] — a `Sync` view over `&mut [T]` for kernels whose
+//!   writes are disjoint by construction but not expressible as
+//!   `chunks_mut` (e.g. scattered pin indices within a timing level).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves the user-facing thread knob: `0` means "use the machine",
+/// anything else is taken literally (capped at 64 to bound scratch
+/// memory on absurd inputs).
+pub fn resolve_threads(requested: usize) -> usize {
+    let n = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    n.clamp(1, 64)
+}
+
+/// Chunk size for `n` items: big enough to amortize dispatch, small
+/// enough to load-balance. Depends only on `n`, never on threads — this
+/// is what keeps chunk-ordered reductions thread-count invariant.
+pub fn chunk_size(n: usize, min_chunk: usize) -> usize {
+    // Aim for ~4 chunks per worker on a typical 8-way machine without
+    // consulting the actual worker count.
+    (n / 32).max(min_chunk).max(1)
+}
+
+/// Problems shorter than this many chunks run inline: scoped-thread
+/// spawn/join costs tens of microseconds per call, which dwarfs the
+/// kernel itself on small inputs (there is no persistent pool). Chunk
+/// boundaries are unchanged, so results are identical either way.
+const MIN_PARALLEL_CHUNKS: usize = 4;
+
+/// Runs `body` over `0..n` split into chunks of [`chunk_size`], using up
+/// to `threads` workers. `body` receives a half-open index range; calls
+/// may run concurrently, so writes must target disjoint data per index.
+///
+/// With `threads <= 1`, or when the whole problem fits one chunk, runs
+/// inline with zero thread overhead.
+pub fn par_for<F>(threads: usize, n: usize, min_chunk: usize, body: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let chunk = chunk_size(n, min_chunk);
+    let num_chunks = n.div_ceil(chunk);
+    let workers = threads.min(num_chunks);
+    if workers <= 1 || num_chunks < MIN_PARALLEL_CHUNKS {
+        body(0..n);
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 1..workers {
+            s.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= num_chunks {
+                    break;
+                }
+                let lo = c * chunk;
+                body(lo..(lo + chunk).min(n));
+            });
+        }
+        loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= num_chunks {
+                break;
+            }
+            let lo = c * chunk;
+            body(lo..(lo + chunk).min(n));
+        }
+    });
+}
+
+/// Chunked map + ordered reduce: `map` produces one accumulator per chunk
+/// (chunks may be mapped concurrently), then the accumulators are folded
+/// left-to-right in chunk order on the calling thread. The result is
+/// bit-identical for every thread count because both the chunk boundaries
+/// and the fold order are thread-independent.
+pub fn par_map_reduce<T, M, R>(threads: usize, n: usize, min_chunk: usize, map: M, mut reduce: R)
+where
+    T: Send,
+    M: Fn(std::ops::Range<usize>) -> T + Sync,
+    R: FnMut(T),
+{
+    if n == 0 {
+        return;
+    }
+    let chunk = chunk_size(n, min_chunk);
+    let num_chunks = n.div_ceil(chunk);
+    let workers = threads.min(num_chunks);
+    if workers <= 1 || num_chunks < MIN_PARALLEL_CHUNKS {
+        for c in 0..num_chunks {
+            let lo = c * chunk;
+            reduce(map(lo..(lo + chunk).min(n)));
+        }
+        return;
+    }
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(num_chunks);
+    slots.resize_with(num_chunks, || None);
+    {
+        let slots = UnsafeSlice::new(&mut slots);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 1..workers {
+                s.spawn(|| {
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= num_chunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        // SAFETY: each chunk index is claimed exactly once.
+                        unsafe { slots.write(c, Some(map(lo..(lo + chunk).min(n)))) };
+                    }
+                });
+            }
+            loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= num_chunks {
+                    break;
+                }
+                let lo = c * chunk;
+                // SAFETY: each chunk index is claimed exactly once.
+                unsafe { slots.write(c, Some(map(lo..(lo + chunk).min(n)))) };
+            }
+        });
+    }
+    for slot in &mut slots {
+        reduce(slot.take().expect("every chunk was mapped"));
+    }
+}
+
+/// A `Sync` view over a mutable slice for provably disjoint concurrent
+/// writes (each index written by at most one thread per parallel phase).
+///
+/// This is the standard scatter-write escape hatch: the borrow checker
+/// cannot see that a timing level touches each pin once, so the kernel
+/// asserts it instead.
+pub struct UnsafeSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: callers uphold write-disjointness (documented on `write`).
+unsafe impl<T: Send> Sync for UnsafeSlice<'_, T> {}
+unsafe impl<T: Send> Send for UnsafeSlice<'_, T> {}
+
+impl<'a, T> UnsafeSlice<'a, T> {
+    /// Wraps a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    ///
+    /// Within one parallel phase, no two threads may write the same
+    /// index, and nobody may read an index another thread writes.
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        // SAFETY: bounds checked above; disjointness per the contract.
+        unsafe { *self.ptr.add(index) = value };
+    }
+
+    /// Reads the value at `index`.
+    ///
+    /// # Safety
+    ///
+    /// Within one parallel phase, no thread may write this index. (The
+    /// level-synchronized kernels read only indices finalized by earlier
+    /// phases, separated by a barrier.)
+    pub unsafe fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(index < self.len);
+        // SAFETY: bounds checked above; no concurrent writer per contract.
+        unsafe { *self.ptr.add(index) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_threads_handles_auto_and_caps() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(10_000), 64);
+    }
+
+    #[test]
+    fn par_for_covers_every_index_once() {
+        for threads in [1, 2, 7] {
+            let n = 10_000;
+            let mut hits = vec![0u8; n];
+            {
+                let view = UnsafeSlice::new(&mut hits);
+                par_for(threads, n, 16, |range| {
+                    for i in range {
+                        // SAFETY: ranges are disjoint chunks of 0..n.
+                        unsafe { view.write(i, 1) };
+                    }
+                });
+            }
+            assert!(hits.iter().all(|&h| h == 1), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_is_thread_count_invariant() {
+        // Sum of f64 values whose order matters at the bit level: the
+        // reduction must produce identical bits for every thread count.
+        let n = 50_000;
+        let vals: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761) % 1000) as f64 * 1e-3)
+            .collect();
+        let sum_with = |threads: usize| {
+            let mut total = 0.0f64;
+            par_map_reduce(
+                threads,
+                n,
+                64,
+                |range| range.map(|i| vals[i]).sum::<f64>(),
+                |partial: f64| total += partial,
+            );
+            total
+        };
+        let s1 = sum_with(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(s1.to_bits(), sum_with(threads).to_bits());
+        }
+    }
+
+    #[test]
+    fn par_for_zero_items_is_a_noop() {
+        par_for(4, 0, 1, |_| panic!("no chunks expected"));
+        par_map_reduce(4, 0, 1, |_| 1u32, |_| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn chunk_boundaries_depend_only_on_n() {
+        assert_eq!(chunk_size(10, 4), 4);
+        assert_eq!(chunk_size(100_000, 4), 3125);
+        // min_chunk floors the size.
+        assert_eq!(chunk_size(64, 128), 128);
+    }
+}

@@ -35,7 +35,13 @@ pub struct ElectrostaticDensity {
 
 impl ElectrostaticDensity {
     /// Creates the model over an `nx × ny` grid.
-    pub fn new(design: &Design, placement_with_fixed: &Placement, nx: usize, ny: usize, target_density: f64) -> Self {
+    pub fn new(
+        design: &Design,
+        placement_with_fixed: &Placement,
+        nx: usize,
+        ny: usize,
+        target_density: f64,
+    ) -> Self {
         let mut grid = BinGrid::new(design.die(), nx, ny);
         grid.set_fixed(design, placement_with_fixed);
         let bins = nx * ny;
@@ -143,61 +149,88 @@ impl ElectrostaticDensity {
         grad_x: &mut [f64],
         grad_y: &mut [f64],
     ) {
+        self.accumulate_gradient_threads(design, placement, lambda, grad_x, grad_y, 1);
+    }
+
+    /// [`ElectrostaticDensity::accumulate_gradient`] on up to `threads`
+    /// workers (0 = auto). Each cell's force is a pure function of the
+    /// (read-only) field map and lands in the cell's own gradient slot,
+    /// so the result is bit-identical for every thread count.
+    pub fn accumulate_gradient_threads(
+        &self,
+        design: &Design,
+        placement: &Placement,
+        lambda: f64,
+        grad_x: &mut [f64],
+        grad_y: &mut [f64],
+        threads: usize,
+    ) {
+        assert_eq!(grad_x.len(), design.num_cells());
+        assert_eq!(grad_y.len(), design.num_cells());
         let nx = self.grid.nx();
         let ny = self.grid.ny();
         let bin_w = self.grid.bin_w();
         let bin_h = self.grid.bin_h();
         let die = design.die();
-        for cell in design.cell_ids() {
-            if design.cell(cell).fixed {
-                continue;
-            }
-            let ty = design.cell_type(cell);
-            let q = ty.area();
-            let (x, y) = placement.get(cell);
-            // Expand small cells to a bin, as the density splat does.
-            let (cx, cy) = (x + ty.width / 2.0, y + ty.height / 2.0);
-            let w = ty.width.max(bin_w);
-            let h = ty.height.max(bin_h);
-            let x0 = (cx - w / 2.0 - die.lx).max(0.0);
-            let y0 = (cy - h / 2.0 - die.ly).max(0.0);
-            let x1 = (cx + w / 2.0 - die.lx).min(die.width());
-            let y1 = (cy + h / 2.0 - die.ly).min(die.height());
-            if x1 <= x0 || y1 <= y0 {
-                continue;
-            }
-            let bx0 = (x0 / bin_w).floor() as usize;
-            let bx1 = ((x1 / bin_w).ceil() as usize).min(nx);
-            let by0 = (y0 / bin_h).floor() as usize;
-            let by1 = ((y1 / bin_h).ceil() as usize).min(ny);
-            let mut fx = 0.0;
-            let mut fy = 0.0;
-            let mut total = 0.0;
-            for by in by0..by1 {
-                let blo = by as f64 * bin_h;
-                let oy = (y1.min(blo + bin_h) - y0.max(blo)).max(0.0);
-                if oy == 0.0 {
+        let workers = parx::resolve_threads(threads);
+        let gx_slots = parx::UnsafeSlice::new(grad_x);
+        let gy_slots = parx::UnsafeSlice::new(grad_y);
+        parx::par_for(workers, design.num_cells(), 128, |range| {
+            for c in range {
+                let cell = netlist::CellId::new(c);
+                if design.cell(cell).fixed {
                     continue;
                 }
-                for bx in bx0..bx1 {
-                    let alo = bx as f64 * bin_w;
-                    let ox = (x1.min(alo + bin_w) - x0.max(alo)).max(0.0);
-                    if ox == 0.0 {
+                let ty = design.cell_type(cell);
+                let q = ty.area();
+                let (x, y) = placement.get(cell);
+                // Expand small cells to a bin, as the density splat does.
+                let (cx, cy) = (x + ty.width / 2.0, y + ty.height / 2.0);
+                let w = ty.width.max(bin_w);
+                let h = ty.height.max(bin_h);
+                let x0 = (cx - w / 2.0 - die.lx).max(0.0);
+                let y0 = (cy - h / 2.0 - die.ly).max(0.0);
+                let x1 = (cx + w / 2.0 - die.lx).min(die.width());
+                let y1 = (cy + h / 2.0 - die.ly).min(die.height());
+                if x1 <= x0 || y1 <= y0 {
+                    continue;
+                }
+                let bx0 = (x0 / bin_w).floor() as usize;
+                let bx1 = ((x1 / bin_w).ceil() as usize).min(nx);
+                let by0 = (y0 / bin_h).floor() as usize;
+                let by1 = ((y1 / bin_h).ceil() as usize).min(ny);
+                let mut fx = 0.0;
+                let mut fy = 0.0;
+                let mut total = 0.0;
+                for by in by0..by1 {
+                    let blo = by as f64 * bin_h;
+                    let oy = (y1.min(blo + bin_h) - y0.max(blo)).max(0.0);
+                    if oy == 0.0 {
                         continue;
                     }
-                    let wgt = ox * oy;
-                    let idx = by * nx + bx;
-                    fx += wgt * self.field_x[idx];
-                    fy += wgt * self.field_y[idx];
-                    total += wgt;
+                    for bx in bx0..bx1 {
+                        let alo = bx as f64 * bin_w;
+                        let ox = (x1.min(alo + bin_w) - x0.max(alo)).max(0.0);
+                        if ox == 0.0 {
+                            continue;
+                        }
+                        let wgt = ox * oy;
+                        let idx = by * nx + bx;
+                        fx += wgt * self.field_x[idx];
+                        fy += wgt * self.field_y[idx];
+                        total += wgt;
+                    }
+                }
+                if total > 0.0 {
+                    // Force is q·⟨ξ⟩; the penalty gradient is the negative.
+                    // SAFETY: slot `c` is written by this chunk alone.
+                    unsafe {
+                        gx_slots.write(c, gx_slots.read(c) - lambda * q * fx / total);
+                        gy_slots.write(c, gy_slots.read(c) - lambda * q * fy / total);
+                    }
                 }
             }
-            if total > 0.0 {
-                // Force is q·⟨ξ⟩; the penalty gradient is the negative.
-                grad_x[cell.index()] -= lambda * q * fx / total;
-                grad_y[cell.index()] -= lambda * q * fy / total;
-            }
-        }
+        });
     }
 
     /// Electric field at a bin (diagnostics/tests).
@@ -400,9 +433,7 @@ mod tests {
         let mut e = ElectrostaticDensity::new(&d, &p, nx, ny, 1.0);
         e.update(&d, &p);
         // Reconstruct rho from psi: rho_hat = psi_hat * w².
-        let psi: Vec<f64> = (0..nx * ny)
-            .map(|i| e.potential[i])
-            .collect();
+        let psi: Vec<f64> = (0..nx * ny).map(|i| e.potential[i]).collect();
         let psi_hat = transform_cols(&transform_rows(&psi, nx, ny, dct2), nx, ny, dct2);
         // Forward dct2 twice leaves scaling of (N/2)... verify against the
         // density map instead: round-trip idct of (psi_hat * w²).
@@ -418,6 +449,7 @@ mod tests {
         // Compare against the actual normalized density (mean removed).
         let bin_area = e.grid().bin_area();
         let mean = e.grid().density.iter().sum::<f64>() / (nx * ny) as f64;
+        #[allow(clippy::needless_range_loop)] // lockstep over two maps
         for i in 0..nx * ny {
             let expected = (e.grid().density[i] - mean) / bin_area;
             assert!(

@@ -161,7 +161,9 @@ mod tests {
             .map(|k| {
                 x.iter()
                     .enumerate()
-                    .map(|(i, &v)| v * (PI * k as f64 * (2 * i + 1) as f64 / (2.0 * n as f64)).cos())
+                    .map(|(i, &v)| {
+                        v * (PI * k as f64 * (2 * i + 1) as f64 / (2.0 * n as f64)).cos()
+                    })
                     .sum()
             })
             .collect()
@@ -176,7 +178,9 @@ mod tests {
                         .enumerate()
                         .map(|(k, &v)| {
                             let alpha = if k == 0 { 0.5 } else { 1.0 };
-                            alpha * v * (PI * k as f64 * (2 * i + 1) as f64 / (2.0 * n as f64)).cos()
+                            alpha
+                                * v
+                                * (PI * k as f64 * (2 * i + 1) as f64 / (2.0 * n as f64)).cos()
                         })
                         .sum::<f64>()
             })

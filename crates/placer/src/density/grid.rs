@@ -28,7 +28,10 @@ impl BinGrid {
     ///
     /// Panics if a dimension is zero or not a power of two.
     pub fn new(die: Rect, nx: usize, ny: usize) -> Self {
-        assert!(nx.is_power_of_two() && ny.is_power_of_two(), "grid dims must be powers of two");
+        assert!(
+            nx.is_power_of_two() && ny.is_power_of_two(),
+            "grid dims must be powers of two"
+        );
         Self {
             nx,
             ny,
@@ -145,10 +148,10 @@ impl BinGrid {
 
     /// Bin index containing a point (clamped to the grid).
     pub fn bin_at(&self, x: f64, y: f64) -> (usize, usize) {
-        let bx = (((x - self.die.lx) / self.bin_w).floor() as isize)
-            .clamp(0, self.nx as isize - 1) as usize;
-        let by = (((y - self.die.ly) / self.bin_h).floor() as isize)
-            .clamp(0, self.ny as isize - 1) as usize;
+        let bx = (((x - self.die.lx) / self.bin_w).floor() as isize).clamp(0, self.nx as isize - 1)
+            as usize;
+        let by = (((y - self.die.ly) / self.bin_h).floor() as isize).clamp(0, self.ny as isize - 1)
+            as usize;
         (bx, by)
     }
 }
@@ -265,10 +268,7 @@ mod tests {
         let mut g = BinGrid::new(d.die(), 8, 8);
         g.set_fixed(&d, &p);
         g.accumulate(&d, &p);
-        let expected: f64 = d
-            .cell_ids()
-            .map(|c| d.cell_type(c).area())
-            .sum();
+        let expected: f64 = d.cell_ids().map(|c| d.cell_type(c).area()).sum();
         assert!(
             (g.total_area() - expected).abs() < 1e-6,
             "deposited {} expected {expected}",

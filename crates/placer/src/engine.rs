@@ -9,20 +9,34 @@
 use crate::density::ElectrostaticDensity;
 use crate::optim::{NesterovOptimizer, OptimizerKind};
 use crate::wirelength::WaWirelength;
-use netlist::{CellId, Design, Placement};
+use netlist::{CellId, Design, MoveTracker, Placement};
 
 /// Extension point for timing-driven terms in the objective.
 ///
 /// The engine calls the methods in this order every iteration:
-/// 1. [`TimingObjective::begin_iteration`] with the current major solution;
+/// 1. [`TimingObjective::begin_iteration`] with the current major solution
+///    and the engine's [`MoveTracker`];
 /// 2. [`TimingObjective::net_weights`] when building the wirelength
 ///    gradient;
 /// 3. [`TimingObjective::accumulate_gradient`] with the lookahead solution
 ///    to add extra gradient terms.
+///
+/// The tracker reports which cells moved more than the configured
+/// threshold since its last rebase. An objective that runs incremental
+/// timing reads [`MoveTracker::moved_cells`] and calls
+/// [`MoveTracker::rebase`] whenever it consumes the set; objectives that
+/// run full analyses (or none) simply ignore it, and moves keep
+/// accumulating until somebody consumes them.
 pub trait TimingObjective {
     /// Observes the solution at the start of iteration `iter`; a good place
     /// to run STA every m-th iteration.
-    fn begin_iteration(&mut self, iter: usize, design: &Design, placement: &Placement);
+    fn begin_iteration(
+        &mut self,
+        iter: usize,
+        design: &Design,
+        placement: &Placement,
+        moves: &mut MoveTracker,
+    );
 
     /// Multiplicative per-net wirelength weights; return `None` for all-ones.
     fn net_weights(&mut self, design: &Design) -> Option<&[f64]>;
@@ -43,7 +57,14 @@ pub trait TimingObjective {
 pub struct NoTimingObjective;
 
 impl TimingObjective for NoTimingObjective {
-    fn begin_iteration(&mut self, _iter: usize, _design: &Design, _placement: &Placement) {}
+    fn begin_iteration(
+        &mut self,
+        _iter: usize,
+        _design: &Design,
+        _placement: &Placement,
+        _moves: &mut MoveTracker,
+    ) {
+    }
     fn net_weights(&mut self, _design: &Design) -> Option<&[f64]> {
         None
     }
@@ -83,6 +104,12 @@ pub struct PlacerConfig {
     pub initial_step: f64,
     /// RNG seed for the initial cell spreading.
     pub seed: u64,
+    /// Worker count for the gradient kernels (0 = auto, 1 = serial).
+    /// Any value produces bit-identical placements.
+    pub threads: usize,
+    /// Manhattan displacement below which a cell does not count as moved
+    /// for incremental timing (0 keeps incremental STA exact).
+    pub move_threshold: f64,
 }
 
 impl Default for PlacerConfig {
@@ -99,6 +126,8 @@ impl Default for PlacerConfig {
             optimizer: OptimizerKind::Nesterov,
             initial_step: 1.0,
             seed: 1,
+            threads: 1,
+            move_threshold: 0.0,
         }
     }
 }
@@ -153,10 +182,7 @@ impl GlobalPlacer {
     pub fn new(design: &Design, initial: Placement, config: PlacerConfig) -> Self {
         let mut placement = initial;
         let die = design.die();
-        let (cx, cy) = (
-            die.lx + die.width() / 2.0,
-            die.ly + die.height() / 2.0,
-        );
+        let (cx, cy) = (die.lx + die.width() / 2.0, die.ly + die.height() / 2.0);
         let mut rng = SplitMix::new(config.seed);
         let movable: Vec<CellId> = design
             .cell_ids()
@@ -201,11 +227,7 @@ impl GlobalPlacer {
     }
 
     /// Runs placement with a timing objective plugged in.
-    pub fn run_with(
-        &mut self,
-        design: &Design,
-        timing: &mut dyn TimingObjective,
-    ) -> PlaceResult {
+    pub fn run_with(&mut self, design: &Design, timing: &mut dyn TimingObjective) -> PlaceResult {
         let n = self.movable.len();
         let die = design.die();
         let bin = (self.density.grid().bin_w() + self.density.grid().bin_h()) / 2.0;
@@ -229,12 +251,18 @@ impl GlobalPlacer {
         let mut trace = Vec::new();
         let mut scratch = self.placement.clone();
         let mut iterations = 0;
+        let threads = self.config.threads;
+        // Seeded from the initial solution; the timing objective rebases
+        // it whenever it consumes the moved-cell set.
+        self.write_solution(design, opt.solution());
+        let mut moves = MoveTracker::new(&self.placement, self.config.move_threshold);
+        let mut wl_scratch = crate::wirelength::WaScratch::default();
 
         for iter in 0..self.config.max_iterations {
             iterations = iter + 1;
             // Publish the major solution.
             self.write_solution(design, opt.solution());
-            timing.begin_iteration(iter, design, &self.placement);
+            timing.begin_iteration(iter, design, &self.placement, &mut moves);
 
             // Evaluate gradients at the lookahead point.
             Self::fill_placement(&self.movable, opt.query_point(), &mut scratch);
@@ -253,7 +281,15 @@ impl GlobalPlacer {
             grad_y.iter_mut().for_each(|g| *g = 0.0);
             let weights = timing.net_weights(design).map(|w| w.to_vec());
             let weights_slice: &[f64] = weights.as_deref().unwrap_or(&[]);
-            wl.accumulate_gradient(design, &scratch, weights_slice, &mut grad_x, &mut grad_y);
+            wl.accumulate_gradient_threads(
+                design,
+                &scratch,
+                weights_slice,
+                &mut grad_x,
+                &mut grad_y,
+                threads,
+                &mut wl_scratch,
+            );
 
             if self.lambda == 0.0 {
                 // ePlace λ₀: balance the two gradient field magnitudes.
@@ -265,7 +301,7 @@ impl GlobalPlacer {
                 let mut dx = vec![0.0; design.num_cells()];
                 let mut dy = vec![0.0; design.num_cells()];
                 self.density
-                    .accumulate_gradient(design, &scratch, 1.0, &mut dx, &mut dy);
+                    .accumulate_gradient_threads(design, &scratch, 1.0, &mut dx, &mut dy, threads);
                 let d_norm: f64 = self
                     .movable
                     .iter()
@@ -277,14 +313,16 @@ impl GlobalPlacer {
                     1e-4
                 };
             }
-            self.density.accumulate_gradient(
+            self.density.accumulate_gradient_threads(
                 design,
                 &scratch,
                 self.lambda,
                 &mut grad_x,
                 &mut grad_y,
+                threads,
             );
-            let timing_loss = timing.accumulate_gradient(design, &scratch, &mut grad_x, &mut grad_y);
+            let timing_loss =
+                timing.accumulate_gradient(design, &scratch, &mut grad_x, &mut grad_y);
 
             // Jacobi preconditioning: normalize by pin count + λ·area.
             for (k, &c) in self.movable.iter().enumerate() {
@@ -302,8 +340,7 @@ impl GlobalPlacer {
                 for (k, &c) in self.movable.iter().enumerate() {
                     let ty = design.cell_type(c);
                     sol[k] = sol[k].clamp(die.lx, (die.ux - ty.width).max(die.lx));
-                    sol[n + k] =
-                        sol[n + k].clamp(die.ly, (die.uy - ty.height).max(die.ly));
+                    sol[n + k] = sol[n + k].clamp(die.ly, (die.uy - ty.height).max(die.ly));
                 }
             }
 
@@ -512,7 +549,13 @@ mod tests {
             grads: usize,
         }
         impl TimingObjective for Probe {
-            fn begin_iteration(&mut self, _i: usize, _d: &Design, _p: &Placement) {
+            fn begin_iteration(
+                &mut self,
+                _i: usize,
+                _d: &Design,
+                _p: &Placement,
+                _m: &mut MoveTracker,
+            ) {
                 self.begins += 1;
             }
             fn net_weights(&mut self, _d: &Design) -> Option<&[f64]> {

@@ -56,7 +56,14 @@ impl RowState {
             return None;
         }
         let mut clusters = self.clusters.clone();
-        let x = Self::insert_into(&mut clusters, self.cells.len(), target_x, w, self.lx, self.ux);
+        let x = Self::insert_into(
+            &mut clusters,
+            self.cells.len(),
+            target_x,
+            w,
+            self.lx,
+            self.ux,
+        );
         Some(((x - target_x).abs(), x))
     }
 
@@ -220,7 +227,7 @@ pub fn abacus_legalize(design: &Design, placement: &mut Placement) -> LegalizeSt
                 let dy = (states[r].y - ty).abs();
                 if let Some((cost, x)) = states[r].trial(design, cell, tx) {
                     let total = cost + dy;
-                    if best.map_or(true, |(bc, _, _)| total < bc) {
+                    if best.is_none_or(|(bc, _, _)| total < bc) {
                         best = Some((total, r, x));
                     }
                 }
@@ -287,7 +294,7 @@ pub fn tetris_legalize(design: &Design, placement: &mut Placement) -> LegalizeSt
             let x = frontier[r].max(tx.min(row.ux - w));
             let x = x.max(frontier[r]);
             let cost = (x - tx).abs() + (row.y - ty).abs();
-            if best.map_or(true, |(bc, _, _)| cost < bc) {
+            if best.is_none_or(|(bc, _, _)| cost < bc) {
                 best = Some((cost, r, x));
             }
         }
@@ -373,7 +380,8 @@ mod tests {
             pin = "Y".to_string();
         }
         let po = b.add_fixed_cell("po", "IOPAD_OUT", die - 4.0, 0.0).unwrap();
-        b.add_net("ne", &[(prev, pin.as_str()), (po, "PAD")]).unwrap();
+        b.add_net("ne", &[(prev, pin.as_str()), (po, "PAD")])
+            .unwrap();
         b.finish().unwrap()
     }
 
@@ -474,10 +482,7 @@ mod tests {
     fn check_legal_detects_overlap() {
         let d = design_with_invs(2, 100.0);
         let mut p = Placement::new(&d);
-        let cells: Vec<_> = d
-            .cell_ids()
-            .filter(|&c| !d.cell(c).fixed)
-            .collect();
+        let cells: Vec<_> = d.cell_ids().filter(|&c| !d.cell(c).fixed).collect();
         p.set(cells[0], 10.0, 50.0);
         p.set(cells[1], 10.5, 50.0);
         assert!(check_legal(&d, &p).is_err());

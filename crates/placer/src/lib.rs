@@ -43,4 +43,4 @@ pub use engine::{
 };
 pub use legalize::{abacus_legalize, tetris_legalize, LegalizeStats};
 pub use optim::{NesterovOptimizer, OptimizerKind};
-pub use wirelength::WaWirelength;
+pub use wirelength::{WaScratch, WaWirelength};

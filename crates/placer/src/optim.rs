@@ -110,6 +110,7 @@ impl NesterovOptimizer {
             let mut dvdg = 0.0;
             let mut dg2 = 0.0;
             let mut g_dot_du = 0.0;
+            #[allow(clippy::needless_range_loop)] // lockstep over several arrays
             for i in 0..self.v.len() {
                 let dv = self.v[i] - self.v_prev[i];
                 let dg = grad[i] - self.g_prev[i];
@@ -134,6 +135,7 @@ impl NesterovOptimizer {
 
         let a_next = (1.0 + (4.0 * self.a * self.a + 1.0).sqrt()) / 2.0;
         let momentum = (self.a - 1.0) / a_next;
+        #[allow(clippy::needless_range_loop)] // lockstep over several arrays
         for i in 0..self.u.len() {
             let delta = (self.step * grad[i]).clamp(-self.max_move, self.max_move);
             let u_new = self.v[i] - delta;
@@ -151,13 +153,14 @@ impl NesterovOptimizer {
         let eps = 1e-8;
         let bc1 = 1.0 - beta1.powi(self.t as i32);
         let bc2 = 1.0 - beta2.powi(self.t as i32);
+        #[allow(clippy::needless_range_loop)] // lockstep over several arrays
         for i in 0..self.u.len() {
             self.m[i] = beta1 * self.m[i] + (1.0 - beta1) * grad[i];
             self.s[i] = beta2 * self.s[i] + (1.0 - beta2) * grad[i] * grad[i];
             let mhat = self.m[i] / bc1;
             let shat = self.s[i] / bc2;
-            let delta = (self.step * mhat / (shat.sqrt() + eps))
-                .clamp(-self.max_move, self.max_move);
+            let delta =
+                (self.step * mhat / (shat.sqrt() + eps)).clamp(-self.max_move, self.max_move);
             self.u[i] -= delta;
             self.v[i] = self.u[i];
         }
@@ -196,8 +199,7 @@ mod tests {
     fn nesterov_converges_on_quadratic() {
         let c = vec![1.0, 10.0, 0.5, 4.0];
         let t = vec![3.0, -2.0, 7.0, 0.0];
-        let mut opt =
-            NesterovOptimizer::new(OptimizerKind::Nesterov, vec![0.0; 4], 0.05);
+        let mut opt = NesterovOptimizer::new(OptimizerKind::Nesterov, vec![0.0; 4], 0.05);
         for _ in 0..1500 {
             let g = quad_grad(opt.query_point(), &c, &t);
             opt.step(&g);
@@ -224,19 +226,21 @@ mod tests {
         // Very flat quadratic: the initial tiny step should grow.
         let c = vec![1e-3; 2];
         let t = vec![100.0, -50.0];
-        let mut opt =
-            NesterovOptimizer::new(OptimizerKind::Nesterov, vec![0.0; 2], 1e-3);
+        let mut opt = NesterovOptimizer::new(OptimizerKind::Nesterov, vec![0.0; 2], 1e-3);
         for _ in 0..10 {
             let g = quad_grad(opt.query_point(), &c, &t);
             opt.step(&g);
         }
-        assert!(opt.step_size() > 1e-3, "step did not adapt: {}", opt.step_size());
+        assert!(
+            opt.step_size() > 1e-3,
+            "step did not adapt: {}",
+            opt.step_size()
+        );
     }
 
     #[test]
     fn resync_resets_lookahead() {
-        let mut opt =
-            NesterovOptimizer::new(OptimizerKind::Nesterov, vec![0.0; 2], 0.1);
+        let mut opt = NesterovOptimizer::new(OptimizerKind::Nesterov, vec![0.0; 2], 0.1);
         opt.step(&[1.0, -1.0]);
         opt.solution_mut()[0] = 42.0;
         opt.resync();

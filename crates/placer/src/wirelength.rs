@@ -10,8 +10,20 @@
 //! so that `WL_e = (max_e − min_e)` in x plus the same in y is smooth, with
 //! the exact HPWL recovered as γ→0. Gradients are analytic and accumulate
 //! onto cell coordinates (pin offsets are rigid).
+//!
+//! The gradient kernel is split into two data-parallel phases so it can
+//! use every core without giving up reproducibility:
+//!
+//! 1. **per net** — the WA softmax sums of each net (independent slots);
+//! 2. **per cell** — each cell pulls the analytic gradient of each of its
+//!    pins from its net's sums, accumulating in pin order.
+//!
+//! Every slot is written by exactly one task and the value reduction
+//! folds fixed-size chunks in order, so the result is bit-identical for
+//! any thread count (see the `parx` crate docs).
 
 use netlist::{Design, NetId, Placement};
+use parx::UnsafeSlice;
 
 /// Weighted-average wirelength evaluator.
 ///
@@ -50,6 +62,10 @@ impl WaWirelength {
     /// gradient with respect to cell positions into `grad_x` / `grad_y`
     /// (indexed by cell). Returns the weighted objective value.
     ///
+    /// Serial convenience wrapper over
+    /// [`WaWirelength::accumulate_gradient_threads`] — same kernel, one
+    /// worker, so the two entry points agree bit-for-bit.
+    ///
     /// # Panics
     ///
     /// Panics if `net_weights` (when non-empty) or the gradient buffers are
@@ -62,48 +78,204 @@ impl WaWirelength {
         grad_x: &mut [f64],
         grad_y: &mut [f64],
     ) -> f64 {
+        let mut scratch = WaScratch::default();
+        self.accumulate_gradient_threads(
+            design,
+            placement,
+            net_weights,
+            grad_x,
+            grad_y,
+            1,
+            &mut scratch,
+        )
+    }
+
+    /// [`WaWirelength::accumulate_gradient`] on up to `threads` workers
+    /// (0 = auto). Bit-identical for every thread count. `scratch` holds
+    /// the per-net coefficient buffer; callers in a loop (the placement
+    /// engine) keep one across iterations so the hot path does not
+    /// allocate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn accumulate_gradient_threads(
+        &self,
+        design: &Design,
+        placement: &Placement,
+        net_weights: &[f64],
+        grad_x: &mut [f64],
+        grad_y: &mut [f64],
+        threads: usize,
+        scratch: &mut WaScratch,
+    ) -> f64 {
         assert_eq!(grad_x.len(), design.num_cells());
         assert_eq!(grad_y.len(), design.num_cells());
         if !net_weights.is_empty() {
             assert_eq!(net_weights.len(), design.num_nets());
         }
-        let mut total = 0.0;
-        let mut xs: Vec<f64> = Vec::new();
-        let mut ys: Vec<f64> = Vec::new();
-        let mut gx: Vec<f64> = Vec::new();
-        let mut gy: Vec<f64> = Vec::new();
-        for net in design.net_ids() {
-            let pins = &design.net(net).pins;
-            if pins.len() < 2 {
-                continue;
-            }
-            let w = if net_weights.is_empty() {
-                1.0
-            } else {
-                net_weights[net.index()]
-            };
-            xs.clear();
-            ys.clear();
-            for &p in pins {
-                let (px, py) = placement.pin_position(design, p);
-                xs.push(px);
-                ys.push(py);
-            }
-            gx.clear();
-            gx.resize(pins.len(), 0.0);
-            gy.clear();
-            gy.resize(pins.len(), 0.0);
-            let (vx, _) = wa_span_grad(&xs, self.gamma, &mut gx);
-            let (vy, _) = wa_span_grad(&ys, self.gamma, &mut gy);
-            total += w * (vx + vy);
-            for (i, &p) in pins.iter().enumerate() {
-                let cell = design.pin(p).cell.index();
-                grad_x[cell] += w * gx[i];
-                grad_y[cell] += w * gy[i];
-            }
+        let workers = parx::resolve_threads(threads);
+        let num_nets = design.num_nets();
+        let gamma = self.gamma;
+
+        // Phase 1: per-net WA sums (one slot per net) plus the weighted
+        // objective value, reduced in chunk order. Slots of sub-2-pin
+        // nets may hold stale data from a previous call; phase 2 never
+        // reads them.
+        scratch.coeffs.resize(num_nets, NetWaCoeff::default());
+        let coeffs = &mut scratch.coeffs;
+        let mut total = 0.0f64;
+        {
+            let slots = UnsafeSlice::new(coeffs);
+            parx::par_map_reduce(
+                workers,
+                num_nets,
+                64,
+                |range| {
+                    let mut partial = 0.0f64;
+                    // Per-chunk coordinate scratch, reused across nets so
+                    // each pin position is computed once per net.
+                    let mut xs: Vec<f64> = Vec::new();
+                    let mut ys: Vec<f64> = Vec::new();
+                    for n in range {
+                        let net = NetId::new(n);
+                        let pins = &design.net(net).pins;
+                        if pins.len() < 2 {
+                            continue;
+                        }
+                        let w = if net_weights.is_empty() {
+                            1.0
+                        } else {
+                            net_weights[n]
+                        };
+                        xs.clear();
+                        ys.clear();
+                        for &p in pins {
+                            let (px, py) = placement.pin_position(design, p);
+                            xs.push(px);
+                            ys.push(py);
+                        }
+                        let coeff = NetWaCoeff {
+                            x: AxisWaCoeff::compute(&xs, gamma),
+                            y: AxisWaCoeff::compute(&ys, gamma),
+                        };
+                        partial += w * (coeff.x.value() + coeff.y.value());
+                        // SAFETY: slot `n` is written by this chunk alone.
+                        unsafe { slots.write(n, coeff) };
+                    }
+                    partial
+                },
+                |partial| total += partial,
+            );
+        }
+
+        // Phase 2: per-cell pull. Each cell sums the analytic gradient of
+        // its own pins (in pin order) and adds it to its slot; no other
+        // task touches that slot.
+        {
+            let gx = UnsafeSlice::new(grad_x);
+            let gy = UnsafeSlice::new(grad_y);
+            let coeffs: &[NetWaCoeff] = coeffs;
+            parx::par_for(workers, design.num_cells(), 64, |range| {
+                for c in range {
+                    let cell = netlist::CellId::new(c);
+                    let mut sx = 0.0;
+                    let mut sy = 0.0;
+                    for &p in &design.cell(cell).pins {
+                        let Some(net) = design.pin(p).net else {
+                            continue;
+                        };
+                        if design.net(net).pins.len() < 2 {
+                            continue;
+                        }
+                        let w = if net_weights.is_empty() {
+                            1.0
+                        } else {
+                            net_weights[net.index()]
+                        };
+                        let (px, py) = placement.pin_position(design, p);
+                        let coeff = &coeffs[net.index()];
+                        sx += w * coeff.x.pin_gradient(px, gamma);
+                        sy += w * coeff.y.pin_gradient(py, gamma);
+                    }
+                    // SAFETY: cell slot `c` is written by this chunk alone.
+                    unsafe {
+                        gx.write(c, gx.read(c) + sx);
+                        gy.write(c, gy.read(c) + sy);
+                    }
+                }
+            });
         }
         total
     }
+}
+
+/// WA softmax sums of one coordinate axis of one net.
+#[derive(Debug, Clone, Copy, Default)]
+struct AxisWaCoeff {
+    max: f64,
+    min: f64,
+    s_pos: f64,
+    s_neg: f64,
+    wa_max: f64,
+    wa_min: f64,
+}
+
+impl AxisWaCoeff {
+    fn compute(coords: &[f64], gamma: f64) -> Self {
+        let mut max = f64::NEG_INFINITY;
+        let mut min = f64::INFINITY;
+        for &x in coords {
+            max = max.max(x);
+            min = min.min(x);
+        }
+        let mut s_pos = 0.0;
+        let mut sx_pos = 0.0;
+        let mut s_neg = 0.0;
+        let mut sx_neg = 0.0;
+        for &x in coords {
+            let ep = ((x - max) / gamma).exp();
+            let en = (-(x - min) / gamma).exp();
+            s_pos += ep;
+            sx_pos += x * ep;
+            s_neg += en;
+            sx_neg += x * en;
+        }
+        Self {
+            max,
+            min,
+            s_pos,
+            s_neg,
+            wa_max: sx_pos / s_pos,
+            wa_min: sx_neg / s_neg,
+        }
+    }
+
+    /// The smoothed span of this axis.
+    fn value(&self) -> f64 {
+        self.wa_max - self.wa_min
+    }
+
+    /// Analytic span derivative with respect to one pin at `x`.
+    fn pin_gradient(&self, x: f64, gamma: f64) -> f64 {
+        let ep = ((x - self.max) / gamma).exp();
+        let en = (-(x - self.min) / gamma).exp();
+        let d_max = ep * (1.0 + (x - self.wa_max) / gamma) / self.s_pos;
+        let d_min = en * (1.0 - (x - self.wa_min) / gamma) / self.s_neg;
+        d_max - d_min
+    }
+}
+
+/// WA sums of both axes of one net (phase-1 output of the gradient).
+#[derive(Debug, Clone, Copy, Default)]
+struct NetWaCoeff {
+    x: AxisWaCoeff,
+    y: AxisWaCoeff,
+}
+
+/// Reusable per-net coefficient buffer for
+/// [`WaWirelength::accumulate_gradient_threads`]. Opaque; create once
+/// with `Default` and pass it to every call in a loop.
+#[derive(Debug, Clone, Default)]
+pub struct WaScratch {
+    coeffs: Vec<NetWaCoeff>,
 }
 
 /// WA span (soft max − soft min) of a coordinate set. Returns the value and

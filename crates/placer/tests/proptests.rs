@@ -41,12 +41,11 @@ proptest! {
     /// FFT followed by inverse FFT reproduces the input.
     #[test]
     fn fft_round_trip(
-        xs in prop::collection::vec(-100.0f64..100.0, 1..5usize)
+        _xs in prop::collection::vec(-100.0f64..100.0, 1..5usize)
             .prop_map(|_| ()),
         n_pow in 1u32..7,
         seed in 1u64..1_000_000,
     ) {
-        let _ = xs;
         let n = 1usize << n_pow;
         let mut s = seed;
         let mut next = move || {
@@ -128,7 +127,8 @@ fn chain_design(n: usize) -> netlist::Design {
         pin = "Y".to_string();
     }
     let po = b.add_fixed_cell("po", "IOPAD_OUT", 196.0, 0.0).unwrap();
-    b.add_net("ne", &[(prev, pin.as_str()), (po, "PAD")]).unwrap();
+    b.add_net("ne", &[(prev, pin.as_str()), (po, "PAD")])
+        .unwrap();
     b.finish().unwrap()
 }
 

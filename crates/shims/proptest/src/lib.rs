@@ -1,0 +1,159 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this path dependency
+//! stands in for `proptest`. It keeps the test-author surface the
+//! workspace uses — the [`proptest!`] macro, range/tuple/vec/select
+//! strategies, `prop_map`, `any::<bool>()`, `prop_assert!` /
+//! `prop_assert_eq!` and [`prelude::ProptestConfig`] — but replaces
+//! random exploration + shrinking with a deterministic SplitMix64 sweep:
+//! every test function runs its body `cases` times on a fixed stream
+//! derived from the case index. Failures reproduce exactly on rerun.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::sample::select`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// A vector whose length is drawn from `size` and whose elements
+        /// are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// Picks one of the given values uniformly.
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select from empty vec");
+            Select { values }
+        }
+    }
+}
+
+/// `any::<T>()` for the types the workspace samples.
+pub fn any<T: strategy::Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Everything the `proptest!` macro and test bodies need in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+}
+
+/// Deterministic replacement for proptest's `proptest!` macro: runs each
+/// test body `config.cases` times with strategy-drawn arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            @cfg ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of the function list inside [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr);) => {};
+    (
+        @cfg ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            for case in 0..config.cases {
+                let mut runner = $crate::test_runner::CaseRng::for_case(
+                    stringify!($name),
+                    case,
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut runner,
+                    );
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { @cfg ($cfg); $($rest)* }
+    };
+}
+
+/// `prop_assert!`: plain `assert!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!`: plain `assert_eq!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn rounded() -> impl Strategy<Value = f64> {
+        (-10.0f64..10.0).prop_map(|v| v.round())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Range strategies stay in bounds; vec sizes respect the range.
+        #[test]
+        fn ranges_and_vecs_in_bounds(
+            x in -5.0f64..5.0,
+            n in 1usize..7,
+            xs in prop::collection::vec(0.0f64..1.0, 2..9),
+            fixed in prop::collection::vec(0u64..10, 4),
+            pick in prop::sample::select(vec![1, 3, 5]),
+            flag in any::<bool>(),
+            r in rounded(),
+            pair in (0usize..4, -1.0f64..1.0),
+        ) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..7).contains(&n));
+            prop_assert!(xs.len() >= 2 && xs.len() < 9);
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+            prop_assert!([1, 3, 5].contains(&pick));
+            let _: bool = flag;
+            prop_assert_eq!(r, r.round());
+            prop_assert!(pair.0 < 4 && (-1.0..1.0).contains(&pair.1));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let draw = |case| {
+            let mut rng = crate::test_runner::CaseRng::for_case("det", case);
+            Strategy::generate(&(0.0f64..1.0), &mut rng)
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build container has no crates.io access, so this path dependency
+//! stands in for `rand`. It implements exactly the surface the workspace
+//! uses — [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer ranges and [`Rng::gen_bool`] — on a
+//! SplitMix64 generator. The stream differs from upstream `rand`'s
+//! ChaCha-based `StdRng`, which is fine here: the workspace only requires
+//! determinism for a fixed seed, never a specific stream.
+
+use std::ops::Range;
+
+/// Seeding behaviour (shim: only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    /// Creates a deterministically seeded generator.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that `Rng::gen_range` can sample uniformly from a `Range`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[low, high)` using `rng`.
+    fn sample_range(rng: &mut rngs::StdRng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut rngs::StdRng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty gen_range");
+                let span = (range.end - range.start) as u64;
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut rngs::StdRng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty gen_range");
+        range.start + rng.next_f64() * (range.end - range.start)
+    }
+}
+
+/// Random-value generation (shim: range sampling and Bernoulli draws).
+pub trait Rng {
+    /// The next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: AsStdRng,
+    {
+        T::sample_range(self.as_std_rng(), range)
+    }
+
+    /// Bernoulli draw. Unlike upstream `rand`, probabilities above 1.0 are
+    /// clamped to "always true" instead of panicking.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(p >= 0.0, "negative probability");
+        self.next_f64() < p
+    }
+}
+
+/// Internal helper so `gen_range` can hand the concrete generator to
+/// [`SampleUniform`] without trait-object gymnastics.
+pub trait AsStdRng {
+    /// The underlying concrete generator.
+    fn as_std_rng(&mut self) -> &mut rngs::StdRng;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{AsStdRng, Rng, SeedableRng};
+
+    /// SplitMix64-backed stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl AsStdRng for StdRng {
+        fn as_std_rng(&mut self) -> &mut StdRng {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0u32..5);
+            assert!(w < 5);
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+        assert!(rng.gen_bool(1.5), "p > 1 must clamp to true");
+        assert!(!rng.gen_bool(0.0));
+    }
+}

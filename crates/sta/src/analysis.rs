@@ -3,11 +3,21 @@
 //! [`Sta`] owns the static [`TimingGraph`] plus the placement-dependent
 //! state: per-arc delays, per-pin arrival and required times, slacks, and
 //! the worst-predecessor tree used by path backtracing. Call
-//! [`Sta::analyze`] after every placement change of interest.
+//! [`Sta::analyze`] after every placement change of interest, or
+//! [`Sta::analyze_incremental`] when only some cells moved.
+//!
+//! Both propagation passes are **level-synchronized pull kernels**: every
+//! pin computes its own arrival (required) from its incoming (outgoing)
+//! arcs, and all pins of one topological level update concurrently. Each
+//! pin's value is a pure function of the previous levels, so the result
+//! is bit-identical for every thread count — [`Sta::set_threads`] is a
+//! pure speed knob, never a semantics knob.
 
 use crate::graph::{ArcId, BuildGraphError, EndpointKind, SourceKind, TimingGraph};
 use crate::rctree::RcParams;
 use netlist::{Design, PinId, Placement};
+use parx::UnsafeSlice;
+use std::sync::Barrier;
 
 /// Slack at one timing endpoint.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,7 +57,23 @@ pub struct Sta {
     worst_pred: Vec<Option<ArcId>>,
     endpoint_slacks: Vec<EndpointSlack>,
     analyzed: bool,
+    /// Worker count for RC refresh and propagation (0 = auto). Results
+    /// are bit-identical for every value; see the module docs.
+    threads: usize,
 }
+
+/// Below this pin count the barrier overhead of parallel propagation
+/// outweighs the work; the kernels fall back to one thread.
+const PARALLEL_PIN_THRESHOLD: usize = 2048;
+
+/// Minimum average pins-per-level for parallel propagation: a deep,
+/// narrow graph (e.g. a long chain) pays one barrier per level for a
+/// handful of pins of work, so it runs serially no matter how many pins
+/// it has in total.
+const PARALLEL_MIN_AVG_LEVEL_WIDTH: usize = 16;
+
+/// Below this many refreshed nets, RC-tree reconstruction runs serially.
+const PARALLEL_NET_THRESHOLD: usize = 256;
 
 impl Sta {
     /// Builds an analyzer for `design` with the given wire parasitics.
@@ -80,6 +106,7 @@ impl Sta {
             worst_pred: vec![None; num_pins],
             endpoint_slacks: Vec::new(),
             analyzed: false,
+            threads: 1,
         })
     }
 
@@ -93,12 +120,33 @@ impl Sta {
         self.params
     }
 
+    /// Sets the worker count for RC refresh and propagation. `0` means
+    /// "use the machine"; `1` (the default) runs serially. Any value
+    /// produces bit-identical results.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Builder-style [`Sta::set_threads`].
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker knob (0 = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Runs a full setup-timing analysis against `placement`.
     ///
     /// Recomputes every net's RC tree, every arc delay, and both
-    /// propagation passes. Deterministic for identical inputs.
+    /// propagation passes. Deterministic for identical inputs and for
+    /// any thread count.
     pub fn analyze(&mut self, design: &Design, placement: &Placement) {
-        self.refresh_nets(design, placement, design.net_ids());
+        let all: Vec<netlist::NetId> = design.net_ids().collect();
+        self.refresh_nets(design, placement, &all);
         self.repropagate(design);
     }
 
@@ -127,6 +175,33 @@ impl Sta {
         self.net_load[net.index()]
     }
 
+    /// Worker count actually used for the propagation passes.
+    fn propagation_workers(&self) -> usize {
+        let pins = self.graph.num_pins();
+        if pins < PARALLEL_PIN_THRESHOLD
+            || pins / self.graph.num_levels().max(1) < PARALLEL_MIN_AVG_LEVEL_WIDTH
+        {
+            1
+        } else {
+            parx::resolve_threads(self.threads)
+        }
+    }
+
+    /// Worker count actually used for an RC refresh over `num_nets` nets.
+    pub(crate) fn refresh_workers(&self, num_nets: usize) -> usize {
+        if num_nets < PARALLEL_NET_THRESHOLD {
+            1
+        } else {
+            parx::resolve_threads(self.threads)
+        }
+    }
+
+    /// Forward pass, as a pull kernel: each pin takes the max over its
+    /// incoming arcs of `arrival(from) + delay(arc)`, seeded with the SDC
+    /// arrival at sources. Pins within a topological level only read
+    /// lower-level state, so a level's pins update concurrently; `max`
+    /// over the same operands is exact in floating point, making the
+    /// result independent of the worker count.
     fn propagate_arrival(&mut self, design: &Design) {
         self.arrival.fill(f64::NEG_INFINITY);
         self.worst_pred.fill(None);
@@ -137,24 +212,36 @@ impl Sta {
             };
             self.arrival[pin.index()] = arr;
         }
-        // Topological order guarantees predecessors are final.
-        for i in 0..self.graph.topo_order().len() {
-            let pin = self.graph.topo_order()[i];
-            let a = self.arrival[pin.index()];
-            if a == f64::NEG_INFINITY {
-                continue;
-            }
-            for arc in self.graph.out_arcs(pin) {
-                let to = self.graph.arc(arc).to;
-                let cand = a + self.arc_delay[arc.index()];
-                if cand > self.arrival[to.index()] {
-                    self.arrival[to.index()] = cand;
-                    self.worst_pred[to.index()] = Some(arc);
+        let workers = self.propagation_workers();
+        let graph = &self.graph;
+        let delays = &self.arc_delay;
+        let arrival = UnsafeSlice::new(&mut self.arrival);
+        let pred = UnsafeSlice::new(&mut self.worst_pred);
+        run_levels(workers, graph, false, |p| {
+            // SAFETY: `p` belongs to the current level, written only by
+            // this closure invocation; predecessors are in lower levels,
+            // finalized before the level barrier.
+            let mut best = unsafe { arrival.read(p.index()) };
+            let mut best_arc = None;
+            for arc in graph.in_arcs(p) {
+                let from = graph.arc(arc).from;
+                let cand = unsafe { arrival.read(from.index()) } + delays[arc.index()];
+                if cand > best {
+                    best = cand;
+                    best_arc = Some(arc);
                 }
             }
-        }
+            unsafe {
+                arrival.write(p.index(), best);
+                pred.write(p.index(), best_arc);
+            }
+        });
     }
 
+    /// Backward pass, as a pull kernel: each pin takes the min over its
+    /// outgoing arcs of `required(to) − delay(arc)`, seeded with the SDC
+    /// required time at endpoints. Levels run in descending order; the
+    /// same determinism argument as [`Sta::propagate_arrival`] applies.
     fn propagate_required(&mut self, design: &Design) {
         self.required.fill(f64::INFINITY);
         for &(pin, kind) in self.graph.endpoints() {
@@ -166,20 +253,23 @@ impl Sta {
             };
             self.required[pin.index()] = self.required[pin.index()].min(req);
         }
-        for i in (0..self.graph.topo_order().len()).rev() {
-            let pin = self.graph.topo_order()[i];
-            let r = self.required[pin.index()];
-            if r == f64::INFINITY {
-                continue;
-            }
-            for arc in self.graph.in_arcs(pin) {
-                let from = self.graph.arc(arc).from;
-                let cand = r - self.arc_delay[arc.index()];
-                if cand < self.required[from.index()] {
-                    self.required[from.index()] = cand;
+        let workers = self.propagation_workers();
+        let graph = &self.graph;
+        let delays = &self.arc_delay;
+        let required = UnsafeSlice::new(&mut self.required);
+        run_levels(workers, graph, true, |p| {
+            // SAFETY: mirror image of the forward pass — successors live
+            // in higher levels, finalized before this one runs.
+            let mut best = unsafe { required.read(p.index()) };
+            for arc in graph.out_arcs(p) {
+                let to = graph.arc(arc).to;
+                let cand = unsafe { required.read(to.index()) } - delays[arc.index()];
+                if cand < best {
+                    best = cand;
                 }
             }
-        }
+            unsafe { required.write(p.index(), best) };
+        });
     }
 
     fn collect_endpoint_slacks(&mut self) {
@@ -236,9 +326,7 @@ impl Sta {
 
     /// Endpoints with negative slack, most critical first.
     pub fn failing_endpoints(&self) -> &[EndpointSlack] {
-        let cut = self
-            .endpoint_slacks
-            .partition_point(|e| e.slack < 0.0);
+        let cut = self.endpoint_slacks.partition_point(|e| e.slack < 0.0);
         &self.endpoint_slacks[..cut]
     }
 
@@ -254,6 +342,73 @@ impl Sta {
             failing_endpoints: failing.len(),
             total_endpoints: self.endpoint_slacks.len(),
         }
+    }
+}
+
+/// Executes `kernel` for every pin, one topological level at a time
+/// (descending when `rev`), with all pins of a level processed
+/// concurrently across `workers` threads.
+///
+/// Each worker takes a contiguous, statically computed slice of the
+/// level's pin list; a barrier separates levels. With one worker the
+/// loop runs inline — same pins, same per-pin computation, so the serial
+/// and parallel paths are the same algorithm by construction.
+///
+/// A panic inside `kernel` is caught on whichever worker hit it, every
+/// worker exits at the next barrier, and the payload is rethrown on the
+/// caller's thread — without the catch, the surviving workers would
+/// block forever on the non-poisoning [`Barrier`] and the process would
+/// hang instead of crashing with the panic message.
+fn run_levels<F>(workers: usize, graph: &TimingGraph, rev: bool, kernel: F)
+where
+    F: Fn(PinId) + Sync,
+{
+    let num_levels = graph.num_levels();
+    if workers <= 1 {
+        for l in 0..num_levels {
+            let l = if rev { num_levels - 1 - l } else { l };
+            for &pin in graph.level_pins(l) {
+                kernel(pin);
+            }
+        }
+        return;
+    }
+    let barrier = Barrier::new(workers);
+    let panicked = std::sync::atomic::AtomicBool::new(false);
+    let payload: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>> =
+        std::sync::Mutex::new(None);
+    let worker = |tid: usize| {
+        for l in 0..num_levels {
+            let l = if rev { num_levels - 1 - l } else { l };
+            let pins = graph.level_pins(l);
+            let per = pins.len().div_ceil(workers);
+            let lo = (tid * per).min(pins.len());
+            let hi = (lo + per).min(pins.len());
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for &pin in &pins[lo..hi] {
+                    kernel(pin);
+                }
+            }));
+            if let Err(p) = result {
+                panicked.store(true, std::sync::atomic::Ordering::Release);
+                payload.lock().unwrap().get_or_insert(p);
+            }
+            barrier.wait();
+            if panicked.load(std::sync::atomic::Ordering::Acquire) {
+                return;
+            }
+        }
+    };
+    std::thread::scope(|s| {
+        for tid in 1..workers {
+            let worker = &worker;
+            s.spawn(move || worker(tid));
+        }
+        worker(0);
+    });
+    let caught = payload.lock().unwrap().take();
+    if let Some(p) = caught {
+        std::panic::resume_unwind(p);
     }
 }
 
@@ -292,7 +447,8 @@ mod tests {
         let mut sta = Sta::new(&d, RcParams::default()).unwrap();
         sta.analyze(&d, &p);
         for pin in d.pin_ids() {
-            if let (Some(a), Some(r), Some(s)) = (sta.arrival(pin), sta.required(pin), sta.slack(pin))
+            if let (Some(a), Some(r), Some(s)) =
+                (sta.arrival(pin), sta.required(pin), sta.slack(pin))
             {
                 assert!((s - (r - a)).abs() < 1e-9);
             }
@@ -348,10 +504,17 @@ mod tests {
                 .unwrap();
             let inv = b.add_cell(&format!("inv{i}"), "INV_X1").unwrap();
             let po = b
-                .add_fixed_cell(&format!("po{i}"), "IOPAD_OUT", *span, 20.0 + 30.0 * i as f64)
+                .add_fixed_cell(
+                    &format!("po{i}"),
+                    "IOPAD_OUT",
+                    *span,
+                    20.0 + 30.0 * i as f64,
+                )
                 .unwrap();
-            b.add_net(&format!("a{i}"), &[(pi, "PAD"), (inv, "A")]).unwrap();
-            b.add_net(&format!("b{i}"), &[(inv, "Y"), (po, "PAD")]).unwrap();
+            b.add_net(&format!("a{i}"), &[(pi, "PAD"), (inv, "A")])
+                .unwrap();
+            b.add_net(&format!("b{i}"), &[(inv, "Y"), (po, "PAD")])
+                .unwrap();
         }
         let d = b.finish().unwrap();
         let mut p = Placement::new(&d);

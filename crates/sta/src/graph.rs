@@ -125,6 +125,14 @@ pub struct TimingGraph {
     in_arcs: Vec<u32>,
     /// Pins in a topological order (every arc goes forward in this order).
     topo_order: Vec<PinId>,
+    /// Topological level per pin: 0 for pins with no incoming arcs,
+    /// otherwise `1 + max(level of predecessors)`.
+    level_of: Vec<u32>,
+    /// Pins grouped by level, sorted by pin index within a level; the
+    /// unit of parallelism for level-synchronized propagation.
+    level_pins: Vec<PinId>,
+    /// CSR offsets into `level_pins`, one entry per level plus a sentinel.
+    level_starts: Vec<u32>,
     sources: Vec<(PinId, SourceKind)>,
     endpoints: Vec<(PinId, EndpointKind)>,
     num_pins: usize,
@@ -175,11 +183,14 @@ impl TimingGraph {
         let (out_start, out_arcs) = build_csr(num_pins, arcs.iter().map(|a| a.from.index()));
         let (in_start, in_arcs) = build_csr(num_pins, arcs.iter().map(|a| a.to.index()));
 
-        // Kahn levelization.
+        // Kahn levelization; `level_of` is computed alongside so the
+        // propagation passes can run level-synchronized (all pins within a
+        // level are mutually independent).
         let mut indegree: Vec<u32> = vec![0; num_pins];
         for a in &arcs {
             indegree[a.to.index()] += 1;
         }
+        let mut level_of: Vec<u32> = vec![0; num_pins];
         let mut queue: Vec<usize> = (0..num_pins).filter(|&p| indegree[p] == 0).collect();
         let mut topo_order: Vec<PinId> = Vec::with_capacity(num_pins);
         let mut head = 0;
@@ -190,6 +201,7 @@ impl TimingGraph {
             for i in out_start[p]..out_start[p + 1] {
                 let arc = &arcs[out_arcs[i as usize] as usize];
                 let t = arc.to.index();
+                level_of[t] = level_of[t].max(level_of[p] + 1);
                 indegree[t] -= 1;
                 if indegree[t] == 0 {
                     queue.push(t);
@@ -201,6 +213,23 @@ impl TimingGraph {
             return Err(BuildGraphError::CombinationalCycle {
                 pin: design.pin_label(PinId::new(stuck)),
             });
+        }
+
+        // Bucket pins by level (counting sort keeps pins sorted by index
+        // within a level, so the grouping is deterministic).
+        let num_levels = level_of.iter().map(|&l| l as usize + 1).max().unwrap_or(1);
+        let mut level_starts = vec![0u32; num_levels + 1];
+        for &l in &level_of {
+            level_starts[l as usize + 1] += 1;
+        }
+        for l in 0..num_levels {
+            level_starts[l + 1] += level_starts[l];
+        }
+        let mut cursor = level_starts.clone();
+        let mut level_pins = vec![PinId::new(0); num_pins];
+        for (p, &l) in level_of.iter().enumerate() {
+            level_pins[cursor[l as usize] as usize] = PinId::new(p);
+            cursor[l as usize] += 1;
         }
 
         // Sources and endpoints.
@@ -220,9 +249,7 @@ impl TimingGraph {
                 // Pads: classify by pin direction.
                 for (i, spec) in ty.pins.iter().enumerate() {
                     match spec.direction {
-                        PinDirection::Output => {
-                            sources.push((c.pins[i], SourceKind::PrimaryInput))
-                        }
+                        PinDirection::Output => sources.push((c.pins[i], SourceKind::PrimaryInput)),
                         PinDirection::Input => {
                             endpoints.push((c.pins[i], EndpointKind::PrimaryOutput))
                         }
@@ -238,6 +265,9 @@ impl TimingGraph {
             in_start,
             in_arcs,
             topo_order,
+            level_of,
+            level_pins,
+            level_starts,
             sources,
             endpoints,
             num_pins,
@@ -285,6 +315,25 @@ impl TimingGraph {
         &self.topo_order
     }
 
+    /// Number of topological levels.
+    pub fn num_levels(&self) -> usize {
+        self.level_starts.len() - 1
+    }
+
+    /// Topological level of a pin (0 = no incoming arcs).
+    pub fn level_of(&self, pin: PinId) -> u32 {
+        self.level_of[pin.index()]
+    }
+
+    /// Pins of one level, sorted by pin index. Every arc into a level-`l`
+    /// pin originates at a strictly lower level, so all pins of a level
+    /// can be updated concurrently.
+    pub fn level_pins(&self, level: usize) -> &[PinId] {
+        let lo = self.level_starts[level] as usize;
+        let hi = self.level_starts[level + 1] as usize;
+        &self.level_pins[lo..hi]
+    }
+
     /// Timing startpoints with their kinds.
     pub fn sources(&self) -> &[(PinId, SourceKind)] {
         &self.sources
@@ -303,10 +352,7 @@ impl TimingGraph {
 
 /// Builds a CSR adjacency table: for each node, the list of arc indices
 /// whose key (from/to) equals the node.
-fn build_csr(
-    num_nodes: usize,
-    keys: impl Iterator<Item = usize> + Clone,
-) -> (Vec<u32>, Vec<u32>) {
+fn build_csr(num_nodes: usize, keys: impl Iterator<Item = usize> + Clone) -> (Vec<u32>, Vec<u32>) {
     let mut start = vec![0u32; num_nodes + 1];
     for k in keys.clone() {
         start[k + 1] += 1;
@@ -445,6 +491,35 @@ mod tests {
         b.add_net("d", &[(inv, "Y"), (ff, "D")]).unwrap();
         let d = b.finish().unwrap();
         assert!(TimingGraph::build(&d).is_ok());
+    }
+
+    #[test]
+    fn levels_respect_arcs_and_partition_pins() {
+        let d = pipeline_design();
+        let g = TimingGraph::build(&d).unwrap();
+        // Every arc crosses strictly upward in level.
+        for a in g.arcs() {
+            assert!(
+                g.level_of(a.from) < g.level_of(a.to),
+                "arc {} -> {} does not climb levels",
+                d.pin_label(a.from),
+                d.pin_label(a.to)
+            );
+        }
+        // Levels partition the pin set, sorted by index within a level.
+        let mut seen = vec![false; g.num_pins()];
+        for l in 0..g.num_levels() {
+            let pins = g.level_pins(l);
+            for w in pins.windows(2) {
+                assert!(w[0].index() < w[1].index());
+            }
+            for &p in pins {
+                assert_eq!(g.level_of(p) as usize, l);
+                assert!(!seen[p.index()], "pin in two levels");
+                seen[p.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -6,12 +6,16 @@
 //! nets** (nets with at least one pin on a moved cell) plus the gate arcs
 //! whose load changed, then reruns the (cheap) propagation passes. The
 //! result is bit-identical to a full analysis.
+//!
+//! The dirty-net set is sorted and deduplicated before the refresh, so
+//! the refresh order — and the chunk boundaries of the parallel RC
+//! rebuild — never depend on hash-map iteration order.
 
 use crate::analysis::Sta;
 use crate::graph::ArcKind;
 use crate::rctree::RcTree;
 use netlist::{CellId, Design, NetId, Placement};
-use std::collections::HashSet;
+use parx::UnsafeSlice;
 
 impl Sta {
     /// Re-analyzes after moving only `moved_cells`, reusing every other
@@ -32,33 +36,49 @@ impl Sta {
             self.is_analyzed(),
             "run a full analyze() before analyze_incremental()"
         );
-        // Dirty nets: any net touching a moved cell's pins.
-        let mut dirty: HashSet<NetId> = HashSet::new();
+        // Dirty nets: any net touching a moved cell's pins. Sorted and
+        // deduplicated so refresh order is deterministic.
+        let mut dirty: Vec<NetId> = Vec::with_capacity(moved_cells.len() * 4);
         for &cell in moved_cells {
             for &pin in &design.cell(cell).pins {
                 if let Some(net) = design.pin(pin).net {
-                    dirty.insert(net);
+                    dirty.push(net);
                 }
             }
         }
-        self.refresh_nets(design, placement, dirty.iter().copied());
+        dirty.sort_unstable();
+        dirty.dedup();
+        self.refresh_nets(design, placement, &dirty);
         self.repropagate(design);
     }
 
     /// Recomputes the RC tree, wire-arc delays, load cache and dependent
     /// gate-arc delays for the given nets.
-    pub(crate) fn refresh_nets(
-        &mut self,
-        design: &Design,
-        placement: &Placement,
-        nets: impl Iterator<Item = NetId>,
-    ) {
+    ///
+    /// Every net's RC tree is independent of every other's, so the tree
+    /// construction and Elmore solve — the expensive part — run in
+    /// parallel, each net writing its `(load, sink delays)` into its own
+    /// slot. The cheap application onto the shared arc-delay table then
+    /// runs serially in `nets` order, keeping the state update
+    /// deterministic for any thread count.
+    pub(crate) fn refresh_nets(&mut self, design: &Design, placement: &Placement, nets: &[NetId]) {
         let params = self.params();
-        for net in nets {
-            let tree = RcTree::build(design, placement, net, &params);
-            let load = tree.total_load();
+        let workers = self.refresh_workers(nets.len());
+        let mut results: Vec<Option<(f64, Vec<f64>)>> = Vec::with_capacity(nets.len());
+        results.resize_with(nets.len(), || None);
+        {
+            let slots = UnsafeSlice::new(&mut results);
+            parx::par_for(workers, nets.len(), 32, |range| {
+                for i in range {
+                    let tree = RcTree::build(design, placement, nets[i], &params);
+                    // SAFETY: slot `i` belongs to this chunk alone.
+                    unsafe { slots.write(i, Some((tree.total_load(), tree.elmore_delays()))) };
+                }
+            });
+        }
+        for (i, &net) in nets.iter().enumerate() {
+            let (load, delays) = results[i].take().expect("net was refreshed");
             self.set_net_load(net, load);
-            let delays = tree.elmore_delays();
             let driver = design.net(net).driver();
             // Wire arcs of this net.
             let arcs: Vec<_> = self.graph().out_arcs(driver).collect();
@@ -122,8 +142,18 @@ mod tests {
 
     fn assert_same_state(a: &Sta, b: &Sta, design: &Design) {
         for pin in design.pin_ids() {
-            assert_eq!(a.arrival(pin), b.arrival(pin), "arrival at {}", design.pin_label(pin));
-            assert_eq!(a.required(pin), b.required(pin), "required at {}", design.pin_label(pin));
+            assert_eq!(
+                a.arrival(pin),
+                b.arrival(pin),
+                "arrival at {}",
+                design.pin_label(pin)
+            );
+            assert_eq!(
+                a.required(pin),
+                b.required(pin),
+                "required at {}",
+                design.pin_label(pin)
+            );
         }
         assert_eq!(a.summary(), b.summary());
     }

@@ -74,22 +74,13 @@ impl RcTree {
     /// Builds the RC tree for `net` from the current placement.
     ///
     /// `sink_caps[i]` is the input capacitance of the i-th sink pin.
-    pub fn build(
-        design: &Design,
-        placement: &Placement,
-        net: NetId,
-        params: &RcParams,
-    ) -> Self {
+    pub fn build(design: &Design, placement: &Placement, net: NetId, params: &RcParams) -> Self {
         let n = design.net(net);
         let mut positions: Vec<(f64, f64)> = Vec::with_capacity(n.pins.len());
         for &p in &n.pins {
             positions.push(placement.pin_position(design, p));
         }
-        let sink_caps: Vec<f64> = n
-            .sinks()
-            .iter()
-            .map(|&p| design.pin_spec(p).cap)
-            .collect();
+        let sink_caps: Vec<f64> = n.sinks().iter().map(|&p| design.pin_spec(p).cap).collect();
         match params.topology {
             NetTopology::Star => Self::build_star(&positions, &sink_caps, params),
             NetTopology::SteinerMst => Self::build_mst(&positions, &sink_caps, params),
@@ -145,8 +136,8 @@ impl RcTree {
         let mut topo = Vec::with_capacity(num_nodes);
         topo.push(0);
         in_tree[0] = true;
-        for v in 1..num_nodes {
-            best_dist[v] = manhattan(0, v);
+        for (v, d) in best_dist.iter_mut().enumerate().skip(1) {
+            *d = manhattan(0, v);
         }
         for _ in 1..num_nodes {
             let mut pick = usize::MAX;

@@ -92,12 +92,7 @@ impl TimingPath {
         let mut out = String::new();
         let _ = writeln!(out, "path slack {:.2}", self.slack);
         for el in &self.elements {
-            let _ = writeln!(
-                out,
-                "  {:>10.2}  {}",
-                el.arrival,
-                design.pin_label(el.pin)
-            );
+            let _ = writeln!(out, "  {:>10.2}  {}", el.arrival, design.pin_label(el.pin));
         }
         out
     }
@@ -203,9 +198,7 @@ impl<'a> EndpointEnumerator<'a> {
         let mut pin = self.endpoint;
         let mut next_dev = 0;
         loop {
-            let arc = if next_dev < devs.len()
-                && self.sta.graph().arc(devs[next_dev]).to == pin
-            {
+            let arc = if next_dev < devs.len() && self.sta.graph().arc(devs[next_dev]).to == pin {
                 let a = devs[next_dev];
                 next_dev += 1;
                 Some(a)
@@ -335,12 +328,7 @@ impl Sta {
     /// # Panics
     ///
     /// Panics if called before [`Sta::analyze`].
-    pub fn report_timing_endpoint(
-        &self,
-        design: &Design,
-        n: usize,
-        k: usize,
-    ) -> Vec<TimingPath> {
+    pub fn report_timing_endpoint(&self, design: &Design, n: usize, k: usize) -> Vec<TimingPath> {
         assert!(
             self.is_analyzed(),
             "call analyze() before report_timing_endpoint"
@@ -405,7 +393,8 @@ mod tests {
         let nand = b.add_cell("nand", "NAND2_X1").unwrap();
         let po = b.add_fixed_cell("po", "IOPAD_OUT", 596.0, 100.0).unwrap();
         b.add_net("n0", &[(pi, "PAD"), (inv, "A")]).unwrap();
-        b.add_net("n1", &[(inv, "Y"), (nand, "A"), (buf, "A")]).unwrap();
+        b.add_net("n1", &[(inv, "Y"), (nand, "A"), (buf, "A")])
+            .unwrap();
         b.add_net("n2", &[(buf, "Y"), (nand, "B")]).unwrap();
         b.add_net("n3", &[(nand, "Y"), (po, "PAD")]).unwrap();
         let d = b.finish().unwrap();
@@ -515,8 +504,10 @@ mod tests {
             let po = b
                 .add_fixed_cell(&format!("po{i}"), "IOPAD_OUT", 800.0, y)
                 .unwrap();
-            b.add_net(&format!("a{i}"), &[(pi, "PAD"), (inv, "A")]).unwrap();
-            b.add_net(&format!("b{i}"), &[(inv, "Y"), (po, "PAD")]).unwrap();
+            b.add_net(&format!("a{i}"), &[(pi, "PAD"), (inv, "A")])
+                .unwrap();
+            b.add_net(&format!("b{i}"), &[(inv, "Y"), (po, "PAD")])
+                .unwrap();
         }
         let d = b.finish().unwrap();
         let mut p = Placement::new(&d);
@@ -530,8 +521,7 @@ mod tests {
         assert_eq!(sta.failing_endpoints().len(), 2);
         let paths = sta.report_timing_endpoint(&d, usize::MAX, 1);
         assert_eq!(paths.len(), 2);
-        let endpoints: std::collections::HashSet<_> =
-            paths.iter().map(|p| p.endpoint()).collect();
+        let endpoints: std::collections::HashSet<_> = paths.iter().map(|p| p.endpoint()).collect();
         assert_eq!(endpoints.len(), 2);
     }
 

@@ -1,0 +1,143 @@
+//! Equivalence guarantees of the parallel / incremental STA paths.
+//!
+//! The contract under test (see `sta::analysis` module docs): the worker
+//! count is a pure speed knob, and incremental analysis with a complete
+//! moved-cell set reproduces a full analysis — both **bit-identical**,
+//! not merely close. Random designs come from `benchgen`; the `medium`
+//! preset crosses the internal parallelism thresholds so the threaded
+//! kernels genuinely run.
+
+use benchgen::{generate, scatter_placement, CircuitParams};
+use netlist::Design;
+use proptest::prelude::*;
+use sta::{RcParams, Sta};
+
+/// Asserts two analyzers agree bit-for-bit on every per-pin quantity and
+/// on the design-level summary.
+fn assert_bit_identical(a: &Sta, b: &Sta, design: &Design) {
+    for pin in design.pin_ids() {
+        let (aa, ba) = (a.arrival(pin), b.arrival(pin));
+        assert_eq!(
+            aa.map(f64::to_bits),
+            ba.map(f64::to_bits),
+            "arrival differs at {}",
+            design.pin_label(pin)
+        );
+        let (ar, br) = (a.required(pin), b.required(pin));
+        assert_eq!(
+            ar.map(f64::to_bits),
+            br.map(f64::to_bits),
+            "required differs at {}",
+            design.pin_label(pin)
+        );
+    }
+    let (sa, sb) = (a.summary(), b.summary());
+    assert_eq!(sa.wns.to_bits(), sb.wns.to_bits(), "WNS differs");
+    assert_eq!(sa.tns.to_bits(), sb.tns.to_bits(), "TNS differs");
+    assert_eq!(sa.failing_endpoints, sb.failing_endpoints);
+    assert_eq!(sa.total_endpoints, sb.total_endpoints);
+    let (ea, eb) = (a.endpoint_slacks(), b.endpoint_slacks());
+    assert_eq!(ea.len(), eb.len());
+    for (x, y) in ea.iter().zip(eb) {
+        assert_eq!(x.pin, y.pin);
+        assert_eq!(x.slack.to_bits(), y.slack.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Full analysis: 1 worker vs 8 workers, bit-identical, on a design
+    /// large enough that the level-parallel and net-parallel kernels run.
+    #[test]
+    fn parallel_full_analysis_matches_serial_bitwise(
+        seed in 1u64..100_000,
+        scatter_seed in 1u64..100_000,
+    ) {
+        let (design, pads) = generate(&CircuitParams::medium("peq", seed));
+        let placement = scatter_placement(&design, &pads, scatter_seed);
+        let rc = RcParams::default();
+        let mut serial = Sta::new(&design, rc).unwrap().with_threads(1);
+        let mut parallel = Sta::new(&design, rc).unwrap().with_threads(8);
+        serial.analyze(&design, &placement);
+        parallel.analyze(&design, &placement);
+        assert_bit_identical(&serial, &parallel, &design);
+    }
+
+    /// Serial full analysis vs parallel incremental analysis after random
+    /// move batches: the strongest cross-equivalence (both axes at once).
+    #[test]
+    fn incremental_parallel_matches_full_serial_bitwise(
+        seed in 1u64..100_000,
+        move_seed in 1u64..100_000,
+        batches in 1usize..4,
+    ) {
+        let (design, pads) = generate(&CircuitParams::medium("ieq", seed));
+        let p0 = scatter_placement(&design, &pads, 7);
+        let rc = RcParams::default();
+        let mut full = Sta::new(&design, rc).unwrap().with_threads(1);
+        let mut inc = Sta::new(&design, rc).unwrap().with_threads(8);
+        full.analyze(&design, &p0);
+        inc.analyze(&design, &p0);
+
+        let movable: Vec<_> = design
+            .cell_ids()
+            .filter(|&c| !design.cell(c).fixed)
+            .collect();
+        let die = design.die();
+        let mut p = p0.clone();
+        let mut s = move_seed.max(1);
+        for _ in 0..batches {
+            // Move a random ~5% subset of the movable cells.
+            let mut moved = Vec::new();
+            for _ in 0..movable.len() / 20 + 1 {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let c = movable[(s % movable.len() as u64) as usize];
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let x = (s % 9973) as f64 / 9973.0 * (die.width() - 8.0);
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let y = (s % 9973) as f64 / 9973.0 * (die.height() - 10.0);
+                p.set(c, x, y);
+                moved.push(c);
+            }
+            full.analyze(&design, &p);
+            inc.analyze_incremental(&design, &p, &moved);
+            assert_bit_identical(&full, &inc, &design);
+        }
+    }
+}
+
+/// The moved-cell list may contain duplicates and arbitrary order; the
+/// sorted-deduped dirty set must make that irrelevant.
+#[test]
+fn duplicate_and_unordered_moved_cells_are_harmless() {
+    let (design, pads) = generate(&CircuitParams::small("dup", 3));
+    let p0 = scatter_placement(&design, &pads, 11);
+    let rc = RcParams::default();
+    let mut a = Sta::new(&design, rc).unwrap();
+    let mut b = Sta::new(&design, rc).unwrap();
+    a.analyze(&design, &p0);
+    b.analyze(&design, &p0);
+
+    let movable: Vec<_> = design
+        .cell_ids()
+        .filter(|&c| !design.cell(c).fixed)
+        .take(6)
+        .collect();
+    let mut p1 = p0.clone();
+    for (k, &c) in movable.iter().enumerate() {
+        let (x, y) = p1.get(c);
+        p1.set(c, x + 5.0 + k as f64, y + 3.0);
+    }
+    a.analyze_incremental(&design, &p1, &movable);
+    let mut shuffled: Vec<_> = movable.iter().rev().copied().collect();
+    shuffled.extend_from_slice(&movable); // duplicates
+    b.analyze_incremental(&design, &p1, &shuffled);
+    assert_bit_identical(&a, &b, &design);
+}

@@ -11,7 +11,7 @@
 //! cargo run --release --example custom_objective
 //! ```
 
-use netlist::{Design, PinId, Placement};
+use netlist::{Design, MoveTracker, PinId, Placement};
 use placer::{GlobalPlacer, TimingObjective};
 use tdp_core::{evaluate, FlowConfig};
 
@@ -41,7 +41,14 @@ impl RegisterPull {
 }
 
 impl TimingObjective for RegisterPull {
-    fn begin_iteration(&mut self, _iter: usize, _design: &Design, _placement: &Placement) {}
+    fn begin_iteration(
+        &mut self,
+        _iter: usize,
+        _design: &Design,
+        _placement: &Placement,
+        _moves: &mut MoveTracker,
+    ) {
+    }
 
     fn net_weights(&mut self, _design: &Design) -> Option<&[f64]> {
         None

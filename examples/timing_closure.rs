@@ -9,7 +9,9 @@
 use tdp_core::{run_method, FlowConfig, Method};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "sb16".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "sb16".to_string());
     let case = benchgen::suite()
         .into_iter()
         .find(|c| c.name == name)
@@ -33,7 +35,10 @@ fn main() {
     let baseline = run_method(&design, pads.clone(), Method::DreamPlace, &cfg);
     let ours = run_method(&design, pads, Method::EfficientTdp, &cfg);
 
-    println!("\n{:<24} {:>12} {:>10} {:>12} {:>8}", "method", "TNS (ps)", "WNS (ps)", "HPWL", "failing");
+    println!(
+        "\n{:<24} {:>12} {:>10} {:>12} {:>8}",
+        "method", "TNS (ps)", "WNS (ps)", "HPWL", "failing"
+    );
     for out in [&baseline, &ours] {
         println!(
             "{:<24} {:>12.0} {:>10.0} {:>12.0} {:>5}/{}",

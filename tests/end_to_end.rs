@@ -46,8 +46,7 @@ fn all_methods_yield_legal_placements_and_finite_metrics() {
         Method::EfficientTdp,
     ] {
         let out = run_method(&design, pads.clone(), method, &cfg);
-        check_legal(&design, &out.placement)
-            .unwrap_or_else(|e| panic!("{}: {e}", out.method));
+        check_legal(&design, &out.placement).unwrap_or_else(|e| panic!("{}: {e}", out.method));
         assert!(out.metrics.hpwl.is_finite() && out.metrics.hpwl > 0.0);
         assert!(out.metrics.tns <= 0.0);
         assert!(out.metrics.tns <= out.metrics.wns);

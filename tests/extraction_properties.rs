@@ -2,7 +2,6 @@
 //! of Sec. III-B / Table 1.
 
 use efficient_tdp::benchgen::{generate, CircuitParams};
-use efficient_tdp::netlist::Placement;
 use efficient_tdp::sta::{RcParams, Sta};
 use efficient_tdp::tdp_core::{extraction::extraction_stats, ExtractionStrategy};
 
@@ -58,7 +57,11 @@ fn global_extraction_is_endpoint_concentrated() {
     // covers no more (usually far fewer) endpoints than the per-endpoint
     // command, while both stay within the budget.
     let (design, sta) = analyzed(3);
-    let global = extraction_stats(&sta, &design, ExtractionStrategy::ReportTiming { factor: 1 });
+    let global = extraction_stats(
+        &sta,
+        &design,
+        ExtractionStrategy::ReportTiming { factor: 1 },
+    );
     let per_ep = extraction_stats(
         &sta,
         &design,
@@ -95,7 +98,10 @@ fn extracted_paths_are_exact_worst_paths() {
     let paths = sta.report_timing_endpoint(&design, 20, 5);
     let mut per_endpoint: std::collections::HashMap<_, Vec<f64>> = Default::default();
     for p in &paths {
-        per_endpoint.entry(p.endpoint()).or_default().push(p.arrival());
+        per_endpoint
+            .entry(p.endpoint())
+            .or_default()
+            .push(p.arrival());
     }
     for (ep, arrivals) in per_endpoint {
         assert!(

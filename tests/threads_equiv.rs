@@ -1,0 +1,69 @@
+//! Flow-level thread-count invariance: the `threads` knob must never
+//! change what the flow computes — only how fast. One worker and eight
+//! workers must produce the same placement to the last bit.
+
+use efficient_tdp::benchgen::{generate, CircuitParams};
+use efficient_tdp::tdp_core::{run_method, FlowConfig, Method};
+
+fn quick_config(threads: usize) -> FlowConfig {
+    let mut cfg = FlowConfig::default();
+    cfg.placer.max_iterations = 260;
+    cfg.placer.min_iterations = 60;
+    cfg.timing_start = 120;
+    cfg.timing_interval = 10;
+    cfg.threads = threads;
+    cfg
+}
+
+#[test]
+fn flow_results_are_thread_count_invariant() {
+    let (design, pads) = generate(&CircuitParams::small("teq", 19));
+    let one = run_method(
+        &design,
+        pads.clone(),
+        Method::EfficientTdp,
+        &quick_config(1),
+    );
+    let many = run_method(&design, pads, Method::EfficientTdp, &quick_config(8));
+    assert_eq!(one.metrics.tns.to_bits(), many.metrics.tns.to_bits());
+    assert_eq!(one.metrics.wns.to_bits(), many.metrics.wns.to_bits());
+    assert_eq!(one.metrics.hpwl.to_bits(), many.metrics.hpwl.to_bits());
+    assert_eq!(one.iterations, many.iterations);
+    for c in design.cell_ids() {
+        assert_eq!(
+            one.placement.get(c),
+            many.placement.get(c),
+            "cell placement diverged"
+        );
+    }
+    // The trace (every iteration's HPWL/overflow/TNS) must agree too.
+    assert_eq!(one.trace.len(), many.trace.len());
+    for (a, b) in one.trace.iter().zip(&many.trace) {
+        assert_eq!(a.hpwl.to_bits(), b.hpwl.to_bits(), "iter {} hpwl", a.iter);
+        assert_eq!(a.overflow.to_bits(), b.overflow.to_bits());
+        assert!(a.tns.to_bits() == b.tns.to_bits() || (a.tns.is_nan() && b.tns.is_nan()));
+    }
+    // The breakdown records the resolved worker count.
+    assert_eq!(one.runtime.threads, 1);
+    assert_eq!(many.runtime.threads, 8);
+}
+
+#[test]
+fn auto_threads_matches_explicit_serial() {
+    // `threads = 0` resolves to the machine's parallelism; results must
+    // still match the serial run bit-for-bit.
+    let (design, pads) = generate(&CircuitParams::small("teq0", 23));
+    let serial = run_method(
+        &design,
+        pads.clone(),
+        Method::EfficientTdp,
+        &quick_config(1),
+    );
+    let auto = run_method(&design, pads, Method::EfficientTdp, &quick_config(0));
+    assert_eq!(serial.metrics.tns.to_bits(), auto.metrics.tns.to_bits());
+    assert_eq!(serial.metrics.hpwl.to_bits(), auto.metrics.hpwl.to_bits());
+    assert!(auto.runtime.threads >= 1);
+    for c in design.cell_ids() {
+        assert_eq!(serial.placement.get(c), auto.placement.get(c));
+    }
+}

@@ -1,0 +1,81 @@
+//! Session setup amortization: the Table 2 method matrix run as four cold
+//! `run_method` calls (each rebuilding the timing graph, RC data and
+//! evaluation analyzer) versus one reusable `Session` running all four
+//! specs against shared timing infrastructure.
+//!
+//! ```text
+//! cargo bench -p bench --bench session_reuse
+//! ```
+
+use bench::micro::{bench, report_speedup};
+use benchgen::{generate, CircuitParams};
+use tdp_core::{FlowBuilder, FlowConfig, Method, Session};
+
+const METHODS: [Method; 4] = [
+    Method::DreamPlace,
+    Method::DreamPlace4,
+    Method::DifferentiableTdp,
+    Method::EfficientTdp,
+];
+
+fn quick_config() -> FlowConfig {
+    let mut cfg = FlowConfig::default();
+    cfg.placer.max_iterations = 160;
+    cfg.placer.min_iterations = 60;
+    cfg.timing_start = 80;
+    cfg.timing_interval = 10;
+    cfg.threads = 1;
+    cfg
+}
+
+fn main() {
+    let (design, pads) = generate(&CircuitParams::small("sess", 17));
+    let cfg = quick_config();
+    let specs: Vec<_> = METHODS
+        .iter()
+        .map(|&m| {
+            FlowBuilder::from_config(cfg.clone())
+                .objective(m)
+                .build()
+                .expect("valid config")
+        })
+        .collect();
+
+    println!("# session reuse — 4-method matrix, cold vs shared setup\n");
+
+    // Setup cost alone: what every cold run pays again.
+    let setup = bench("setup: Session::builder().build()", || {
+        Session::builder(design.clone(), pads.clone())
+            .build()
+            .expect("acyclic")
+    });
+
+    #[allow(deprecated)]
+    let cold = bench("cold: 4x run_method (STA setup per method)", || {
+        METHODS
+            .iter()
+            .map(|&m| {
+                tdp_core::run_method(&design, pads.clone(), m, &cfg)
+                    .metrics
+                    .tns
+            })
+            .sum::<f64>()
+    });
+
+    let shared = bench("session: one Session, 4-method matrix", || {
+        let mut session = Session::builder(design.clone(), pads.clone())
+            .build()
+            .expect("acyclic");
+        specs
+            .iter()
+            .map(|spec| session.run(spec).expect("valid spec").metrics.tns)
+            .sum::<f64>()
+    });
+
+    report_speedup("matrix speedup from session reuse", cold, shared);
+    println!(
+        "\nredundant setup amortized away: ~{:?} per matrix (3 of 4 graph/RC builds; grows with design size, \
+         while the per-run flow cost is what dominates on this synthetic case)",
+        3 * setup
+    );
+}

@@ -6,18 +6,22 @@
 //! cargo run --release -p bench --bin fig3_path_loss
 //! ```
 
-use bench::{load_case, suite_config};
+use bench::{case_session, method_spec, suite_config};
 use netlist::{Design, Placement};
-use sta::{Sta, TimingPath};
-use tdp_core::{run_method, FlowConfig, Method, PinPairLoss};
+use sta::{RcParams, Sta, TimingPath};
+use tdp_core::{Method, PinPairLoss, Session};
 
-fn path_of(design: &Design, placement: &Placement, cfg: &FlowConfig) -> (TimingPath, Sta) {
-    let mut sta = Sta::new(design, cfg.rc).expect("acyclic design");
-    sta.analyze(design, placement);
-    let path = sta
-        .worst_path(design)
-        .expect("design has at least one endpoint");
-    (path, sta)
+/// A report analyzer sharing the session's timing graph and RC skeleton —
+/// no reconstruction, matching the session's own setup amortization.
+fn report_sta(session: &Session, placement: &Placement, rc: RcParams) -> Sta {
+    let mut sta = Sta::from_parts(
+        session.graph_handle(),
+        session.skeleton_handle(),
+        session.design(),
+        rc,
+    );
+    sta.analyze(session.design(), placement);
+    sta
 }
 
 fn print_path(tag: &str, design: &Design, placement: &Placement, path: &TimingPath) {
@@ -33,7 +37,7 @@ fn main() {
         .into_iter()
         .find(|c| c.name == "sb16")
         .expect("suite has sb16");
-    let (design, pads) = load_case(&case);
+    let mut session = case_session(&case);
     let cfg = suite_config(&case);
 
     println!(
@@ -42,12 +46,16 @@ fn main() {
     );
 
     // (a) Before timing optimization: wirelength-driven placement.
-    let before = run_method(&design, pads.clone(), Method::DreamPlace, &cfg);
-    let (path0, _) = path_of(&design, &before.placement, &cfg);
+    let before = session
+        .run(&method_spec(&cfg, Method::DreamPlace))
+        .expect("valid spec");
+    let path0 = report_sta(&session, &before.placement, cfg.rc)
+        .worst_path(session.design())
+        .expect("design has at least one endpoint");
     let endpoint = path0.endpoint();
     print_path(
         "(a) before optimization",
-        &design,
+        session.design(),
         &before.placement,
         &path0,
     );
@@ -65,15 +73,17 @@ fn main() {
             // Direction-only gradients need the recalibrated β.
             c.beta = 0.3;
         }
-        let out = run_method(&design, pads.clone(), Method::EfficientTdp, &c);
-        let mut sta = Sta::new(&design, c.rc).expect("acyclic design");
-        sta.analyze(&design, &out.placement);
+        let out = session
+            .run(&method_spec(&c, Method::EfficientTdp))
+            .expect("valid spec");
+        let sta = report_sta(&session, &out.placement, c.rc);
+        let design = session.design();
         // Track the original endpoint so the figure compares like-for-like.
         let slack = sta.slack(endpoint).unwrap_or(f64::NAN);
-        let paths = sta.report_timing_endpoint(&design, usize::MAX, 1);
+        let paths = sta.report_timing_endpoint(design, usize::MAX, 1);
         let same = paths.iter().find(|p| p.endpoint() == endpoint);
         match same {
-            Some(p) => print_path(tag, &design, &out.placement, p),
+            Some(p) => print_path(tag, design, &out.placement, p),
             None => println!("## {tag}: endpoint now meets timing (slack {slack:.0} ps)"),
         }
     }

@@ -5,8 +5,8 @@
 //! cargo run --release -p bench --bin fig4_breakdown
 //! ```
 
-use bench::{load_case, suite_config};
-use tdp_core::{run_method, Method, RuntimeBreakdown};
+use bench::{case_session, method_spec, suite_config};
+use tdp_core::{Method, RuntimeBreakdown};
 
 fn print_breakdown(label: &str, r: &RuntimeBreakdown, norm: f64) {
     let pct = |d: std::time::Duration| 100.0 * d.as_secs_f64() / norm;
@@ -27,12 +27,16 @@ fn main() {
         .into_iter()
         .find(|c| c.name == "sb1")
         .expect("suite has sb1");
-    let (design, pads) = load_case(&case);
+    let mut session = case_session(&case);
     let cfg = suite_config(&case);
     println!("# Fig. 4 — runtime breakdown on {}", case.name);
 
-    let dp4 = run_method(&design, pads.clone(), Method::DreamPlace4, &cfg);
-    let ours = run_method(&design, pads, Method::EfficientTdp, &cfg);
+    let dp4 = session
+        .run(&method_spec(&cfg, Method::DreamPlace4))
+        .expect("valid spec");
+    let ours = session
+        .run(&method_spec(&cfg, Method::EfficientTdp))
+        .expect("valid spec");
     let norm = dp4.runtime.total.as_secs_f64();
     print_breakdown("DREAMPlace 4.0", &dp4.runtime, norm);
     print_breakdown("Ours", &ours.runtime, norm);

@@ -6,23 +6,27 @@
 //! cargo run --release -p bench --bin fig5_curves
 //! ```
 
-use bench::{load_case, suite_config};
-use tdp_core::{run_method, Method};
+use bench::{case_session, method_spec, suite_config};
+use tdp_core::Method;
 
 fn main() {
     let case = benchgen::suite()
         .into_iter()
         .find(|c| c.name == "sb1")
         .expect("suite has sb1");
-    let (design, pads) = load_case(&case);
+    let mut session = case_session(&case);
     let cfg = suite_config(&case);
     println!(
         "# Fig. 5 — optimization curves on {} (timing starts at iteration {})",
         case.name, cfg.timing_start
     );
 
-    let dp4 = run_method(&design, pads.clone(), Method::DreamPlace4, &cfg);
-    let ours = run_method(&design, pads, Method::EfficientTdp, &cfg);
+    let dp4 = session
+        .run(&method_spec(&cfg, Method::DreamPlace4))
+        .expect("valid spec");
+    let ours = session
+        .run(&method_spec(&cfg, Method::EfficientTdp))
+        .expect("valid spec");
 
     println!(
         "{:>5} | {:>10} {:>8} {:>10} {:>8} | {:>10} {:>8} {:>10} {:>8}",

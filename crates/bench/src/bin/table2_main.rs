@@ -7,8 +7,8 @@
 //! cargo run --release -p bench --bin table2_main
 //! ```
 
-use bench::{fmt_metrics, load_case, suite_config, RatioAccumulator};
-use tdp_core::{run_method, Method};
+use bench::{case_session, fmt_metrics, method_spec, suite_config, RatioAccumulator};
+use tdp_core::Method;
 
 fn main() {
     let methods = [
@@ -31,12 +31,13 @@ fn main() {
 
     let mut acc = RatioAccumulator::new(methods.len());
     for case in benchgen::suite() {
-        let (design, pads) = load_case(&case);
+        // One session per case: the STA setup is shared by all 4 methods.
+        let mut session = case_session(&case);
         let cfg = suite_config(&case);
         let mut row_metrics = Vec::with_capacity(methods.len());
         print!("{:<6}", case.name);
         for m in methods {
-            let out = run_method(&design, pads.clone(), m, &cfg);
+            let out = session.run(&method_spec(&cfg, m)).expect("valid spec");
             print!(" | {}", fmt_metrics(&out.metrics));
             row_metrics.push(out.metrics);
         }

@@ -6,8 +6,8 @@
 //! cargo run --release -p bench --bin table3_ablation
 //! ```
 
-use bench::{load_case, suite_config, RatioAccumulator};
-use tdp_core::{run_method, ExtractionStrategy, FlowConfig, Method, Metrics, PinPairLoss};
+use bench::{case_session, method_spec, suite_config, RatioAccumulator};
+use tdp_core::{ExtractionStrategy, FlowConfig, Method, Metrics, PinPairLoss};
 
 /// One ablation column: a label plus a config/method mutation.
 struct Variant {
@@ -67,13 +67,16 @@ fn main() {
 
     let mut acc = RatioAccumulator::new(variants.len());
     for case in benchgen::suite() {
-        let (design, pads) = load_case(&case);
+        // One session per case covers every ablation column.
+        let mut session = case_session(&case);
         print!("{:<6}", case.name);
         let mut row: Vec<Metrics> = Vec::with_capacity(variants.len());
         for v in &variants {
             let mut cfg = suite_config(&case);
             (v.mutate)(&mut cfg);
-            let out = run_method(&design, pads.clone(), v.method, &cfg);
+            let out = session
+                .run(&method_spec(&cfg, v.method))
+                .expect("valid spec");
             print!(
                 " | {:>12.2} {:>10.2}",
                 out.metrics.tns / 1e3,

@@ -9,8 +9,8 @@
 //! cargo run --release -p bench --bin table4_runtime
 //! ```
 
-use bench::{load_case, suite_config};
-use tdp_core::{run_method, Method};
+use bench::{case_session, method_spec, suite_config};
+use tdp_core::Method;
 
 fn main() {
     let methods = [
@@ -26,11 +26,11 @@ fn main() {
     let mut sums = [0.0f64; 3];
     let mut ref_sum = 0.0f64;
     for case in benchgen::suite() {
-        let (design, pads) = load_case(&case);
+        let mut session = case_session(&case);
         let cfg = suite_config(&case);
         let mut secs = [0.0f64; 3];
         for (i, m) in methods.iter().enumerate() {
-            let out = run_method(&design, pads.clone(), *m, &cfg);
+            let out = session.run(&method_spec(&cfg, *m)).expect("valid spec");
             secs[i] = out.runtime.total.as_secs_f64();
         }
         println!(

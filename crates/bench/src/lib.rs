@@ -18,7 +18,7 @@ pub mod micro;
 
 use benchgen::SuiteCase;
 use netlist::{Design, Placement};
-use tdp_core::{FlowConfig, Metrics};
+use tdp_core::{FlowBuilder, FlowConfig, FlowSpec, Method, Metrics, Session};
 
 /// The flow configuration used for every suite run (paper Sec. IV
 /// hyperparameters, recalibrated where DESIGN.md documents it).
@@ -36,6 +36,24 @@ pub fn suite_config(case: &SuiteCase) -> FlowConfig {
 /// Generates a case's design and pad placement.
 pub fn load_case(case: &SuiteCase) -> (Design, Placement) {
     benchgen::generate(&case.params)
+}
+
+/// Builds a reusable [`Session`] for one suite case. The harness binaries
+/// run their whole method matrix through one session per case, so the
+/// timing graph and RC data are constructed once, not once per method.
+pub fn case_session(case: &SuiteCase) -> Session {
+    let (design, pads) = load_case(case);
+    Session::builder(design, pads)
+        .build()
+        .expect("generated designs are acyclic")
+}
+
+/// A validated spec running `method` under `cfg`.
+pub fn method_spec(cfg: &FlowConfig, method: Method) -> FlowSpec {
+    FlowBuilder::from_config(cfg.clone())
+        .objective(method)
+        .build()
+        .expect("suite configuration is valid")
 }
 
 pub use benchgen::scatter_placement;

@@ -39,7 +39,7 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Duration {
     mean
 }
 
-/// Prints a speedup line comparing two means from [`bench`].
+/// Prints a speedup line comparing two means from [`bench()`].
 pub fn report_speedup(label: &str, baseline: Duration, contender: Duration) {
     let ratio = baseline.as_secs_f64() / contender.as_secs_f64().max(1e-12);
     println!("{label:<44} {ratio:>10.2}x");

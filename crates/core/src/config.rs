@@ -1,5 +1,6 @@
 //! Flow hyperparameters.
 
+use crate::error::FlowError;
 use crate::extraction::ExtractionStrategy;
 use crate::loss::PinPairLoss;
 use placer::{OptimizerKind, PlacerConfig};
@@ -77,6 +78,107 @@ impl FlowConfig {
         self.rc.res_per_unit = params.res_per_unit;
         self.rc.cap_per_unit = params.cap_per_unit;
         self
+    }
+
+    /// Minimum iteration count a timing-driven run needs so the schedule
+    /// gets at least 6 timing intervals after `timing_start`. The session
+    /// raises `placer.min_iterations` to this floor, and
+    /// [`FlowSpec::new`](crate::FlowSpec::new) rejects specs whose
+    /// `placer.max_iterations` cannot accommodate it.
+    pub fn timing_iteration_floor(&self) -> usize {
+        self.timing_interval
+            .saturating_mul(6)
+            .saturating_add(self.timing_start)
+    }
+
+    /// Checks every hyperparameter combination that would otherwise fail
+    /// somewhere deep inside the placer or the timing engine (FFT grid
+    /// sizes, degenerate schedules, non-finite weights).
+    ///
+    /// [`FlowBuilder::build`](crate::FlowBuilder::build) calls this so a
+    /// bad configuration is reported as a [`FlowError::Config`] at the API
+    /// boundary instead of panicking mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), FlowError> {
+        fn finite_nonneg(name: &str, v: f64) -> Result<(), FlowError> {
+            if !v.is_finite() || v < 0.0 {
+                return Err(FlowError::Config(format!(
+                    "{name} must be finite and non-negative (got {v})"
+                )));
+            }
+            Ok(())
+        }
+        finite_nonneg("beta", self.beta)?;
+        finite_nonneg("w0", self.w0)?;
+        finite_nonneg("w1", self.w1)?;
+        finite_nonneg("net_weight_alpha", self.net_weight_alpha)?;
+        finite_nonneg("rc.res_per_unit", self.rc.res_per_unit)?;
+        finite_nonneg("rc.cap_per_unit", self.rc.cap_per_unit)?;
+        if self.timing_interval == 0 {
+            return Err(FlowError::Config(
+                "timing_interval must be at least 1".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.momentum_decay) {
+            return Err(FlowError::Config(format!(
+                "momentum_decay must lie in [0, 1] (got {})",
+                self.momentum_decay
+            )));
+        }
+        let p = &self.placer;
+        if p.grid < 2 || !p.grid.is_power_of_two() {
+            return Err(FlowError::Config(format!(
+                "placer.grid must be a power of two >= 2 (got {}); the spectral density solver runs an FFT over the bin grid",
+                p.grid
+            )));
+        }
+        if p.max_iterations == 0 {
+            return Err(FlowError::Config(
+                "placer.max_iterations must be at least 1".into(),
+            ));
+        }
+        if p.min_iterations > p.max_iterations {
+            return Err(FlowError::Config(format!(
+                "placer.min_iterations ({}) exceeds placer.max_iterations ({})",
+                p.min_iterations, p.max_iterations
+            )));
+        }
+        if !p.target_density.is_finite() || p.target_density <= 0.0 {
+            return Err(FlowError::Config(format!(
+                "placer.target_density must be positive (got {})",
+                p.target_density
+            )));
+        }
+        if !p.gamma_factor.is_finite() || p.gamma_factor <= 0.0 {
+            return Err(FlowError::Config(format!(
+                "placer.gamma_factor must be positive (got {})",
+                p.gamma_factor
+            )));
+        }
+        if !p.initial_step.is_finite() || p.initial_step <= 0.0 {
+            return Err(FlowError::Config(format!(
+                "placer.initial_step must be positive (got {})",
+                p.initial_step
+            )));
+        }
+        if !p.lambda_mult.is_finite() || p.lambda_mult < 1.0 {
+            return Err(FlowError::Config(format!(
+                "placer.lambda_mult must be >= 1 (got {})",
+                p.lambda_mult
+            )));
+        }
+        finite_nonneg("placer.lambda_init_factor", p.lambda_init_factor)?;
+        finite_nonneg("placer.move_threshold", p.move_threshold)?;
+        if !p.stop_overflow.is_finite() {
+            return Err(FlowError::Config(format!(
+                "placer.stop_overflow must be finite (got {})",
+                p.stop_overflow
+            )));
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,92 @@
+//! Flow-level error type.
+//!
+//! Every fallible step of the session API — configuration validation in
+//! [`FlowBuilder::build`](crate::FlowBuilder::build), design validation in
+//! [`SessionBuilder::build`](crate::SessionBuilder::build), placement
+//! parsing — reports through [`FlowError`] instead of panicking. Bad user
+//! input therefore surfaces at the API boundary, not as a panic deep in
+//! the placer or the timing engine.
+
+use netlist::{NetlistError, ParseError};
+use sta::BuildGraphError;
+use std::error::Error;
+use std::fmt;
+
+/// Why a flow could not be configured or started.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// An invalid hyperparameter combination, rejected by
+    /// [`FlowBuilder::build`](crate::FlowBuilder::build) before anything
+    /// runs.
+    Config(String),
+    /// The design's combinational logic is cyclic, so no timing graph
+    /// exists.
+    Graph(BuildGraphError),
+    /// The netlist itself is malformed.
+    Netlist(NetlistError),
+    /// User-supplied placement text (`.pl` / DEF) failed to parse.
+    Parse(ParseError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Config(msg) => write!(f, "invalid flow configuration: {msg}"),
+            FlowError::Graph(e) => write!(f, "cannot build timing graph: {e}"),
+            FlowError::Netlist(e) => write!(f, "invalid netlist: {e}"),
+            FlowError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Config(_) => None,
+            FlowError::Graph(e) => Some(e),
+            FlowError::Netlist(e) => Some(e),
+            FlowError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildGraphError> for FlowError {
+    fn from(e: BuildGraphError) -> Self {
+        FlowError::Graph(e)
+    }
+}
+
+impl From<NetlistError> for FlowError {
+    fn from(e: NetlistError) -> Self {
+        FlowError::Netlist(e)
+    }
+}
+
+impl From<ParseError> for FlowError {
+    fn from(e: ParseError) -> Self {
+        FlowError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_errors_surface_through_flow_error() {
+        let parse = ParseError {
+            line: 3,
+            message: "bad x coordinate \"abc\"".to_string(),
+        };
+        let flow: FlowError = parse.into();
+        assert!(flow.to_string().contains("line 3"));
+        assert!(flow.to_string().contains("bad x coordinate"));
+        assert!(Error::source(&flow).is_some());
+    }
+
+    #[test]
+    fn config_errors_carry_the_message() {
+        let e = FlowError::Config("beta must be finite".into());
+        assert!(e.to_string().contains("beta must be finite"));
+    }
+}

@@ -5,6 +5,27 @@
 //! returns metrics, a per-iteration trace (Fig. 5) and a runtime breakdown
 //! (Table 4 / Fig. 4).
 //!
+//! # Migrating from `run_method` to the session API
+//!
+//! `run_method` is kept as a thin, deprecated wrapper around a one-shot
+//! [`Session`](crate::Session); results are bitwise identical. New code
+//! should build the session explicitly — it amortizes timing-graph and
+//! RC-data construction across runs and unlocks custom objectives and
+//! streaming observers:
+//!
+//! | Legacy | Session API |
+//! |---|---|
+//! | `run_method(&design, pads, method, &cfg)` | `Session::builder(design, pads).build()?` then `session.run(&spec)` |
+//! | `Method::EfficientTdp` (closed enum) | [`ObjectiveSpec::EfficientTdp`](crate::ObjectiveSpec) or [`ObjectiveSpec::custom`](crate::ObjectiveSpec::custom) |
+//! | hand-assembled [`FlowConfig`] literal | [`FlowBuilder`](crate::FlowBuilder) setters + validation at `build()` |
+//! | inspect `outcome.trace` after the run | implement [`Observer`](crate::Observer) and stream rows / cancel mid-run |
+//!
+//! Note one behavioral difference at the edges: `run_method` panics on a
+//! cyclic design (as it always has), while
+//! [`SessionBuilder::build`](crate::SessionBuilder::build) reports
+//! [`FlowError::Graph`](crate::FlowError) and malformed placement text
+//! surfaces as [`FlowError::Parse`](crate::FlowError).
+//!
 //! The paper's method ([`EfficientTdpObjective`]) runs one full STA at
 //! its first timing iteration and **incremental** analyses afterwards:
 //! the placement engine's [`netlist::MoveTracker`] reports which cells
@@ -17,12 +38,11 @@
 
 use crate::config::FlowConfig;
 use crate::extraction::extract_pin_pairs;
-use crate::metrics::{evaluate, Metrics};
+use crate::metrics::Metrics;
 use crate::pinpair::PinPairSet;
-use crate::weighting::{DifferentiableTdpWeighting, MomentumNetWeighting};
 use netlist::{Design, MoveTracker, PinId, Placement};
 use parx::UnsafeSlice;
-use placer::{abacus_legalize, GlobalPlacer, NoTimingObjective, TimingObjective};
+use placer::TimingObjective;
 use sta::Sta;
 use std::time::{Duration, Instant};
 
@@ -64,13 +84,52 @@ pub struct RuntimeBreakdown {
     pub weighting: Duration,
     /// Legalization.
     pub legalization: Duration,
-    /// Everything else (wirelength/density gradients, optimizer).
+    /// Everything not explicitly timed by the other categories. Concretely
+    /// this absorbs: the wirelength and density gradient kernels, the
+    /// Nesterov optimizer updates and preconditioning, per-iteration
+    /// trace/observer bookkeeping, objective construction, and the
+    /// shared-kit evaluation at the end of the run. Computed as
+    /// `total − (io + timing_analysis + weighting + legalization)`.
     pub gradient_and_others: Duration,
     /// Total flow time.
     pub total: Duration,
     /// Resolved worker count the run used (`FlowConfig::threads` after
     /// 0-means-auto resolution).
     pub threads: usize,
+}
+
+impl RuntimeBreakdown {
+    /// Tolerance for [`RuntimeBreakdown::consistency_error`]: the category
+    /// sum and `total` come from separate `Instant` reads, so they can
+    /// disagree by scheduling noise but never by more than this.
+    pub const CONSISTENCY_TOLERANCE: Duration = Duration::from_millis(5);
+
+    /// Sum of the five wall-clock categories.
+    pub fn accounted(&self) -> Duration {
+        self.io
+            + self.timing_analysis
+            + self.weighting
+            + self.legalization
+            + self.gradient_and_others
+    }
+
+    /// Absolute difference between the category sum and `total`. Because
+    /// `gradient_and_others` is defined as the remainder, this is zero
+    /// unless the explicitly timed categories overshot `total` (clock
+    /// skew), which the saturating remainder clamps.
+    pub fn consistency_error(&self) -> Duration {
+        self.total.abs_diff(self.accounted())
+    }
+
+    /// Debug-asserts the breakdown is self-consistent: the categories sum
+    /// to `total` within [`RuntimeBreakdown::CONSISTENCY_TOLERANCE`].
+    pub fn debug_assert_consistent(&self) {
+        debug_assert!(
+            self.consistency_error() <= Self::CONSISTENCY_TOLERANCE,
+            "runtime breakdown off by {:?}: {self:?}",
+            self.consistency_error()
+        );
+    }
 }
 
 /// Per-iteration trace row for the Fig. 5 curves. TNS/WNS carry the value
@@ -92,18 +151,23 @@ pub struct FlowTraceRow {
 /// Everything a flow run produces.
 #[derive(Debug, Clone)]
 pub struct FlowOutcome {
-    /// Which method ran.
-    pub method: &'static str,
+    /// Label of the objective that ran (see
+    /// [`ObjectiveSpec::label`](crate::ObjectiveSpec::label)).
+    pub method: String,
     /// Legalized placement.
     pub placement: Placement,
     /// Shared evaluation-kit metrics of the legalized placement.
     pub metrics: Metrics,
     /// Runtime decomposition.
     pub runtime: RuntimeBreakdown,
-    /// Per-iteration trace.
+    /// Per-iteration trace, collected by the builtin
+    /// [`TraceObserver`](crate::TraceObserver).
     pub trace: Vec<FlowTraceRow>,
     /// Iterations executed by the global placer.
     pub iterations: usize,
+    /// Whether an [`Observer`](crate::Observer) stopped the placement loop
+    /// early. The placement is still legalized and evaluated.
+    pub canceled: bool,
 }
 
 /// The paper's objective: pin-to-pin attraction over extracted paths.
@@ -130,11 +194,21 @@ pub struct EfficientTdpObjective {
 
 impl EfficientTdpObjective {
     /// Creates the objective; builds the timing graph once.
+    ///
+    /// Session runs use [`EfficientTdpObjective::with_sta`] instead, which
+    /// shares an already-built graph.
     pub fn new(design: &Design, cfg: FlowConfig) -> Self {
+        let sta = Sta::new(design, cfg.rc)
+            .expect("acyclic design")
+            .with_threads(cfg.threads);
+        Self::with_sta(sta, cfg)
+    }
+
+    /// Creates the objective around an existing analyzer (no graph
+    /// construction).
+    pub fn with_sta(sta: Sta, cfg: FlowConfig) -> Self {
         Self {
-            sta: Sta::new(design, cfg.rc)
-                .expect("acyclic design")
-                .with_threads(cfg.threads),
+            sta,
             cfg,
             pairs: PinPairSet::new(),
             grad_index: PairGradIndex::default(),
@@ -376,122 +450,44 @@ impl PairGradIndex {
 
 /// Runs one complete flow for `method` and evaluates it with the shared
 /// kit. `pads` must carry the fixed-cell positions.
+///
+/// This is now a thin compatibility wrapper around a one-shot
+/// [`Session`](crate::Session): it clones the design, builds the session,
+/// runs once and discards the session — paying the full STA setup per
+/// call. Results are bitwise identical to the session path. See the
+/// [module docs](self) for the migration map.
+///
+/// # Panics
+///
+/// Panics if the design's combinational logic is cyclic (as it always
+/// has); the session API reports this as a
+/// [`FlowError`](crate::FlowError) instead.
+#[deprecated(
+    note = "build a reusable `Session` (`Session::builder(design, pads).build()?`) and run \
+            `FlowBuilder`-validated specs through `session.run(&spec)`; see the `flow` module \
+            docs for the migration map"
+)]
 pub fn run_method(
     design: &Design,
     pads: Placement,
     method: Method,
     cfg: &FlowConfig,
 ) -> FlowOutcome {
-    let t_total = Instant::now();
-    let t_io = Instant::now();
-    let mut placer_cfg = cfg.placer;
-    // One knob drives every parallel kernel in the run.
-    placer_cfg.threads = cfg.threads;
-    if method == Method::DreamPlace {
-        // Pure wirelength placement stops at density convergence, as the
-        // original DREAMPlace does (Table 4's runtime gap).
-        placer_cfg.min_iterations = placer_cfg.min_iterations.min(150);
-    } else {
-        // Timing-driven methods must keep iterating past the timing start.
-        placer_cfg.min_iterations = placer_cfg
-            .min_iterations
-            .max(cfg.timing_start + 6 * cfg.timing_interval);
-    }
-    let mut engine = GlobalPlacer::new(design, pads, placer_cfg);
-    let io = t_io.elapsed();
-
-    // Run with the method's objective, keeping access to its internals.
-    let (result, sta_time, weighting_time, timing_trace) = match method {
-        Method::DreamPlace => {
-            let mut obj = NoTimingObjective;
-            let r = engine.run_with(design, &mut obj);
-            (r, Duration::ZERO, Duration::ZERO, Vec::new())
-        }
-        Method::DreamPlace4 => {
-            let mut obj = MomentumNetWeighting::new(
-                design,
-                cfg.rc,
-                cfg.timing_start,
-                cfg.timing_interval,
-                cfg.net_weight_alpha,
-                cfg.momentum_decay,
-            );
-            let r = engine.run_with(design, &mut obj);
-            let (s, w) = obj.runtimes();
-            (r, s, w, obj.timing_trace().to_vec())
-        }
-        Method::DifferentiableTdp => {
-            let mut obj = DifferentiableTdpWeighting::new(
-                design,
-                cfg.rc,
-                cfg.timing_start,
-                cfg.timing_interval,
-                cfg.net_weight_alpha,
-            );
-            let r = engine.run_with(design, &mut obj);
-            let (s, w) = obj.runtimes();
-            (r, s, w, obj.timing_trace().to_vec())
-        }
-        Method::EfficientTdp => {
-            let mut obj = EfficientTdpObjective::new(design, cfg.clone());
-            let r = engine.run_with(design, &mut obj);
-            let (s, w) = obj.runtimes();
-            (r, s, w, obj.timing_trace().to_vec())
-        }
-    };
-
-    let t_leg = Instant::now();
-    let mut placement = result.placement;
-    abacus_legalize(design, &mut placement);
-    let legalization = t_leg.elapsed();
-
-    let metrics = evaluate(design, &placement, cfg.rc);
-    let total = t_total.elapsed();
-    let accounted = io + sta_time + weighting_time + legalization;
-    let runtime = RuntimeBreakdown {
-        io,
-        timing_analysis: sta_time,
-        weighting: weighting_time,
-        legalization,
-        gradient_and_others: total.saturating_sub(accounted),
-        total,
-        threads: parx::resolve_threads(cfg.threads),
-    };
-
-    // Merge the engine trace with the timing trace (carry-forward).
-    let mut trace = Vec::with_capacity(result.trace.len());
-    let mut timing_idx = 0usize;
-    let mut tns = f64::NAN;
-    let mut wns = f64::NAN;
-    for row in &result.trace {
-        while timing_idx < timing_trace.len() && timing_trace[timing_idx].0 <= row.iter {
-            tns = timing_trace[timing_idx].1;
-            wns = timing_trace[timing_idx].2;
-            timing_idx += 1;
-        }
-        trace.push(FlowTraceRow {
-            iter: row.iter,
-            hpwl: row.hpwl,
-            overflow: row.overflow,
-            tns,
-            wns,
-        });
-    }
-
-    FlowOutcome {
-        method: method.label(),
-        placement,
-        metrics,
-        runtime,
-        trace,
-        iterations: result.iterations,
-    }
+    let mut session = crate::session::Session::builder(design.clone(), pads)
+        .build()
+        .expect("acyclic design");
+    let spec = crate::session::FlowSpec::unchecked(method.into(), cfg.clone());
+    session
+        .run(&spec)
+        .expect("builtin objectives cannot fail to build")
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // deliberately exercises the `run_method` compat wrapper
 mod tests {
     use super::*;
     use benchgen::{generate, CircuitParams};
+    use placer::GlobalPlacer;
 
     fn quick_config() -> FlowConfig {
         let mut cfg = FlowConfig::default();

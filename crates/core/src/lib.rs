@@ -20,34 +20,60 @@
 //!   the Nesterov loop, finished by Abacus legalization.
 //! * [`metrics`] — the shared evaluation kit (exact HPWL + STA TNS/WNS on
 //!   the legalized result), used identically for every method.
+//! * [`session`] — the public front door: a reusable [`Session`] that
+//!   owns the netlist and timing infrastructure, validated [`FlowSpec`]s
+//!   built with [`FlowBuilder`], and the open [`ObjectiveSpec`] /
+//!   [`ObjectiveFactory`] objective surface.
+//! * [`observer`] — streaming [`Observer`] callbacks with early-stop, and
+//!   the builtin [`TraceObserver`] behind `FlowOutcome::trace`.
+//! * [`error`] — [`FlowError`], the error surface of everything above.
 //!
 //! # Example
 //!
 //! ```no_run
 //! use benchgen::{generate, CircuitParams};
-//! use tdp_core::{run_method, FlowConfig, Method};
+//! use tdp_core::{FlowBuilder, ObjectiveSpec, Session};
 //!
+//! # fn main() -> Result<(), tdp_core::FlowError> {
 //! let (design, pads) = generate(&CircuitParams::small("demo", 1));
-//! let config = FlowConfig::default();
-//! let outcome = run_method(&design, pads, Method::EfficientTdp, &config);
+//! // One session per design: the timing graph is built exactly once and
+//! // shared by every run.
+//! let mut session = Session::builder(design, pads).build()?;
+//! let spec = FlowBuilder::new()
+//!     .objective(ObjectiveSpec::EfficientTdp)
+//!     .build()?;
+//! let outcome = session.run(&spec)?;
 //! println!(
 //!     "TNS {:.1} WNS {:.1} HPWL {:.3e}",
 //!     outcome.metrics.tns, outcome.metrics.wns, outcome.metrics.hpwl
 //! );
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod extraction;
 pub mod flow;
 pub mod loss;
 pub mod metrics;
+pub mod observer;
 pub mod pinpair;
+pub mod session;
 pub mod weighting;
 
 pub use config::FlowConfig;
+pub use error::FlowError;
 pub use extraction::{extract_pin_pairs, ExtractionStats, ExtractionStrategy};
-pub use flow::{run_method, FlowOutcome, Method, RuntimeBreakdown};
+#[allow(deprecated)]
+pub use flow::run_method;
+pub use flow::{FlowOutcome, FlowTraceRow, Method, RuntimeBreakdown};
 pub use loss::PinPairLoss;
-pub use metrics::{evaluate, Metrics};
+pub use metrics::{evaluate, evaluate_with, Metrics};
+pub use observer::{FlowPhase, Observer, ObserverAction, TraceObserver};
 pub use pinpair::PinPairSet;
+pub use session::{
+    FlowBuilder, FlowSpec, ObjectiveContext, ObjectiveFactory, ObjectiveSpec, Session,
+    SessionBuilder, SessionObjective,
+};
 pub use weighting::{DifferentiableTdpWeighting, MomentumNetWeighting};

@@ -31,6 +31,18 @@ pub struct Metrics {
 pub fn evaluate(design: &Design, placement: &Placement, rc: RcParams) -> Metrics {
     let eval_rc = rc.with_topology(NetTopology::SteinerMst);
     let mut sta = Sta::new(design, eval_rc).expect("design must be acyclic");
+    evaluate_with(&mut sta, design, placement)
+}
+
+/// [`evaluate`] against a caller-provided analyzer, so a
+/// [`Session`](crate::Session) can evaluate many runs without rebuilding
+/// the timing graph each time.
+///
+/// `sta` should carry the evaluation topology
+/// ([`NetTopology::SteinerMst`]); a full analysis recomputes every wire
+/// delay from `placement`, so the analyzer's prior state never leaks into
+/// the result.
+pub fn evaluate_with(sta: &mut Sta, design: &Design, placement: &Placement) -> Metrics {
     sta.analyze(design, placement);
     let summary = sta.summary();
     Metrics {

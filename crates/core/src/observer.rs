@@ -1,0 +1,143 @@
+//! Streaming observation of a running flow.
+//!
+//! A [`Session`](crate::Session) run used to be a black box that returned
+//! its per-iteration trace only after the last iteration. An [`Observer`]
+//! instead receives events *while the flow runs* — every placement
+//! iteration, every timing analysis, every phase transition — and each
+//! callback can return [`ObserverAction::Stop`] to cancel the run early.
+//! A canceled run still legalizes and evaluates whatever placement it
+//! reached, so the caller always gets a well-formed (partial)
+//! [`FlowOutcome`](crate::FlowOutcome) with
+//! [`canceled`](crate::FlowOutcome::canceled) set.
+//!
+//! The classic `Vec<FlowTraceRow>` trace is itself implemented as a
+//! builtin observer, [`TraceObserver`], which the session always attaches
+//! alongside the user's.
+
+use crate::flow::FlowTraceRow;
+
+/// The coarse phases of one flow run, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// Engine and objective construction.
+    Setup,
+    /// The Nesterov global-placement loop.
+    GlobalPlacement,
+    /// Abacus legalization of the global placement.
+    Legalization,
+    /// Shared-kit evaluation of the legalized placement.
+    Evaluation,
+}
+
+/// What an observer callback wants the flow to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserverAction {
+    /// Keep running.
+    Continue,
+    /// Stop the placement loop as soon as possible. Legalization and
+    /// evaluation still run, so the outcome is well-formed.
+    Stop,
+}
+
+/// Callbacks streamed from a running flow.
+///
+/// All methods default to doing nothing and continuing, so implementors
+/// override only what they care about. Callbacks run on the flow's thread
+/// between iterations; keep them cheap.
+pub trait Observer {
+    /// The flow entered a new [`FlowPhase`]. A `Stop` during [`FlowPhase::Setup`]
+    /// or [`FlowPhase::GlobalPlacement`] cancels the placement loop; during
+    /// the later phases it has no effect (the run is already finishing).
+    fn on_phase_change(&mut self, _phase: FlowPhase) -> ObserverAction {
+        ObserverAction::Continue
+    }
+
+    /// One placement iteration finished; `row` carries the same values the
+    /// final trace will.
+    fn on_iteration(&mut self, _row: &FlowTraceRow) -> ObserverAction {
+        ObserverAction::Continue
+    }
+
+    /// A timing analysis ran inside the objective at iteration `iter`,
+    /// reporting the design's current total and worst negative slack.
+    fn on_timing_analysis(&mut self, _iter: usize, _tns: f64, _wns: f64) -> ObserverAction {
+        ObserverAction::Continue
+    }
+}
+
+/// The builtin observer behind `FlowOutcome::trace`: collects every
+/// [`FlowTraceRow`] streamed by the run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceObserver {
+    rows: Vec<FlowTraceRow>,
+}
+
+impl TraceObserver {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The rows collected so far.
+    pub fn rows(&self) -> &[FlowTraceRow] {
+        &self.rows
+    }
+
+    /// Consumes the collector, yielding the trace.
+    pub fn into_rows(self) -> Vec<FlowTraceRow> {
+        self.rows
+    }
+
+    /// Takes the rows out, leaving the collector empty.
+    pub(crate) fn take_rows(&mut self) -> Vec<FlowTraceRow> {
+        std::mem::take(&mut self.rows)
+    }
+}
+
+impl Observer for TraceObserver {
+    fn on_iteration(&mut self, row: &FlowTraceRow) -> ObserverAction {
+        self.rows.push(*row);
+        ObserverAction::Continue
+    }
+}
+
+/// The do-nothing observer used by `Session::run`.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NullObserver;
+
+impl Observer for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_observer_collects_rows() {
+        let mut t = TraceObserver::new();
+        let row = FlowTraceRow {
+            iter: 0,
+            hpwl: 1.0,
+            overflow: 0.5,
+            tns: f64::NAN,
+            wns: f64::NAN,
+        };
+        assert_eq!(t.on_iteration(&row), ObserverAction::Continue);
+        assert_eq!(t.rows().len(), 1);
+        assert_eq!(t.into_rows()[0].hpwl, 1.0);
+    }
+
+    #[test]
+    fn default_observer_methods_continue() {
+        struct Noop;
+        impl Observer for Noop {}
+        let mut n = Noop;
+        assert_eq!(
+            n.on_phase_change(FlowPhase::Setup),
+            ObserverAction::Continue
+        );
+        assert_eq!(
+            n.on_timing_analysis(3, -1.0, -0.5),
+            ObserverAction::Continue
+        );
+    }
+}

@@ -41,8 +41,19 @@ impl NetWeightBase {
         interval: usize,
         alpha: f64,
     ) -> Self {
+        let sta = Sta::new(design, rc).expect("acyclic design");
+        Self::with_sta(sta, design, timing_start, interval, alpha)
+    }
+
+    fn with_sta(
+        sta: Sta,
+        design: &Design,
+        timing_start: usize,
+        interval: usize,
+        alpha: f64,
+    ) -> Self {
         Self {
-            sta: Sta::new(design, rc).expect("acyclic design"),
+            sta,
             weights: vec![1.0; design.num_nets()],
             timing_start,
             interval,
@@ -85,6 +96,23 @@ impl MomentumNetWeighting {
     ) -> Self {
         Self {
             base: NetWeightBase::new(design, rc, timing_start, interval, alpha),
+            decay,
+        }
+    }
+
+    /// [`MomentumNetWeighting::new`] around an existing analyzer — the
+    /// session path, which shares one timing graph across runs instead of
+    /// rebuilding it per objective.
+    pub fn with_sta(
+        sta: Sta,
+        design: &Design,
+        timing_start: usize,
+        interval: usize,
+        alpha: f64,
+        decay: f64,
+    ) -> Self {
+        Self {
+            base: NetWeightBase::with_sta(sta, design, timing_start, interval, alpha),
             decay,
         }
     }
@@ -176,6 +204,20 @@ impl DifferentiableTdpWeighting {
     ) -> Self {
         Self {
             base: NetWeightBase::new(design, rc, timing_start, interval, alpha),
+        }
+    }
+
+    /// [`DifferentiableTdpWeighting::new`] around an existing analyzer —
+    /// the session path, which shares one timing graph across runs.
+    pub fn with_sta(
+        sta: Sta,
+        design: &Design,
+        timing_start: usize,
+        interval: usize,
+        alpha: f64,
+    ) -> Self {
+        Self {
+            base: NetWeightBase::with_sta(sta, design, timing_start, interval, alpha),
         }
     }
 

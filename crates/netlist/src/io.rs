@@ -8,7 +8,50 @@
 use crate::design::{Design, NetlistError};
 use crate::ids::CellId;
 use crate::placement::Placement;
+use std::fmt;
 use std::fmt::Write as _;
+
+/// A parse failure in one of the text formats, pointing at the offending
+/// line.
+///
+/// All user-input parse paths in this module report through this type —
+/// malformed input can never panic. Flow-level callers surface it through
+/// their own error enum (`tdp_core::FlowError::Parse`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line; 0 when the error is not
+    /// tied to a specific line.
+    pub line: usize,
+    /// Human-readable description of what was wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "parse error: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseError> for NetlistError {
+    fn from(e: ParseError) -> Self {
+        NetlistError::Invalid(e.to_string())
+    }
+}
 
 /// Serializes the node list (`.nodes`): name, width, height, movability.
 pub fn write_nodes(design: &Design) -> String {
@@ -75,12 +118,12 @@ pub fn write_pl(design: &Design, placement: &Placement) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError::Invalid`] on parse failure or unknown cells.
+/// Returns [`ParseError`] on parse failure or unknown cells.
 pub fn read_pl(
     design: &Design,
     text: &str,
     base: Option<&Placement>,
-) -> Result<Placement, NetlistError> {
+) -> Result<Placement, ParseError> {
     let mut placement = base.cloned().unwrap_or_else(|| Placement::new(design));
     // Build a name→id map once; Design::find_cell is linear.
     let names: std::collections::HashMap<&str, CellId> = design
@@ -94,20 +137,20 @@ pub fn read_pl(
         }
         let mut parts = line.split_whitespace();
         let (Some(name), Some(xs), Some(ys)) = (parts.next(), parts.next(), parts.next()) else {
-            return Err(NetlistError::Invalid(format!(
-                "malformed .pl line {}: {line:?}",
-                lineno + 1
-            )));
+            return Err(ParseError::at(
+                lineno + 1,
+                format!("malformed .pl line: {line:?}"),
+            ));
         };
-        let cell = *names.get(name).ok_or_else(|| {
-            NetlistError::Invalid(format!("unknown cell {name:?} in .pl line {}", lineno + 1))
-        })?;
-        let x: f64 = xs.parse().map_err(|_| {
-            NetlistError::Invalid(format!("bad x coordinate on .pl line {}", lineno + 1))
-        })?;
-        let y: f64 = ys.parse().map_err(|_| {
-            NetlistError::Invalid(format!("bad y coordinate on .pl line {}", lineno + 1))
-        })?;
+        let cell = *names
+            .get(name)
+            .ok_or_else(|| ParseError::at(lineno + 1, format!("unknown cell {name:?} in .pl")))?;
+        let x: f64 = xs
+            .parse()
+            .map_err(|_| ParseError::at(lineno + 1, format!("bad x coordinate {xs:?}")))?;
+        let y: f64 = ys
+            .parse()
+            .map_err(|_| ParseError::at(lineno + 1, format!("bad y coordinate {ys:?}")))?;
         placement.set(cell, x, y);
     }
     Ok(placement)
@@ -160,9 +203,9 @@ pub fn write_def(design: &Design, placement: &Placement, dbu: f64) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError::Invalid`] on malformed component lines, unknown
+/// Returns [`ParseError`] on malformed component lines, unknown
 /// instances, or master-name mismatches.
-pub fn read_def(design: &Design, text: &str) -> Result<Placement, NetlistError> {
+pub fn read_def(design: &Design, text: &str) -> Result<Placement, ParseError> {
     let mut placement = Placement::new(design);
     let names: std::collections::HashMap<&str, CellId> = design
         .cell_ids()
@@ -170,13 +213,14 @@ pub fn read_def(design: &Design, text: &str) -> Result<Placement, NetlistError> 
         .collect();
     // DBU from the UNITS line; default 1.
     let mut dbu = 1.0f64;
-    for line in text.lines() {
+    for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
+        let n = lineno + 1;
         if let Some(rest) = line.strip_prefix("UNITS DISTANCE MICRONS ") {
             let v = rest.trim_end_matches(';').trim();
             dbu = v
                 .parse()
-                .map_err(|_| NetlistError::Invalid(format!("bad UNITS value {v:?}")))?;
+                .map_err(|_| ParseError::at(n, format!("bad UNITS value {v:?}")))?;
             continue;
         }
         let Some(rest) = line.strip_prefix("- ") else {
@@ -185,26 +229,30 @@ pub fn read_def(design: &Design, text: &str) -> Result<Placement, NetlistError> 
         let tokens: Vec<&str> = rest.split_whitespace().collect();
         // - <name> <master> + PLACED|FIXED ( x y ) N ;
         if tokens.len() < 9 || tokens[2] != "+" || tokens[4] != "(" {
-            return Err(NetlistError::Invalid(format!(
-                "malformed DEF component line: {line:?}"
-            )));
+            return Err(ParseError::at(
+                n,
+                format!("malformed DEF component line: {line:?}"),
+            ));
         }
         let cell = *names
             .get(tokens[0])
-            .ok_or_else(|| NetlistError::Invalid(format!("unknown component {:?}", tokens[0])))?;
+            .ok_or_else(|| ParseError::at(n, format!("unknown component {:?}", tokens[0])))?;
         let expected = &design.cell_type(cell).name;
         if tokens[1] != expected {
-            return Err(NetlistError::Invalid(format!(
-                "component {} master mismatch: DEF says {:?}, design says {:?}",
-                tokens[0], tokens[1], expected
-            )));
+            return Err(ParseError::at(
+                n,
+                format!(
+                    "component {} master mismatch: DEF says {:?}, design says {:?}",
+                    tokens[0], tokens[1], expected
+                ),
+            ));
         }
         let x: f64 = tokens[5]
             .parse()
-            .map_err(|_| NetlistError::Invalid(format!("bad x in DEF line {line:?}")))?;
+            .map_err(|_| ParseError::at(n, format!("bad x in DEF line {line:?}")))?;
         let y: f64 = tokens[6]
             .parse()
-            .map_err(|_| NetlistError::Invalid(format!("bad y in DEF line {line:?}")))?;
+            .map_err(|_| ParseError::at(n, format!("bad y in DEF line {line:?}")))?;
         placement.set(cell, x / dbu, y / dbu);
     }
     Ok(placement)

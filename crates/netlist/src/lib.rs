@@ -53,6 +53,7 @@ pub mod sdc;
 
 pub use design::{Cell, Design, DesignBuilder, DesignStats, Net, NetlistError, Pin, Rect, Row};
 pub use ids::{CellId, CellTypeId, NetId, PinId};
+pub use io::ParseError;
 pub use library::{CellLibrary, CellType, PinDirection, PinSpec, TimingArcSpec};
 pub use placement::{MoveTracker, Placement};
 pub use sdc::Sdc;

@@ -228,6 +228,23 @@ impl GlobalPlacer {
 
     /// Runs placement with a timing objective plugged in.
     pub fn run_with(&mut self, design: &Design, timing: &mut dyn TimingObjective) -> PlaceResult {
+        self.run_observed(design, timing, &mut |_| true)
+    }
+
+    /// [`GlobalPlacer::run_with`] with a per-iteration observer callback.
+    ///
+    /// `on_iteration` is invoked after every iteration with the stats just
+    /// pushed onto the trace; returning `false` stops the run early. The
+    /// result is still well-formed — the placement reflects the last
+    /// completed iteration and the trace covers every executed iteration —
+    /// so callers can legalize and evaluate a partial run. With a callback
+    /// that always returns `true` this is exactly [`GlobalPlacer::run_with`].
+    pub fn run_observed(
+        &mut self,
+        design: &Design,
+        timing: &mut dyn TimingObjective,
+        on_iteration: &mut dyn FnMut(&IterationStats) -> bool,
+    ) -> PlaceResult {
         let n = self.movable.len();
         let die = design.die();
         let bin = (self.density.grid().bin_w() + self.density.grid().bin_h()) / 2.0;
@@ -353,6 +370,9 @@ impl GlobalPlacer {
                 lambda: self.lambda,
                 timing_loss,
             });
+            if !on_iteration(trace.last().expect("just pushed")) {
+                break;
+            }
 
             // Grow the density multiplier only while the overflow target is
             // unmet; afterwards hold it, so extended (timing) iterations

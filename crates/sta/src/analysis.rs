@@ -14,10 +14,10 @@
 //! pure speed knob, never a semantics knob.
 
 use crate::graph::{ArcId, BuildGraphError, EndpointKind, SourceKind, TimingGraph};
-use crate::rctree::RcParams;
+use crate::rctree::{RcParams, RcSkeleton};
 use netlist::{Design, PinId, Placement};
 use parx::UnsafeSlice;
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 
 /// Slack at one timing endpoint.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,12 +41,32 @@ pub struct TimingSummary {
     pub total_endpoints: usize,
 }
 
+/// A saved copy of an analyzer's placement-dependent state.
+///
+/// Produced by [`Sta::checkpoint`] and consumed by [`Sta::restore`]; the
+/// timing graph and RC skeleton are shared behind [`Arc`]s and are not
+/// part of the checkpoint.
+#[derive(Debug, Clone)]
+pub struct StaCheckpoint {
+    arc_delay: Vec<f64>,
+    net_load: Vec<f64>,
+    arrival: Vec<f64>,
+    required: Vec<f64>,
+    worst_pred: Vec<Option<ArcId>>,
+    endpoint_slacks: Vec<EndpointSlack>,
+    analyzed: bool,
+}
+
 /// The static timing analyzer.
 ///
 /// See the [crate-level example](crate) for typical usage.
 #[derive(Debug, Clone)]
 pub struct Sta {
-    graph: TimingGraph,
+    /// The static timing graph, shared (not rebuilt) between analyzers
+    /// created through [`Sta::from_parts`].
+    graph: Arc<TimingGraph>,
+    /// Placement-independent RC data, shared the same way.
+    skeleton: Arc<RcSkeleton>,
     params: RcParams,
     arc_delay: Vec<f64>,
     /// Cached total downstream capacitance per net.
@@ -83,7 +103,23 @@ impl Sta {
     /// Returns [`BuildGraphError`] if the design's combinational logic is
     /// cyclic.
     pub fn new(design: &Design, params: RcParams) -> Result<Self, BuildGraphError> {
-        let graph = TimingGraph::build(design)?;
+        let graph = Arc::new(TimingGraph::build(design)?);
+        let skeleton = Arc::new(RcSkeleton::build(design));
+        Ok(Self::from_parts(graph, skeleton, design, params))
+    }
+
+    /// Builds an analyzer around an already-constructed timing graph and
+    /// RC skeleton — the checkpoint/rollback entry point for session-style
+    /// reuse. Unlike [`Sta::new`] this performs **no graph or skeleton
+    /// construction** (and cannot fail): the analyzer starts from pristine,
+    /// never-analyzed state, so analyzers created this way are bitwise
+    /// equivalent to a freshly built one with the same `params`.
+    pub fn from_parts(
+        graph: Arc<TimingGraph>,
+        skeleton: Arc<RcSkeleton>,
+        design: &Design,
+        params: RcParams,
+    ) -> Self {
         let num_pins = graph.num_pins();
         let num_arcs = graph.num_arcs();
         // Gate arcs driving unconnected outputs never change: delay is the
@@ -96,8 +132,9 @@ impl Sta {
                 }
             }
         }
-        Ok(Self {
+        Self {
             graph,
+            skeleton,
             params,
             arc_delay,
             net_load: vec![0.0; design.num_nets()],
@@ -107,12 +144,64 @@ impl Sta {
             endpoint_slacks: Vec::new(),
             analyzed: false,
             threads: 1,
-        })
+        }
     }
 
     /// The underlying timing graph.
     pub fn graph(&self) -> &TimingGraph {
         &self.graph
+    }
+
+    /// Shared handle to the timing graph, for building further analyzers
+    /// via [`Sta::from_parts`] without reconstruction.
+    pub fn graph_handle(&self) -> Arc<TimingGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Shared handle to the placement-independent RC data.
+    pub fn skeleton_handle(&self) -> Arc<RcSkeleton> {
+        Arc::clone(&self.skeleton)
+    }
+
+    /// Captures the complete analysis state (arc delays, loads, arrivals,
+    /// requireds, slacks) so a later [`Sta::restore`] can roll the
+    /// analyzer back — e.g. to its pristine post-construction state
+    /// between session runs. The graph and skeleton are shared, not
+    /// copied.
+    pub fn checkpoint(&self) -> StaCheckpoint {
+        StaCheckpoint {
+            arc_delay: self.arc_delay.clone(),
+            net_load: self.net_load.clone(),
+            arrival: self.arrival.clone(),
+            required: self.required.clone(),
+            worst_pred: self.worst_pred.clone(),
+            endpoint_slacks: self.endpoint_slacks.clone(),
+            analyzed: self.analyzed,
+        }
+    }
+
+    /// Rolls the analysis state back to `checkpoint`, taken earlier from
+    /// this analyzer (or one sharing the same graph). Reuses the existing
+    /// allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's dimensions do not match this analyzer's
+    /// graph.
+    pub fn restore(&mut self, checkpoint: &StaCheckpoint) {
+        assert!(
+            checkpoint.arc_delay.len() == self.arc_delay.len()
+                && checkpoint.arrival.len() == self.arrival.len()
+                && checkpoint.net_load.len() == self.net_load.len(),
+            "checkpoint belongs to a different timing graph"
+        );
+        self.arc_delay.clone_from(&checkpoint.arc_delay);
+        self.net_load.clone_from(&checkpoint.net_load);
+        self.arrival.clone_from(&checkpoint.arrival);
+        self.required.clone_from(&checkpoint.required);
+        self.worst_pred.clone_from(&checkpoint.worst_pred);
+        self.endpoint_slacks.clone_from(&checkpoint.endpoint_slacks);
+        self.analyzed = checkpoint.analyzed;
     }
 
     /// The wire parasitics in use.

@@ -63,14 +63,16 @@ impl Sta {
     /// deterministic for any thread count.
     pub(crate) fn refresh_nets(&mut self, design: &Design, placement: &Placement, nets: &[NetId]) {
         let params = self.params();
+        let skeleton = self.skeleton_handle();
         let workers = self.refresh_workers(nets.len());
         let mut results: Vec<Option<(f64, Vec<f64>)>> = Vec::with_capacity(nets.len());
         results.resize_with(nets.len(), || None);
         {
+            let skeleton = &*skeleton;
             let slots = UnsafeSlice::new(&mut results);
             parx::par_for(workers, nets.len(), 32, |range| {
                 for i in range {
-                    let tree = RcTree::build(design, placement, nets[i], &params);
+                    let tree = RcTree::build_with(design, placement, nets[i], &params, skeleton);
                     // SAFETY: slot `i` belongs to this chunk alone.
                     unsafe { slots.write(i, Some((tree.total_load(), tree.elmore_delays()))) };
                 }

@@ -52,7 +52,7 @@ pub mod incremental;
 pub mod rctree;
 pub mod report;
 
-pub use analysis::{EndpointSlack, Sta, TimingSummary};
-pub use graph::{ArcId, ArcKind, BuildGraphError, TimingArc, TimingGraph};
-pub use rctree::{NetTopology, RcParams, RcTree};
+pub use analysis::{EndpointSlack, Sta, StaCheckpoint, TimingSummary};
+pub use graph::{graph_build_count, ArcId, ArcKind, BuildGraphError, TimingArc, TimingGraph};
+pub use rctree::{rc_skeleton_build_count, NetTopology, RcParams, RcSkeleton, RcTree};
 pub use report::{PathElement, TimingPath};

@@ -16,6 +16,60 @@
 //!   evaluation kit.
 
 use netlist::{Design, NetId, Placement};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide count of [`RcSkeleton::build`] calls (see
+/// [`rc_skeleton_build_count`]).
+static SKELETON_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of RC skeletons built by this process so far.
+///
+/// Like [`crate::graph::graph_build_count`], this exists so session-reuse
+/// tests can prove the placement-independent RC data is constructed
+/// exactly once per design rather than once per run.
+pub fn rc_skeleton_build_count() -> usize {
+    SKELETON_BUILDS.load(Ordering::Relaxed)
+}
+
+/// The placement-independent part of every net's RC tree: per-net sink
+/// input capacitances, laid out contiguously in net order.
+///
+/// [`RcTree::build`] re-reads these from the [`Design`] on every call;
+/// an analyzer that owns a skeleton (see `Sta::from_parts`) hands it to
+/// [`RcTree::build_with`] instead, so repeated analyses — and repeated
+/// flow runs over the same design — never re-derive them.
+#[derive(Debug, Clone)]
+pub struct RcSkeleton {
+    /// CSR offsets into `sink_caps`, one entry per net plus a sentinel.
+    starts: Vec<u32>,
+    /// Sink pin input capacitances, in `net.sinks()` order per net.
+    sink_caps: Vec<f64>,
+}
+
+impl RcSkeleton {
+    /// Extracts the static RC data from `design`. Counted by
+    /// [`rc_skeleton_build_count`].
+    pub fn build(design: &Design) -> Self {
+        SKELETON_BUILDS.fetch_add(1, Ordering::Relaxed);
+        let mut starts = Vec::with_capacity(design.num_nets() + 1);
+        let mut sink_caps = Vec::new();
+        starts.push(0);
+        for net in design.net_ids() {
+            for &sink in design.net(net).sinks() {
+                sink_caps.push(design.pin_spec(sink).cap);
+            }
+            starts.push(sink_caps.len() as u32);
+        }
+        Self { starts, sink_caps }
+    }
+
+    /// Input capacitances of `net`'s sinks, in `net.sinks()` order.
+    pub fn sink_caps(&self, net: NetId) -> &[f64] {
+        let lo = self.starts[net.index()] as usize;
+        let hi = self.starts[net.index() + 1] as usize;
+        &self.sink_caps[lo..hi]
+    }
+}
 
 /// Wire parasitics per unit length.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,15 +129,43 @@ impl RcTree {
     ///
     /// `sink_caps[i]` is the input capacitance of the i-th sink pin.
     pub fn build(design: &Design, placement: &Placement, net: NetId, params: &RcParams) -> Self {
+        let sink_caps: Vec<f64> = design
+            .net(net)
+            .sinks()
+            .iter()
+            .map(|&p| design.pin_spec(p).cap)
+            .collect();
+        Self::from_caps(design, placement, net, params, &sink_caps)
+    }
+
+    /// [`RcTree::build`] with the sink capacitances taken from a prebuilt
+    /// [`RcSkeleton`] instead of re-read from the design. Produces exactly
+    /// the same tree.
+    pub fn build_with(
+        design: &Design,
+        placement: &Placement,
+        net: NetId,
+        params: &RcParams,
+        skeleton: &RcSkeleton,
+    ) -> Self {
+        Self::from_caps(design, placement, net, params, skeleton.sink_caps(net))
+    }
+
+    fn from_caps(
+        design: &Design,
+        placement: &Placement,
+        net: NetId,
+        params: &RcParams,
+        sink_caps: &[f64],
+    ) -> Self {
         let n = design.net(net);
         let mut positions: Vec<(f64, f64)> = Vec::with_capacity(n.pins.len());
         for &p in &n.pins {
             positions.push(placement.pin_position(design, p));
         }
-        let sink_caps: Vec<f64> = n.sinks().iter().map(|&p| design.pin_spec(p).cap).collect();
         match params.topology {
-            NetTopology::Star => Self::build_star(&positions, &sink_caps, params),
-            NetTopology::SteinerMst => Self::build_mst(&positions, &sink_caps, params),
+            NetTopology::Star => Self::build_star(&positions, sink_caps, params),
+            NetTopology::SteinerMst => Self::build_mst(&positions, sink_caps, params),
         }
     }
 

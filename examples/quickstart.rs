@@ -1,4 +1,5 @@
-//! Quickstart: build a tiny design by hand, run the timing-driven flow and
+//! Quickstart: build a tiny design by hand, open a [`Session`] on it, run
+//! the timing-driven flow through a validated [`FlowBuilder`] spec and
 //! print the evaluation metrics.
 //!
 //! ```text
@@ -6,7 +7,7 @@
 //! ```
 
 use netlist::{CellLibrary, DesignBuilder, Placement, Rect, Sdc};
-use tdp_core::{run_method, FlowConfig, Method};
+use tdp_core::{FlowBuilder, ObjectiveSpec, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 4-stage pipeline: pi -> nand -> inv -> DFF -> buf -> po, with a
@@ -38,14 +39,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pads.set(cell, x, y);
     }
 
-    // Small design: shrink the schedule accordingly.
-    let mut cfg = FlowConfig::default();
-    cfg.placer.min_iterations = 150;
-    cfg.placer.max_iterations = 200;
-    cfg.timing_start = 60;
-    cfg.timing_interval = 10;
+    // A session validates the design once (graph construction, RC data)
+    // and can then run any number of flow specs against it.
+    let mut session = Session::builder(design, pads).build()?;
 
-    let outcome = run_method(&design, pads, Method::EfficientTdp, &cfg);
+    // Small design: shrink the schedule accordingly. The builder
+    // validates the combination and rejects bad ones with a FlowError
+    // instead of panicking mid-run.
+    let spec = FlowBuilder::new()
+        .objective(ObjectiveSpec::EfficientTdp)
+        .iterations(150, 200)
+        .timing_start(60)
+        .timing_interval(10)
+        .build()?;
+
+    let outcome = session.run(&spec)?;
     println!("method     : {}", outcome.method);
     println!("iterations : {}", outcome.iterations);
     println!("HPWL       : {:.1}", outcome.metrics.hpwl);
@@ -56,9 +64,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.metrics.failing_endpoints,
         outcome.metrics.total_endpoints
     );
-    for cell in design.cell_ids() {
+    for cell in session.design().cell_ids() {
         let (x, y) = outcome.placement.get(cell);
-        println!("  {:8} at ({x:7.2}, {y:7.2})", design.cell(cell).name);
+        println!(
+            "  {:8} at ({x:7.2}, {y:7.2})",
+            session.design().cell(cell).name
+        );
     }
     Ok(())
 }

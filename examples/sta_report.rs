@@ -2,6 +2,11 @@
 //! classic timing report — the worst paths with per-pin arrivals, plus the
 //! endpoint-coverage difference between the two extraction commands.
 //!
+//! Also demonstrates the graph-sharing primitives the flow-level
+//! `Session` is built on: `Sta::from_parts` makes a second analyzer
+//! without rebuilding the timing graph, and `checkpoint`/`restore` roll
+//! analysis state back between uses.
+//!
 //! ```text
 //! cargo run --release --example sta_report
 //! ```
@@ -73,5 +78,18 @@ fn main() {
         "== endpoint coverage with a budget of {n} paths ==\n  report_timing(n):            {} unique endpoints\n  report_timing_endpoint(n,1): {} unique endpoints",
         unique(&global),
         unique(&per_ep)
+    );
+
+    // Graph sharing, as the flow Session does it: a second analyzer from
+    // the same graph + RC skeleton (no reconstruction), checkpointed
+    // pristine, analyzed, and rolled back.
+    let mut shared = sta::Sta::from_parts(sta.graph_handle(), sta.skeleton_handle(), &design, rc);
+    let pristine = shared.checkpoint();
+    shared.analyze(&design, &placement);
+    assert_eq!(shared.summary(), summary);
+    shared.restore(&pristine);
+    println!(
+        "\n== shared-graph analyzer ==\n  re-analysis matches: yes; rolled back to pristine: analyzed = {}",
+        shared.is_analyzed()
     );
 }

@@ -2,11 +2,14 @@
 //! baseline against the Efficient-TDP flow on one suite case and shows how
 //! much negative slack the pin-to-pin attraction recovers.
 //!
+//! Both methods run through one [`Session`], so the timing graph and RC
+//! data are built once and shared.
+//!
 //! ```text
 //! cargo run --release --example timing_closure [case]
 //! ```
 
-use tdp_core::{run_method, FlowConfig, Method};
+use tdp_core::{FlowBuilder, ObjectiveSpec, Session};
 
 fn main() {
     let name = std::env::args()
@@ -28,12 +31,26 @@ fn main() {
         case.params.clock_period
     );
 
-    let mut cfg = FlowConfig::default();
-    cfg.rc.res_per_unit = case.params.res_per_unit;
-    cfg.rc.cap_per_unit = case.params.cap_per_unit;
+    let mut session = Session::builder(design, pads)
+        .build()
+        .expect("generated designs are acyclic");
+    let spec_for = |objective: ObjectiveSpec| {
+        let mut rc = tdp_core::FlowConfig::default().rc;
+        rc.res_per_unit = case.params.res_per_unit;
+        rc.cap_per_unit = case.params.cap_per_unit;
+        FlowBuilder::new()
+            .objective(objective)
+            .rc(rc)
+            .build()
+            .expect("valid configuration")
+    };
 
-    let baseline = run_method(&design, pads.clone(), Method::DreamPlace, &cfg);
-    let ours = run_method(&design, pads, Method::EfficientTdp, &cfg);
+    let baseline = session
+        .run(&spec_for(ObjectiveSpec::DreamPlace))
+        .expect("flow runs");
+    let ours = session
+        .run(&spec_for(ObjectiveSpec::EfficientTdp))
+        .expect("flow runs");
 
     println!(
         "\n{:<24} {:>12} {:>10} {:>12} {:>8}",

@@ -1,6 +1,12 @@
 //! End-to-end integration tests spanning all workspace crates: generate a
 //! benchmark, place it with each method, legalize, and evaluate with the
 //! shared kit.
+//!
+//! These deliberately stay on the deprecated `run_method` compatibility
+//! wrapper — they are the proof that existing callers keep working
+//! unchanged. `tests/session_equivalence.rs` exercises the session API
+//! and its bitwise equivalence with this path.
+#![allow(deprecated)]
 
 use efficient_tdp::benchgen::{generate, CircuitParams};
 use efficient_tdp::placer::legalize::check_legal;

@@ -1,0 +1,205 @@
+//! Session API acceptance tests: bitwise equivalence with the legacy
+//! `run_method` wrapper, state-leak-free engine reuse, the custom
+//! objective front door, and observer-driven cancellation.
+#![allow(deprecated)] // compares against the `run_method` compat wrapper
+
+use efficient_tdp::benchgen::{generate, CircuitParams};
+use efficient_tdp::netlist::{Design, MoveTracker, Placement};
+use efficient_tdp::placer::{legalize::check_legal, TimingObjective};
+use efficient_tdp::tdp_core::{
+    run_method, FlowBuilder, FlowConfig, FlowError, FlowOutcome, FlowSpec, Method,
+    ObjectiveContext, ObjectiveFactory, ObjectiveSpec, Observer, ObserverAction, Session,
+    SessionObjective,
+};
+
+fn quick_config() -> FlowConfig {
+    let mut cfg = FlowConfig::default();
+    cfg.placer.max_iterations = 260;
+    cfg.placer.min_iterations = 60;
+    cfg.timing_start = 120;
+    cfg.timing_interval = 10;
+    cfg
+}
+
+fn quick_spec(method: Method) -> FlowSpec {
+    FlowBuilder::from_config(quick_config())
+        .objective(method)
+        .build()
+        .expect("quick config is valid")
+}
+
+/// Everything deterministic in an outcome must agree to the last bit;
+/// wall-clock durations are excluded by construction.
+fn assert_bitwise_equal(design: &Design, a: &FlowOutcome, b: &FlowOutcome) {
+    assert_eq!(a.method, b.method);
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.metrics.tns.to_bits(), b.metrics.tns.to_bits());
+    assert_eq!(a.metrics.wns.to_bits(), b.metrics.wns.to_bits());
+    assert_eq!(a.metrics.hpwl.to_bits(), b.metrics.hpwl.to_bits());
+    assert_eq!(a.metrics.failing_endpoints, b.metrics.failing_endpoints);
+    for c in design.cell_ids() {
+        assert_eq!(a.placement.get(c), b.placement.get(c), "cell diverged");
+    }
+    assert_eq!(a.trace.len(), b.trace.len());
+    for (x, y) in a.trace.iter().zip(&b.trace) {
+        assert_eq!(x.iter, y.iter);
+        assert_eq!(x.hpwl.to_bits(), y.hpwl.to_bits());
+        assert_eq!(x.overflow.to_bits(), y.overflow.to_bits());
+        assert!(x.tns.to_bits() == y.tns.to_bits() || (x.tns.is_nan() && y.tns.is_nan()));
+        assert!(x.wns.to_bits() == y.wns.to_bits() || (x.wns.is_nan() && y.wns.is_nan()));
+    }
+}
+
+#[test]
+fn run_method_wrapper_matches_session_run_bitwise() {
+    let (design, pads) = generate(&CircuitParams::small("eq", 51));
+    let cfg = quick_config();
+    let legacy = run_method(&design, pads.clone(), Method::EfficientTdp, &cfg);
+    let mut session = Session::builder(design.clone(), pads).build().unwrap();
+    let fresh = session.run(&quick_spec(Method::EfficientTdp)).unwrap();
+    assert_bitwise_equal(&design, &legacy, &fresh);
+}
+
+#[test]
+fn repeated_session_runs_are_identical_no_state_leaks() {
+    let (design, pads) = generate(&CircuitParams::small("rep", 52));
+    let mut session = Session::builder(design.clone(), pads).build().unwrap();
+    let spec = quick_spec(Method::EfficientTdp);
+    let first = session.run(&spec).unwrap();
+    let second = session.run(&spec).unwrap();
+    assert_bitwise_equal(&design, &first, &second);
+}
+
+#[test]
+fn session_method_matrix_matches_four_cold_runs_bitwise() {
+    let (design, pads) = generate(&CircuitParams::small("mat", 53));
+    let cfg = quick_config();
+    let mut session = Session::builder(design.clone(), pads.clone())
+        .build()
+        .unwrap();
+    for method in [
+        Method::DreamPlace,
+        Method::DreamPlace4,
+        Method::DifferentiableTdp,
+        Method::EfficientTdp,
+    ] {
+        let cold = run_method(&design, pads.clone(), method, &cfg);
+        let shared = session.run(&quick_spec(method)).unwrap();
+        assert_bitwise_equal(&design, &cold, &shared);
+        check_legal(&design, &shared.placement)
+            .unwrap_or_else(|e| panic!("{}: {e}", shared.method));
+    }
+}
+
+/// A trivial custom objective: constant pull of every movable cell toward
+/// the die center. Exists to prove arbitrary objectives run through the
+/// same `session.run` path as the builtins.
+struct CenterPull;
+
+impl TimingObjective for CenterPull {
+    fn begin_iteration(
+        &mut self,
+        _iter: usize,
+        _design: &Design,
+        _placement: &Placement,
+        _moves: &mut MoveTracker,
+    ) {
+    }
+    fn net_weights(&mut self, _design: &Design) -> Option<&[f64]> {
+        None
+    }
+    fn accumulate_gradient(
+        &mut self,
+        design: &Design,
+        placement: &Placement,
+        grad_x: &mut [f64],
+        grad_y: &mut [f64],
+    ) -> f64 {
+        let die = design.die();
+        let (cx, cy) = (die.lx + die.width() / 2.0, die.ly + die.height() / 2.0);
+        let mut total = 0.0;
+        for c in design.cell_ids() {
+            if design.cell(c).fixed {
+                continue;
+            }
+            let (x, y) = placement.get(c);
+            let (dx, dy) = (x - cx, y - cy);
+            total += 1e-6 * (dx * dx + dy * dy);
+            grad_x[c.index()] += 1e-6 * 2.0 * dx;
+            grad_y[c.index()] += 1e-6 * 2.0 * dy;
+        }
+        total
+    }
+}
+
+impl SessionObjective for CenterPull {}
+
+struct CenterPullFactory;
+
+impl ObjectiveFactory for CenterPullFactory {
+    fn label(&self) -> String {
+        "Center pull (custom)".to_string()
+    }
+    fn build(&self, _ctx: &ObjectiveContext<'_>) -> Result<Box<dyn SessionObjective>, FlowError> {
+        Ok(Box::new(CenterPull))
+    }
+}
+
+#[test]
+fn custom_objective_runs_through_the_same_session_path() {
+    let (design, pads) = generate(&CircuitParams::small("cust", 54));
+    let mut session = Session::builder(design.clone(), pads).build().unwrap();
+
+    let custom = FlowBuilder::from_config(quick_config())
+        .objective(ObjectiveSpec::custom(CenterPullFactory))
+        .build()
+        .unwrap();
+    let out = session.run(&custom).unwrap();
+    assert_eq!(out.method, "Center pull (custom)");
+    assert!(out.iterations > 0);
+    assert_eq!(out.trace.len(), out.iterations);
+    check_legal(&design, &out.placement).unwrap();
+    assert!(out.metrics.hpwl.is_finite() && out.metrics.hpwl > 0.0);
+    // The custom gradient must have fed the trace like any builtin's.
+    assert!(out.trace.iter().all(|r| r.tns.is_nan()), "no STA was run");
+
+    // The same session still runs the paper's method afterwards.
+    let ours = session.run(&quick_spec(Method::EfficientTdp)).unwrap();
+    assert!(ours.trace.iter().any(|r| !r.tns.is_nan()));
+}
+
+#[test]
+fn observer_cancellation_yields_well_formed_partial_outcome() {
+    struct StopAt(usize);
+    impl Observer for StopAt {
+        fn on_iteration(&mut self, row: &efficient_tdp::tdp_core::FlowTraceRow) -> ObserverAction {
+            if row.iter + 1 >= self.0 {
+                ObserverAction::Stop
+            } else {
+                ObserverAction::Continue
+            }
+        }
+    }
+    let (design, pads) = generate(&CircuitParams::small("canc", 55));
+    let mut session = Session::builder(design.clone(), pads).build().unwrap();
+    let spec = quick_spec(Method::EfficientTdp);
+
+    let full = session.run(&spec).unwrap();
+    let partial = session.run_with_observer(&spec, &mut StopAt(40)).unwrap();
+    assert!(partial.canceled);
+    assert!(!full.canceled);
+    assert_eq!(partial.iterations, 40);
+    assert_eq!(partial.trace.len(), 40);
+    assert!(partial.iterations < full.iterations);
+    check_legal(&design, &partial.placement).unwrap();
+    assert!(partial.metrics.hpwl.is_finite() && partial.metrics.hpwl > 0.0);
+    assert!(partial.metrics.total_endpoints > 0);
+    // The prefix the partial run did execute matches the full run.
+    for (p, f) in partial.trace.iter().zip(&full.trace) {
+        assert_eq!(p.hpwl.to_bits(), f.hpwl.to_bits());
+    }
+
+    // Cancellation leaves no residue: the next full run is pristine.
+    let again = session.run(&spec).unwrap();
+    assert_bitwise_equal(&design, &full, &again);
+}

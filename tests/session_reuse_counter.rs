@@ -1,0 +1,82 @@
+//! Setup-amortization proof: one `Session` running the full 4-method
+//! matrix performs timing-graph and RC-skeleton construction exactly
+//! once, while the cold `run_method` path pays it per call.
+//!
+//! This file holds a single test on purpose: the construction counters
+//! are process-wide, so no other test may run in this binary.
+#![allow(deprecated)] // measures the `run_method` compat wrapper's cost
+
+use efficient_tdp::benchgen::{generate, CircuitParams};
+use efficient_tdp::sta::{graph_build_count, rc_skeleton_build_count};
+use efficient_tdp::tdp_core::{run_method, FlowBuilder, FlowConfig, Method, Session};
+
+const METHODS: [Method; 4] = [
+    Method::DreamPlace,
+    Method::DreamPlace4,
+    Method::DifferentiableTdp,
+    Method::EfficientTdp,
+];
+
+fn quick_config() -> FlowConfig {
+    let mut cfg = FlowConfig::default();
+    cfg.placer.max_iterations = 200;
+    cfg.placer.min_iterations = 60;
+    cfg.timing_start = 100;
+    cfg.timing_interval = 10;
+    cfg
+}
+
+#[test]
+fn session_builds_graph_and_rc_data_exactly_once_for_the_matrix() {
+    let (design, pads) = generate(&CircuitParams::small("cnt", 61));
+    let cfg = quick_config();
+
+    // One session, four methods: exactly one graph + one skeleton build.
+    let graphs_before = graph_build_count();
+    let skeletons_before = rc_skeleton_build_count();
+    let mut session = Session::builder(design.clone(), pads.clone())
+        .build()
+        .unwrap();
+    let mut shared = Vec::new();
+    for method in METHODS {
+        let spec = FlowBuilder::from_config(cfg.clone())
+            .objective(method)
+            .build()
+            .unwrap();
+        shared.push(session.run(&spec).unwrap());
+    }
+    assert_eq!(
+        graph_build_count() - graphs_before,
+        1,
+        "the session must build the timing graph exactly once for the whole matrix"
+    );
+    assert_eq!(
+        rc_skeleton_build_count() - skeletons_before,
+        1,
+        "the session must build the RC skeleton exactly once for the whole matrix"
+    );
+
+    // Four cold runs: the wrapper pays the setup per call (one session
+    // build + nothing shared between calls). Each run_method builds one
+    // graph + one skeleton.
+    let graphs_before = graph_build_count();
+    let skeletons_before = rc_skeleton_build_count();
+    let mut cold = Vec::new();
+    for method in METHODS {
+        cold.push(run_method(&design, pads.clone(), method, &cfg));
+    }
+    assert_eq!(graph_build_count() - graphs_before, 4);
+    assert_eq!(rc_skeleton_build_count() - skeletons_before, 4);
+
+    // And despite the amortization, the outcomes agree to the last bit.
+    for (a, b) in shared.iter().zip(&cold) {
+        assert_eq!(a.method, b.method);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.metrics.tns.to_bits(), b.metrics.tns.to_bits());
+        assert_eq!(a.metrics.wns.to_bits(), b.metrics.wns.to_bits());
+        assert_eq!(a.metrics.hpwl.to_bits(), b.metrics.hpwl.to_bits());
+        for c in design.cell_ids() {
+            assert_eq!(a.placement.get(c), b.placement.get(c));
+        }
+    }
+}

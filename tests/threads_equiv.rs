@@ -1,6 +1,7 @@
 //! Flow-level thread-count invariance: the `threads` knob must never
 //! change what the flow computes — only how fast. One worker and eight
 //! workers must produce the same placement to the last bit.
+#![allow(deprecated)] // exercises the `run_method` compat wrapper on purpose
 
 use efficient_tdp::benchgen::{generate, CircuitParams};
 use efficient_tdp::tdp_core::{run_method, FlowConfig, Method};

@@ -1,0 +1,286 @@
+//! `tdp-batch` — run a designs × objectives matrix concurrently.
+//!
+//! ```text
+//! tdp-batch [--suite paper|full] [--cases a,b,c] [--objectives NAME|all]
+//!           [--jobs FILE] [--profile paper|quick] [--workers N]
+//!           [--threads N] [--stride K] [--out PREFIX] [--quiet] [--list]
+//! ```
+//!
+//! Without `--jobs`, the job list is the selected suite's cases × the
+//! selected objectives. With `--jobs FILE`, the file supplies the list
+//! (one `<case> <objective> [key=value ...]` per line; see the README).
+//! Reports land in `PREFIX.jsonl` and `PREFIX.md`.
+
+use batch::{
+    make_jobs, parse_job_file, parse_objective, run_batch, BatchError, BatchEvent, BatchJob,
+    BatchPlan, BatchRunConfig, BatchSink, NullSink, Profile,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const USAGE: &str = "usage: tdp-batch [options]
+  --suite paper|full      case catalog: the paper's 8 cases or the widened
+                          12-case suite (default: full)
+  --cases a,b,c           restrict to these case names
+  --objectives NAME|all   dreamplace, dreamplace4, differentiable-tdp,
+                          efficient-tdp or all (default: all)
+  --jobs FILE             read the job list from FILE instead
+  --profile paper|quick   base schedule (default: paper)
+  --workers N             worker threads; 0 = one per hardware thread
+                          (default: 0)
+  --threads N             per-run kernel threads (default: 1; batch
+                          parallelism comes from --workers)
+  --stride K              stream every K-th iteration event (default: 16)
+  --out PREFIX            report prefix (default: target/tdp-batch/report)
+  --quiet                 suppress progress output
+  --list                  print the selected catalog and exit";
+
+struct Args {
+    suite_full: bool,
+    cases: Option<Vec<String>>,
+    objectives: String,
+    jobs_file: Option<String>,
+    profile: Profile,
+    workers: usize,
+    threads: Option<usize>,
+    stride: usize,
+    out: String,
+    quiet: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, BatchError> {
+    let mut args = Args {
+        suite_full: true,
+        cases: None,
+        objectives: "all".to_string(),
+        jobs_file: None,
+        profile: Profile::Paper,
+        workers: 0,
+        threads: None,
+        stride: 16,
+        out: "target/tdp-batch/report".to_string(),
+        quiet: false,
+        list: false,
+    };
+    let usage = |msg: String| BatchError::Usage(msg);
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| usage(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--suite" => {
+                args.suite_full = match value("--suite")?.as_str() {
+                    "paper" => false,
+                    "full" => true,
+                    other => {
+                        return Err(usage(format!(
+                            "unknown suite {other:?} (expected `paper` or `full`)"
+                        )))
+                    }
+                }
+            }
+            "--cases" => {
+                args.cases = Some(
+                    value("--cases")?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
+            "--objectives" => args.objectives = value("--objectives")?,
+            "--jobs" => args.jobs_file = Some(value("--jobs")?),
+            "--profile" => args.profile = Profile::parse(&value("--profile")?)?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| usage("--workers expects a non-negative integer".into()))?
+            }
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|_| usage("--threads expects a non-negative integer".into()))?,
+                )
+            }
+            "--stride" => {
+                args.stride = value("--stride")?
+                    .parse()
+                    .map_err(|_| usage("--stride expects a positive integer".into()))?
+            }
+            "--out" => args.out = value("--out")?,
+            "--quiet" => args.quiet = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(usage(format!("unknown flag {other:?}\n{USAGE}"))),
+        }
+    }
+    Ok(args)
+}
+
+fn build_jobs(args: &Args) -> Result<Vec<BatchJob>, BatchError> {
+    let catalog = if args.suite_full {
+        benchgen::full_suite()
+    } else {
+        benchgen::suite()
+    };
+    if args.list {
+        for case in &catalog {
+            let p = &case.params;
+            println!(
+                "{:<6} comb={} ff={} levels={} util={} macros={} clock={}",
+                case.name,
+                p.num_comb,
+                p.num_ff,
+                p.levels,
+                p.utilization,
+                p.num_macros,
+                p.clock_period
+            );
+        }
+        std::process::exit(0);
+    }
+    let overrides: Vec<(String, String)> = args
+        .threads
+        .map(|t| vec![("threads".to_string(), t.to_string())])
+        .unwrap_or_default();
+    if let Some(path) = &args.jobs_file {
+        let text = std::fs::read_to_string(path)?;
+        return parse_job_file(&text, &catalog, args.profile, &overrides);
+    }
+    let objective = parse_objective(&args.objectives)?;
+    let selected: Vec<_> = match &args.cases {
+        None => catalog.iter().collect(),
+        Some(names) => {
+            let mut sel = Vec::with_capacity(names.len());
+            for name in names {
+                sel.push(batch::job::find_case(&catalog, name)?);
+            }
+            sel
+        }
+    };
+    let mut jobs = Vec::new();
+    for case in selected {
+        jobs.extend(make_jobs(
+            case,
+            objective.as_ref(),
+            args.profile,
+            &overrides,
+        )?);
+    }
+    Ok(jobs)
+}
+
+/// Prints job lifecycle events (start / cancel / finish) with a running
+/// completion counter; iteration and timing events are consumed silently.
+struct ConsoleSink {
+    total: usize,
+    finished: AtomicUsize,
+}
+
+impl BatchSink for ConsoleSink {
+    fn on_event(&self, event: &BatchEvent) {
+        match event {
+            BatchEvent::JobStarted {
+                job,
+                case,
+                objective,
+            } => {
+                println!("[start {job:>3}] {case} × {objective}");
+            }
+            BatchEvent::JobFinished { report } => {
+                let k = self.finished.fetch_add(1, Ordering::Relaxed) + 1;
+                let metrics = match report.metrics {
+                    Some(m) => format!(
+                        "TNS {:.1}  WNS {:.1}  HPWL {:.3e}  {} EP failing",
+                        m.tns, m.wns, m.hpwl, m.failing_endpoints
+                    ),
+                    None => "no metrics".to_string(),
+                };
+                println!(
+                    "[{k:>3}/{total}] {case} × {objective}: {status} in {secs:.2}s — {metrics}",
+                    total = self.total,
+                    case = report.case,
+                    objective = report.objective,
+                    status = report.status.label(),
+                    secs = report.runtime.total.as_secs_f64(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+fn run() -> Result<i32, BatchError> {
+    let args = parse_args()?;
+    let jobs = build_jobs(&args)?;
+    if jobs.is_empty() {
+        return Err(BatchError::Usage("no jobs selected".into()));
+    }
+    let plan = BatchPlan::new(jobs);
+    if !args.quiet {
+        println!(
+            "{} jobs over {} designs on {} workers ({:?} profile)",
+            plan.num_jobs(),
+            plan.num_designs(),
+            if args.workers == 0 {
+                "auto".to_string()
+            } else {
+                args.workers.to_string()
+            },
+            args.profile,
+        );
+    }
+    let cfg = BatchRunConfig {
+        workers: args.workers,
+        iteration_stride: args.stride,
+    };
+    let console;
+    let sink: &dyn BatchSink = if args.quiet {
+        &NullSink
+    } else {
+        console = ConsoleSink {
+            total: plan.num_jobs(),
+            finished: AtomicUsize::new(0),
+        };
+        &console
+    };
+    let result = run_batch(&plan, &cfg, sink);
+
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let jsonl_path = format!("{}.jsonl", args.out);
+    let md_path = format!("{}.md", args.out);
+    std::fs::write(&jsonl_path, result.to_jsonl())?;
+    std::fs::write(&md_path, result.to_markdown())?;
+
+    let fleet = result.fleet();
+    if !args.quiet {
+        println!();
+        print!("{}", result.to_markdown());
+        println!("\nreports: {jsonl_path}  {md_path}");
+    }
+    Ok(if fleet.failed > 0 { 1 } else { 0 })
+}
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(BatchError::Usage(msg)) => {
+            eprintln!("tdp-batch: {msg}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("tdp-batch: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Streaming batch progress and per-job cancellation.
+//!
+//! Every worker forwards its jobs' [`Observer`](tdp_core::Observer)
+//! events — phase changes, (strided) placement iterations, timing
+//! analyses — to one shared [`BatchSink`], tagged with the job id. Sinks
+//! are called concurrently from worker threads, so they take `&self` and
+//! must be `Sync`; keep them cheap (the flow blocks while the callback
+//! runs).
+//!
+//! Cancellation goes the other way: a [`CancelSet`] carries one flag per
+//! job, and the per-job observer inside the runner polls its flag on
+//! every callback, translating a raised flag into
+//! [`ObserverAction::Stop`](tdp_core::ObserverAction). A canceled job
+//! still produces a well-formed, legalized partial [`JobReport`] — and
+//! because every job runs in its own per-design session, cancelling one
+//! job can never perturb a sibling's result.
+
+use crate::runner::JobReport;
+use std::sync::atomic::{AtomicBool, Ordering};
+use tdp_core::FlowPhase;
+
+/// One progress event from a running batch, tagged with the job id it
+/// belongs to.
+#[derive(Debug, Clone)]
+pub enum BatchEvent {
+    /// A job began executing on some worker.
+    JobStarted {
+        /// Job id (index into the plan's job list).
+        job: usize,
+        /// Case name of the job's design.
+        case: String,
+        /// Objective label.
+        objective: String,
+    },
+    /// The job's flow entered a new phase.
+    Phase {
+        /// Job id.
+        job: usize,
+        /// The phase entered.
+        phase: FlowPhase,
+    },
+    /// A (strided) placement iteration finished; see
+    /// [`BatchRunConfig::iteration_stride`](crate::BatchRunConfig).
+    Iteration {
+        /// Job id.
+        job: usize,
+        /// Iteration index.
+        iter: usize,
+        /// Exact HPWL at this iteration.
+        hpwl: f64,
+        /// Density overflow at this iteration.
+        overflow: f64,
+    },
+    /// The job's objective ran a timing analysis.
+    TimingAnalysis {
+        /// Job id.
+        job: usize,
+        /// Iteration the analysis ran at.
+        iter: usize,
+        /// Total negative slack.
+        tns: f64,
+        /// Worst negative slack.
+        wns: f64,
+    },
+    /// The job finished (completed, canceled or failed); the compact
+    /// report is all that survives of the run. Boxed so routine progress
+    /// events stay pointer-sized.
+    JobFinished {
+        /// The job's report.
+        report: Box<JobReport>,
+    },
+}
+
+/// Receives [`BatchEvent`]s from all workers of a running batch.
+pub trait BatchSink: Sync {
+    /// Called on the worker thread that produced the event.
+    fn on_event(&self, event: &BatchEvent);
+}
+
+/// Discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl BatchSink for NullSink {
+    fn on_event(&self, _event: &BatchEvent) {}
+}
+
+/// One cancellation flag per job of a plan. Shared between the runner
+/// (which polls) and any number of controllers (which raise flags), e.g.
+/// a sink that cancels a job when it sees enough progress, or a signal
+/// handler.
+#[derive(Debug)]
+pub struct CancelSet {
+    flags: Vec<AtomicBool>,
+}
+
+impl CancelSet {
+    /// A set of `n` lowered flags.
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Number of jobs the set covers.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the set covers no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Requests cancellation of `job`. Idempotent; takes effect at the
+    /// job's next observer callback. Raising the flag of a finished (or
+    /// not-yet-started) job cancels whatever of it remains, which for a
+    /// finished job is nothing.
+    pub fn cancel(&self, job: usize) {
+        self.flags[job].store(true, Ordering::Relaxed);
+    }
+
+    /// Whether `job` has been asked to stop.
+    pub fn is_canceled(&self, job: usize) -> bool {
+        self.flags[job].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_flags_are_per_job_and_idempotent() {
+        let set = CancelSet::new(3);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_canceled(1));
+        set.cancel(1);
+        set.cancel(1);
+        assert!(set.is_canceled(1));
+        assert!(!set.is_canceled(0));
+        assert!(!set.is_canceled(2));
+    }
+}

@@ -1,0 +1,332 @@
+//! Aggregated batch reports: JSONL for machines, Markdown for humans.
+//!
+//! Serialization is hand-rolled (the build container has no serde); the
+//! JSON emitter covers exactly the shapes a [`JobReport`] needs — strings
+//! with escaping, numbers (NaN/∞ become `null`, as JSON demands), bools.
+
+use crate::runner::{BatchResult, JobReport, JobStatus};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Fleet-level accounting across one batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetTotals {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Jobs that ran to completion.
+    pub done: usize,
+    /// Jobs stopped through their cancellation flag.
+    pub canceled: usize,
+    /// Jobs that failed to run.
+    pub failed: usize,
+    /// Sum of TNS over jobs with metrics (a fleet "how much timing debt
+    /// remains" figure).
+    pub tns_sum: f64,
+    /// Worst WNS across jobs with metrics.
+    pub wns_worst: f64,
+    /// Sum of HPWL over jobs with metrics.
+    pub hpwl_sum: f64,
+    /// Failing / total endpoints summed over jobs with metrics.
+    pub failing_endpoints: usize,
+    /// Total timed endpoints over jobs with metrics.
+    pub total_endpoints: usize,
+    /// Sum of per-job flow runtimes (CPU-ish time; compare against
+    /// `wall` for the concurrency win).
+    pub runtime_sum: Duration,
+}
+
+impl BatchResult {
+    /// Computes the fleet totals of this result.
+    pub fn fleet(&self) -> FleetTotals {
+        let mut t = FleetTotals {
+            jobs: self.reports.len(),
+            done: 0,
+            canceled: 0,
+            failed: 0,
+            tns_sum: 0.0,
+            wns_worst: 0.0,
+            hpwl_sum: 0.0,
+            failing_endpoints: 0,
+            total_endpoints: 0,
+            runtime_sum: Duration::ZERO,
+        };
+        for r in &self.reports {
+            match r.status {
+                JobStatus::Done => t.done += 1,
+                JobStatus::Canceled => t.canceled += 1,
+                JobStatus::Failed(_) => t.failed += 1,
+            }
+            if let Some(m) = r.metrics {
+                t.tns_sum += m.tns;
+                t.wns_worst = t.wns_worst.min(m.wns);
+                t.hpwl_sum += m.hpwl;
+                t.failing_endpoints += m.failing_endpoints;
+                t.total_endpoints += m.total_endpoints;
+            }
+            t.runtime_sum += r.runtime.total;
+        }
+        t
+    }
+
+    /// One JSON object per job (id order), then one `fleet` object —
+    /// newline-delimited.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.reports {
+            out.push_str(&job_json(r));
+            out.push('\n');
+        }
+        let f = self.fleet();
+        let mut line = String::from("{\"record\":\"fleet\"");
+        push_num(&mut line, "jobs", f.jobs as f64);
+        push_num(&mut line, "done", f.done as f64);
+        push_num(&mut line, "canceled", f.canceled as f64);
+        push_num(&mut line, "failed", f.failed as f64);
+        push_num(&mut line, "tns_sum", f.tns_sum);
+        push_num(&mut line, "wns_worst", f.wns_worst);
+        push_num(&mut line, "hpwl_sum", f.hpwl_sum);
+        push_num(&mut line, "failing_endpoints", f.failing_endpoints as f64);
+        push_num(&mut line, "total_endpoints", f.total_endpoints as f64);
+        push_num(&mut line, "runtime_sum_s", f.runtime_sum.as_secs_f64());
+        push_num(&mut line, "wall_s", self.wall.as_secs_f64());
+        push_num(&mut line, "workers", self.workers as f64);
+        line.push('}');
+        out.push_str(&line);
+        out.push('\n');
+        out
+    }
+
+    /// A Markdown report: per-job table plus a fleet-totals section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Batch report\n\n");
+        out.push_str(
+            "| job | case | objective | cells | iters | TNS | WNS | HPWL | fail/total EP | time (s) | status |\n",
+        );
+        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|\n");
+        for r in &self.reports {
+            let (tns, wns, hpwl, ep) = match r.metrics {
+                Some(m) => (
+                    format!("{:.1}", m.tns),
+                    format!("{:.1}", m.wns),
+                    format!("{:.3e}", m.hpwl),
+                    format!("{}/{}", m.failing_endpoints, m.total_endpoints),
+                ),
+                None => ("-".into(), "-".into(), "-".into(), "-".into()),
+            };
+            // Table cells must not contain '|' or newlines; failure
+            // messages are arbitrary (panic payloads), so sanitize.
+            let status = match &r.status {
+                JobStatus::Failed(msg) => format!("failed: {msg}")
+                    .replace('|', "\\|")
+                    .replace(['\n', '\r'], " "),
+                s => s.label().to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.2} | {}{} |",
+                r.job,
+                r.case,
+                r.objective,
+                r.cells,
+                r.iterations,
+                tns,
+                wns,
+                hpwl,
+                ep,
+                r.runtime.total.as_secs_f64(),
+                status,
+                if r.legal { "" } else { " (ILLEGAL)" },
+            );
+        }
+        let f = self.fleet();
+        out.push_str("\n## Fleet totals\n\n");
+        let _ = writeln!(
+            out,
+            "- jobs: {} ({} done, {} canceled, {} failed)",
+            f.jobs, f.done, f.canceled, f.failed
+        );
+        let _ = writeln!(
+            out,
+            "- ΣTNS: {:.1}   worst WNS: {:.1}",
+            f.tns_sum, f.wns_worst
+        );
+        let _ = writeln!(
+            out,
+            "- ΣHPWL: {:.3e}   failing endpoints: {}/{}",
+            f.hpwl_sum, f.failing_endpoints, f.total_endpoints
+        );
+        let _ = writeln!(
+            out,
+            "- Σ job runtime: {:.2} s over {:.2} s wall on {} workers ({:.2}x)",
+            f.runtime_sum.as_secs_f64(),
+            self.wall.as_secs_f64(),
+            self.workers,
+            f.runtime_sum.as_secs_f64() / self.wall.as_secs_f64().max(1e-9),
+        );
+        out
+    }
+}
+
+/// One job as a single-line JSON object.
+fn job_json(r: &JobReport) -> String {
+    let mut s = String::from("{\"record\":\"job\"");
+    push_num(&mut s, "job", r.job as f64);
+    push_str(&mut s, "case", &r.case);
+    push_str(&mut s, "objective", &r.objective);
+    push_num(&mut s, "cells", r.cells as f64);
+    push_num(&mut s, "nets", r.nets as f64);
+    push_str(&mut s, "status", r.status.label());
+    if let JobStatus::Failed(msg) = &r.status {
+        push_str(&mut s, "error", msg);
+    }
+    push_num(&mut s, "iterations", r.iterations as f64);
+    push_bool(&mut s, "legal", r.legal);
+    if let Some(m) = r.metrics {
+        push_num(&mut s, "tns", m.tns);
+        push_num(&mut s, "wns", m.wns);
+        push_num(&mut s, "hpwl", m.hpwl);
+        push_num(&mut s, "failing_endpoints", m.failing_endpoints as f64);
+        push_num(&mut s, "total_endpoints", m.total_endpoints as f64);
+    }
+    push_num(&mut s, "runtime_s", r.runtime.total.as_secs_f64());
+    push_num(&mut s, "sta_s", r.runtime.timing_analysis.as_secs_f64());
+    push_num(&mut s, "weighting_s", r.runtime.weighting.as_secs_f64());
+    push_num(
+        &mut s,
+        "legalization_s",
+        r.runtime.legalization.as_secs_f64(),
+    );
+    push_num(&mut s, "threads", r.runtime.threads as f64);
+    s.push('}');
+    s
+}
+
+fn push_str(out: &mut String, key: &str, value: &str) {
+    let _ = write!(out, ",\"{key}\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_num(out: &mut String, key: &str, value: f64) {
+    if value.is_finite() {
+        // Integral values print without a fraction, like JSON integers.
+        if value.fract() == 0.0 && value.abs() < 1e15 {
+            let _ = write!(out, ",\"{key}\":{}", value as i64);
+        } else {
+            let _ = write!(out, ",\"{key}\":{value}");
+        }
+    } else {
+        // JSON has no NaN/Infinity.
+        let _ = write!(out, ",\"{key}\":null");
+    }
+}
+
+fn push_bool(out: &mut String, key: &str, value: bool) {
+    let _ = write!(out, ",\"{key}\":{value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_core::{Metrics, RuntimeBreakdown};
+
+    fn report(job: usize, status: JobStatus, tns: f64) -> JobReport {
+        JobReport {
+            job,
+            case: "sb1".into(),
+            objective: "Efficient-TDP (ours)".into(),
+            cells: 100,
+            nets: 90,
+            status,
+            iterations: 42,
+            legal: true,
+            metrics: Some(Metrics {
+                tns,
+                wns: tns.min(0.0) / 2.0,
+                hpwl: 1.5e5,
+                failing_endpoints: 3,
+                total_endpoints: 50,
+            }),
+            runtime: RuntimeBreakdown::default(),
+        }
+    }
+
+    fn result() -> BatchResult {
+        BatchResult {
+            reports: vec![
+                report(0, JobStatus::Done, -120.0),
+                report(1, JobStatus::Canceled, -30.0),
+            ],
+            wall: Duration::from_millis(500),
+            workers: 2,
+        }
+    }
+
+    #[test]
+    fn fleet_totals_accumulate() {
+        let f = result().fleet();
+        assert_eq!((f.jobs, f.done, f.canceled, f.failed), (2, 1, 1, 0));
+        assert_eq!(f.tns_sum, -150.0);
+        assert_eq!(f.wns_worst, -60.0);
+        assert_eq!(f.failing_endpoints, 6);
+        assert_eq!(f.total_endpoints, 100);
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_line_and_a_fleet_record() {
+        let text = result().to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines[0].contains("\"record\":\"job\""));
+        assert!(lines[0].contains("\"tns\":-120"));
+        assert!(lines[1].contains("\"status\":\"canceled\""));
+        assert!(lines[2].contains("\"record\":\"fleet\""));
+        assert!(lines[2].contains("\"workers\":2"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped_and_nonfinite_numbers_become_null() {
+        let mut s = String::from("{\"x\":0");
+        push_str(&mut s, "msg", "a \"quoted\"\nline\\");
+        push_num(&mut s, "bad", f64::NAN);
+        push_num(&mut s, "inf", f64::INFINITY);
+        s.push('}');
+        assert_eq!(
+            s,
+            "{\"x\":0,\"msg\":\"a \\\"quoted\\\"\\nline\\\\\",\"bad\":null,\"inf\":null}"
+        );
+    }
+
+    #[test]
+    fn markdown_flags_failures_and_totals() {
+        let mut r = result();
+        r.reports.push(JobReport {
+            metrics: None,
+            legal: false,
+            status: JobStatus::Failed("boom | with\npipe".into()),
+            ..report(2, JobStatus::Done, 0.0)
+        });
+        let md = r.to_markdown();
+        assert!(md.contains("| 0 | sb1 |"));
+        // Message sanitized: no raw '|' or newline survives in the cell.
+        assert!(md.contains("failed: boom \\| with pipe"));
+        assert!(md.contains("Fleet totals"));
+        assert!(md.contains("1 failed"));
+    }
+}

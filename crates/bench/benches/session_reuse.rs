@@ -1,5 +1,5 @@
 //! Session setup amortization: the Table 2 method matrix run as four cold
-//! `run_method` calls (each rebuilding the timing graph, RC data and
+//! one-shot sessions (each rebuilding the timing graph, RC data and
 //! evaluation analyzer) versus one reusable `Session` running all four
 //! specs against shared timing infrastructure.
 //!
@@ -50,12 +50,15 @@ fn main() {
             .expect("acyclic")
     });
 
-    #[allow(deprecated)]
-    let cold = bench("cold: 4x run_method (STA setup per method)", || {
-        METHODS
+    let cold = bench("cold: 4x one-shot session (STA setup per method)", || {
+        specs
             .iter()
-            .map(|&m| {
-                tdp_core::run_method(&design, pads.clone(), m, &cfg)
+            .map(|spec| {
+                Session::builder(design.clone(), pads.clone())
+                    .build()
+                    .expect("acyclic")
+                    .run(spec)
+                    .expect("valid spec")
                     .metrics
                     .tns
             })

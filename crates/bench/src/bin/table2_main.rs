@@ -3,11 +3,18 @@
 //! ours). Distribution-TDP is not reproduced (the paper itself borrows its
 //! numbers; see DESIGN.md).
 //!
+//! The 8 × 4 matrix runs through the `batch` executor — one reusable
+//! session per case, jobs sharded over workers. Metrics are bitwise
+//! identical for every worker count, so `TDP_WORKERS` (default: all
+//! hardware threads) is purely a wall-clock knob.
+//!
 //! ```text
 //! cargo run --release -p bench --bin table2_main
+//! TDP_WORKERS=4 cargo run --release -p bench --bin table2_main
 //! ```
 
-use bench::{case_session, fmt_metrics, method_spec, suite_config, RatioAccumulator};
+use batch::{make_jobs, run_batch, BatchPlan, BatchRunConfig, NullSink, Profile};
+use bench::{fmt_metrics, RatioAccumulator};
 use tdp_core::Method;
 
 fn main() {
@@ -17,6 +24,30 @@ fn main() {
         Method::DifferentiableTdp,
         Method::EfficientTdp,
     ];
+    let cases = benchgen::suite();
+    let mut jobs = Vec::new();
+    for case in &cases {
+        // `all` sweeps the four builtin objectives in table order; the
+        // paper profile is the tables' schedule.
+        jobs.extend(make_jobs(case, None, Profile::Paper, &[]).expect("suite jobs are valid"));
+    }
+    let plan = BatchPlan::new(jobs);
+    let workers = match std::env::var("TDP_WORKERS") {
+        Ok(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("table2_main: TDP_WORKERS={raw:?} is not a non-negative integer");
+            std::process::exit(2);
+        }),
+        Err(_) => 0,
+    };
+    let result = run_batch(
+        &plan,
+        &BatchRunConfig {
+            workers,
+            iteration_stride: 256,
+        },
+        &NullSink,
+    );
+
     println!("# Table 2 — TNS (x10^3 ps), WNS (x10^3 ps), HPWL (x10^5) per method");
     print!("{:<6}", "case");
     for m in methods {
@@ -30,16 +61,15 @@ fn main() {
     println!();
 
     let mut acc = RatioAccumulator::new(methods.len());
-    for case in benchgen::suite() {
-        // One session per case: the STA setup is shared by all 4 methods.
-        let mut session = case_session(&case);
-        let cfg = suite_config(&case);
-        let mut row_metrics = Vec::with_capacity(methods.len());
+    for (case, row) in cases.iter().zip(result.reports.chunks_exact(methods.len())) {
         print!("{:<6}", case.name);
-        for m in methods {
-            let out = session.run(&method_spec(&cfg, m)).expect("valid spec");
-            print!(" | {}", fmt_metrics(&out.metrics));
-            row_metrics.push(out.metrics);
+        let mut row_metrics = Vec::with_capacity(methods.len());
+        for report in row {
+            let metrics = report
+                .metrics
+                .unwrap_or_else(|| panic!("{} × {} failed", report.case, report.objective));
+            print!(" | {}", fmt_metrics(&metrics));
+            row_metrics.push(metrics);
         }
         println!();
         acc.add(&row_metrics, methods.len() - 1);
@@ -50,4 +80,9 @@ fn main() {
     }
     println!();
     println!("\n(ratios are averages of per-case method/ours; paper Table II reports 6.90/2.07/1.004, 2.75/1.40/1.06, 2.00/1.09/1.02, 1.00/1.00/1.00)");
+    println!(
+        "(matrix ran on {} workers in {:.1}s wall)",
+        result.workers,
+        result.wall.as_secs_f64()
+    );
 }

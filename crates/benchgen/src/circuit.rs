@@ -40,8 +40,13 @@ pub struct CircuitParams {
     pub max_fanout: usize,
     /// Fraction of nets allowed to grow toward `max_fanout`.
     pub high_fanout_fraction: f64,
-    /// Movable area / die area.
+    /// Movable area / free die area. The die is sized so the movable
+    /// cells reach this density on the area left over after macros.
     pub utilization: f64,
+    /// Number of fixed `MACRO_BLK` hard macros placed on a deterministic
+    /// grid in the core area. Each macro's input pin sinks one deep cone,
+    /// so macros participate in timing as heavily-loaded endpoints.
+    pub num_macros: usize,
     /// Clock period (paper units ≈ ps).
     pub clock_period: f64,
     /// Wire resistance per unit length (consumed by the STA layer).
@@ -64,6 +69,7 @@ impl CircuitParams {
             max_fanout: 12,
             high_fanout_fraction: 0.03,
             utilization: 0.4,
+            num_macros: 0,
             clock_period: 1500.0,
             res_per_unit: 0.3,
             cap_per_unit: 0.01,
@@ -79,6 +85,65 @@ impl CircuitParams {
             num_po: 32,
             levels: 12,
             clock_period: 2600.0,
+            ..Self::small(name, seed)
+        }
+    }
+
+    /// The **high-utilization** family (`hu*`): the same layered logic as
+    /// [`CircuitParams::medium`] squeezed onto a die with 68% of the free
+    /// area covered by movable cells (vs the suite's 42%). Dense designs
+    /// stress the density force, give legalization almost no slack to
+    /// absorb displacement, and make the timing-vs-wirelength trade
+    /// visibly harder — the regime where row spills and long detours
+    /// appear.
+    pub fn high_util(name: &str, seed: u64) -> Self {
+        Self {
+            num_comb: 2200,
+            num_ff: 260,
+            num_pi: 28,
+            num_po: 28,
+            levels: 10,
+            max_fanout: 14,
+            utilization: 0.68,
+            clock_period: 2250.0,
+            ..Self::small(name, seed)
+        }
+    }
+
+    /// The **macro-heavy** family (`mx*`): six fixed `MACRO_BLK` hard
+    /// macros on a deterministic grid in the core area. Macros carve the
+    /// rows into segments (the legalizers must pack around them), act as
+    /// density obstacles for global placement, and each sinks one deep
+    /// cone through a high-capacitance input — the floorplan-dominated
+    /// regime of SoC blocks with RAMs/IP.
+    pub fn macro_heavy(name: &str, seed: u64) -> Self {
+        Self {
+            num_comb: 1800,
+            num_ff: 220,
+            num_pi: 24,
+            num_po: 24,
+            levels: 11,
+            num_macros: 6,
+            clock_period: 2750.0,
+            ..Self::small(name, seed)
+        }
+    }
+
+    /// The **deep-logic tight-clock** family (`dl*`): 26 combinational
+    /// levels between registers (vs the suite's 9–15) under a clock
+    /// period that leaves almost no slack per level. Long multi-gate
+    /// paths dominate, so critical-path extraction sees deep, heavily
+    /// shared paths — the regime the paper's path-sharing weight update
+    /// (Eq. 9) targets.
+    pub fn deep_logic(name: &str, seed: u64) -> Self {
+        Self {
+            num_comb: 2000,
+            num_ff: 240,
+            num_pi: 24,
+            num_po: 24,
+            levels: 26,
+            max_fanout: 10,
+            clock_period: 3950.0,
             ..Self::small(name, seed)
         }
     }
@@ -99,11 +164,30 @@ pub fn generate(params: &CircuitParams) -> (Design, Placement) {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let lib = CellLibrary::standard();
 
-    // Die sizing from total area and utilization, rounded to whole rows.
+    // Die sizing: the movable cells reach `utilization` on the area left
+    // over after the macro footprints, rounded to whole rows. With
+    // macros, the die is additionally grown (if needed) until the macro
+    // grid fits with clearance — so small designs with macros stay
+    // legalizable rather than degenerate.
     let row_h = 10.0;
     let avg_gate_area = 28.0; // representative for the standard library
+    let (macro_w, macro_h) = (48.0, 40.0); // MACRO_BLK footprint
+    let macro_margin = 3.0 * row_h; // clearance to the boundary pads
+    let macro_gap = 2.0 * row_h; // clearance between macros
+    let macro_cols = (params.num_macros as f64).sqrt().ceil() as usize;
+    let macro_rows = if macro_cols == 0 {
+        0
+    } else {
+        params.num_macros.div_ceil(macro_cols)
+    };
     let total_area = (params.num_comb + params.num_ff) as f64 * avg_gate_area;
-    let side = (total_area / params.utilization).sqrt();
+    let macro_area = params.num_macros as f64 * macro_w * macro_h;
+    let mut side = (total_area / params.utilization + macro_area).sqrt();
+    if params.num_macros > 0 {
+        let need_x = 2.0 * macro_margin + macro_cols as f64 * (macro_w + macro_gap) - macro_gap;
+        let need_y = 2.0 * macro_margin + macro_rows as f64 * (macro_h + macro_gap) - macro_gap;
+        side = side.max(need_x).max(need_y);
+    }
     let side = (side / row_h).ceil() * row_h;
     let die = Rect::new(0.0, 0.0, side, side);
 
@@ -141,6 +225,38 @@ pub fn generate(params: &CircuitParams) -> (Design, Placement) {
             .expect("unique pad name");
         pad_positions.push((c, x, y));
         pos.push(c);
+    }
+
+    // --- hard macros on a deterministic interior grid -------------------
+    // Positions are RNG-free so zero-macro parameter sets generate the
+    // exact designs they did before macros existed.
+    let mut macros: Vec<CellId> = Vec::with_capacity(params.num_macros);
+    if params.num_macros > 0 {
+        let margin = macro_margin;
+        let (cols, rows_m) = (macro_cols, macro_rows);
+        let span_x = (side - 2.0 * margin - macro_w).max(0.0);
+        let span_y = (side - 2.0 * margin - macro_h).max(0.0);
+        for i in 0..params.num_macros {
+            let (ci, ri) = (i % cols, i / cols);
+            let fx = if cols > 1 {
+                ci as f64 / (cols - 1) as f64
+            } else {
+                0.5
+            };
+            let fy = if rows_m > 1 {
+                ri as f64 / (rows_m - 1) as f64
+            } else {
+                0.5
+            };
+            let x = margin + fx * span_x;
+            // Row-aligned y so the macro blocks whole rows exactly.
+            let y = ((margin + fy * span_y) / row_h).round() * row_h;
+            let c = b
+                .add_fixed_cell(&format!("blk{i}"), "MACRO_BLK", x, y)
+                .expect("unique macro name");
+            pad_positions.push((c, x, y));
+            macros.push(c);
+        }
     }
 
     // --- flip-flops and combinational gates ----------------------------
@@ -257,6 +373,14 @@ pub fn generate(params: &CircuitParams) -> (Design, Placement) {
         let di = pick_driver(&mut rng, &drivers, params.levels + 1);
         drivers[di].fanout += 1;
         sink_assignments.push((di, po, "PAD"));
+    }
+    // Each macro's input sinks one deep cone (a RAM data input): the
+    // high pin capacitance makes these paths genuinely hard to close.
+    // No RNG draws happen here when `num_macros == 0`.
+    for &blk in &macros {
+        let di = pick_driver(&mut rng, &drivers, params.levels + 1);
+        drivers[di].fanout += 1;
+        sink_assignments.push((di, blk, "PAD"));
     }
     // Give every dangling driver (fanout 0) one sink so all logic is
     // observable: route it to a random already-driven gate input? That

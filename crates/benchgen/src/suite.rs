@@ -1,10 +1,16 @@
-//! The eight named benchmark cases.
+//! The named benchmark cases: the paper's eight-case [`suite`] plus the
+//! widened [`full_suite`] the batch runner sweeps.
 //!
 //! Sizes are scaled roughly 100x down from the ICCAD-2015 `superblue`
 //! designs so the full table sweeps run on one CPU core; the relative size
 //! ordering (sb10 largest, sb18 smallest) and the "many failing endpoints
 //! at a tight clock" regime are preserved. Clock periods were calibrated
 //! once so a wirelength-driven placement fails 5-30% of endpoints.
+//!
+//! The widened suite adds three structural families beyond the
+//! `superblue`-like baseline — high-utilization (`hu*`), macro-heavy
+//! (`mx*`) and deep-logic tight-clock (`dl*`) — documented on their
+//! [`CircuitParams`] constructors.
 
 use crate::circuit::CircuitParams;
 
@@ -39,6 +45,7 @@ fn case(
             max_fanout: 16,
             high_fanout_fraction: 0.02,
             utilization: 0.42,
+            num_macros: 0,
             clock_period,
             res_per_unit: 0.3,
             cap_per_unit: 0.01,
@@ -49,6 +56,8 @@ fn case(
 /// The eight benchmark cases used by every table and figure harness.
 ///
 /// Deterministic: the same binary always regenerates identical designs.
+/// The paper tables run exactly these; batch sweeps usually want
+/// [`full_suite`] instead.
 pub fn suite() -> Vec<SuiteCase> {
     vec![
         case("sb1", 101, 4200, 480, 40, 12, 2950.0),
@@ -60,6 +69,35 @@ pub fn suite() -> Vec<SuiteCase> {
         case("sb16", 116, 3400, 400, 40, 10, 2470.0),
         case("sb18", 118, 2200, 280, 28, 9, 2060.0),
     ]
+}
+
+fn family(name: &'static str, params: CircuitParams) -> SuiteCase {
+    SuiteCase { name, params }
+}
+
+/// The widened 12-case suite: the paper's eight `superblue`-like cases
+/// plus the three structural families — two high-utilization cases
+/// (`hu1`, `hu2`), one macro-heavy (`mx1`) and one deep-logic
+/// tight-clock (`dl1`). This is the workload matrix the `tdp-batch`
+/// runner sweeps by default.
+///
+/// Deterministic like [`suite`]: same binary, identical designs.
+pub fn full_suite() -> Vec<SuiteCase> {
+    let mut cases = suite();
+    cases.push(family("hu1", CircuitParams::high_util("hu1", 201)));
+    cases.push(family(
+        "hu2",
+        CircuitParams {
+            num_comb: 3200,
+            num_ff: 360,
+            levels: 12,
+            clock_period: 3150.0,
+            ..CircuitParams::high_util("hu2", 202)
+        },
+    ));
+    cases.push(family("mx1", CircuitParams::macro_heavy("mx1", 211)));
+    cases.push(family("dl1", CircuitParams::deep_logic("dl1", 221)));
+    cases
 }
 
 #[cfg(test)]
@@ -76,11 +114,52 @@ mod tests {
     }
 
     #[test]
+    fn full_suite_widens_the_paper_suite_with_unique_names() {
+        let full = full_suite();
+        assert!(full.len() >= 11, "widened suite must have >= 11 cases");
+        let names: std::collections::HashSet<_> = full.iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), full.len());
+        // The paper's cases come first, unchanged.
+        for (a, b) in suite().iter().zip(&full) {
+            assert_eq!(a, b);
+        }
+        // All three new families are represented.
+        for prefix in ["hu", "mx", "dl"] {
+            assert!(
+                full.iter().any(|c| c.name.starts_with(prefix)),
+                "family {prefix}* missing"
+            );
+        }
+    }
+
+    #[test]
     fn all_cases_generate_and_validate() {
-        for case in suite() {
+        for case in full_suite() {
             let (d, _) = generate(&case.params);
             d.validate().unwrap();
             assert!(d.stats().num_sequential > 0, "{} has no FFs", case.name);
+        }
+    }
+
+    #[test]
+    fn macro_heavy_case_has_interior_fixed_blocks() {
+        let case = full_suite().into_iter().find(|c| c.name == "mx1").unwrap();
+        let (d, pl) = generate(&case.params);
+        let die = d.die();
+        let blocks: Vec<_> = d
+            .cell_ids()
+            .filter(|&c| d.cell(c).fixed && d.cell(c).name.starts_with("blk"))
+            .collect();
+        assert_eq!(blocks.len(), case.params.num_macros);
+        for c in blocks {
+            let (x, y) = pl.get(c);
+            assert!(
+                x > die.lx + 10.0 && y > die.ly + 10.0 && x < die.ux - 10.0 && y < die.uy - 10.0,
+                "macro {} not in the core area",
+                d.cell(c).name
+            );
+            // Row-aligned so it blocks whole rows exactly.
+            assert!((y / d.row_height()).fract().abs() < 1e-9);
         }
     }
 

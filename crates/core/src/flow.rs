@@ -483,9 +483,9 @@ pub fn run_method(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // deliberately exercises the `run_method` compat wrapper
 mod tests {
     use super::*;
+    use crate::session::{FlowBuilder, Session};
     use benchgen::{generate, CircuitParams};
     use placer::GlobalPlacer;
 
@@ -498,12 +498,29 @@ mod tests {
         cfg
     }
 
+    /// One cold flow through a fresh session.
+    fn run_cold(
+        design: &Design,
+        pads: &Placement,
+        method: Method,
+        cfg: &FlowConfig,
+    ) -> FlowOutcome {
+        let mut session = Session::builder(design.clone(), pads.clone())
+            .build()
+            .expect("acyclic design");
+        let spec = FlowBuilder::from_config(cfg.clone())
+            .objective(method)
+            .build()
+            .expect("quick config is valid");
+        session.run(&spec).expect("builtin objectives build")
+    }
+
     #[test]
     fn efficient_tdp_flow_runs_and_improves_timing() {
         let (design, pads) = generate(&CircuitParams::small("f", 21));
         let cfg = quick_config();
-        let baseline = run_method(&design, pads.clone(), Method::DreamPlace, &cfg);
-        let ours = run_method(&design, pads, Method::EfficientTdp, &cfg);
+        let baseline = run_cold(&design, &pads, Method::DreamPlace, &cfg);
+        let ours = run_cold(&design, &pads, Method::EfficientTdp, &cfg);
         assert!(baseline.metrics.hpwl > 0.0);
         // The timing trace must exist and the pin pairs must have fired.
         assert!(ours.trace.iter().any(|r| !r.tns.is_nan()));
@@ -520,7 +537,7 @@ mod tests {
     fn runtime_breakdown_sums_to_total() {
         let (design, pads) = generate(&CircuitParams::small("f", 22));
         let cfg = quick_config();
-        let out = run_method(&design, pads, Method::EfficientTdp, &cfg);
+        let out = run_cold(&design, &pads, Method::EfficientTdp, &cfg);
         let r = out.runtime;
         let sum = r.io + r.timing_analysis + r.weighting + r.legalization + r.gradient_and_others;
         let diff = r.total.abs_diff(sum);
@@ -532,7 +549,7 @@ mod tests {
     fn dreamplace_has_no_timing_overhead() {
         let (design, pads) = generate(&CircuitParams::small("f", 23));
         let cfg = quick_config();
-        let out = run_method(&design, pads, Method::DreamPlace, &cfg);
+        let out = run_cold(&design, &pads, Method::DreamPlace, &cfg);
         assert_eq!(out.runtime.timing_analysis, Duration::ZERO);
         assert_eq!(out.runtime.weighting, Duration::ZERO);
         assert!(out.trace.iter().all(|r| r.tns.is_nan()));
@@ -548,7 +565,7 @@ mod tests {
             Method::DifferentiableTdp,
             Method::EfficientTdp,
         ] {
-            let out = run_method(&design, pads.clone(), method, &cfg);
+            let out = run_cold(&design, &pads, method, &cfg);
             placer::legalize::check_legal(&design, &out.placement)
                 .unwrap_or_else(|e| panic!("{}: {e}", method.label()));
             assert!(out.metrics.total_endpoints > 0);
@@ -576,8 +593,8 @@ mod tests {
     fn flow_is_deterministic() {
         let (design, pads) = generate(&CircuitParams::small("f", 25));
         let cfg = quick_config();
-        let a = run_method(&design, pads.clone(), Method::EfficientTdp, &cfg);
-        let b = run_method(&design, pads, Method::EfficientTdp, &cfg);
+        let a = run_cold(&design, &pads, Method::EfficientTdp, &cfg);
+        let b = run_cold(&design, &pads, Method::EfficientTdp, &cfg);
         assert_eq!(a.metrics.tns, b.metrics.tns);
         assert_eq!(a.metrics.hpwl, b.metrics.hpwl);
     }

@@ -171,7 +171,10 @@ pub trait ObjectiveFactory {
 ///
 /// The four builtin variants reproduce the paper's comparison matrix;
 /// [`ObjectiveSpec::Custom`] admits any user objective through the same
-/// front door.
+/// front door. Factories must be `Send + Sync`: a spec is a *description*
+/// of a run, and batch executors ship descriptions across worker threads
+/// (each worker builds the actual objective locally via
+/// [`ObjectiveFactory::build`], so the objective itself needs neither).
 #[derive(Clone)]
 pub enum ObjectiveSpec {
     /// Wirelength-driven DREAMPlace (no timing engine).
@@ -190,12 +193,12 @@ pub enum ObjectiveSpec {
     /// The paper's pin-to-pin attraction on extracted critical paths.
     EfficientTdp,
     /// A user-supplied objective factory.
-    Custom(Arc<dyn ObjectiveFactory>),
+    Custom(Arc<dyn ObjectiveFactory + Send + Sync>),
 }
 
 impl ObjectiveSpec {
     /// Wraps a factory in a spec.
-    pub fn custom<F: ObjectiveFactory + 'static>(factory: F) -> Self {
+    pub fn custom<F: ObjectiveFactory + Send + Sync + 'static>(factory: F) -> Self {
         ObjectiveSpec::Custom(Arc::new(factory))
     }
 
@@ -367,6 +370,14 @@ impl FlowBuilder {
     pub fn objective(mut self, objective: impl Into<ObjectiveSpec>) -> Self {
         self.objective = objective.into();
         self
+    }
+
+    /// The configuration as currently accumulated — **not yet
+    /// validated** (validation happens at [`FlowBuilder::build`]). Lets
+    /// callers that layer overrides read the value a coupled setter
+    /// (e.g. [`FlowBuilder::pair_weights`]) would otherwise clobber.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
     }
 
     /// Pin-to-pin attraction penalty multiplier β (Eq. 6).
@@ -897,6 +908,16 @@ mod tests {
             .timing_interval(10)
             .build();
         assert!(spec.is_ok());
+    }
+
+    #[test]
+    fn flow_specs_are_send_and_sync() {
+        // Batch executors ship specs across worker threads; this must
+        // hold for every variant, including `Custom` (whose factory trait
+        // object carries the `Send + Sync` bound).
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ObjectiveSpec>();
+        assert_send_sync::<FlowSpec>();
     }
 
     #[test]

@@ -358,6 +358,20 @@ impl CellLibrary {
             clock_pin: None,
         });
 
+        // Hard macro block: a fixed multi-row obstacle (RAM/IP stand-in)
+        // spanning 4 rows. Its single input pin lets generated designs
+        // route nets into it so macros participate in timing as
+        // heavily-loaded endpoints, like a memory's data input would.
+        lib.add(CellType {
+            name: "MACRO_BLK".to_string(),
+            width: 48.0,
+            height: 4.0 * row,
+            pins: vec![inp("PAD", 24.0, 6.0)],
+            arcs: vec![],
+            is_sequential: false,
+            clock_pin: None,
+        });
+
         lib
     }
 }
@@ -381,9 +395,14 @@ mod tests {
             "DFF_X1",
             "IOPAD_IN",
             "IOPAD_OUT",
+            "MACRO_BLK",
         ] {
             assert!(lib.by_name(name).is_some(), "missing {name}");
         }
+
+        // The macro master is a multi-row obstacle.
+        let blk = lib.get(lib.by_name("MACRO_BLK").unwrap());
+        assert!(blk.height > 10.0 && blk.width > 10.0);
         assert!(lib.len() >= 11);
         assert!(!lib.is_empty());
     }

@@ -158,6 +158,50 @@ where
     }
 }
 
+/// Dynamic work queue over `0..n` items: up to `threads` workers claim
+/// item indices from a shared atomic counter and run `body` on each.
+///
+/// Unlike [`par_for`], every item is its own unit of work and there is no
+/// inline-below-a-threshold heuristic: with `threads >= 2` and `n >= 2`
+/// the items genuinely run concurrently. This is the sharding primitive
+/// for coarse-grained jobs (whole placement flows, design groups) whose
+/// per-item cost dwarfs the spawn/join overhead, where even a two-item
+/// queue is worth parallelizing.
+///
+/// `body` must make each item's work independent of every other item's;
+/// the *execution order* of items is scheduling-dependent, so determinism
+/// of the overall result requires item results to be keyed by index, not
+/// by completion order.
+pub fn par_queue<F>(threads: usize, n: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let workers = resolve_threads(threads.max(1)).min(n);
+    if workers <= 1 {
+        for i in 0..n {
+            body(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let work = |next: &AtomicUsize| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        body(i);
+    };
+    std::thread::scope(|s| {
+        for _ in 1..workers {
+            s.spawn(|| work(&next));
+        }
+        work(&next);
+    });
+}
+
 /// A `Sync` view over a mutable slice for provably disjoint concurrent
 /// writes (each index written by at most one thread per parallel phase).
 ///
@@ -281,6 +325,25 @@ mod tests {
     fn par_for_zero_items_is_a_noop() {
         par_for(4, 0, 1, |_| panic!("no chunks expected"));
         par_map_reduce(4, 0, 1, |_| 1u32, |_| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn par_queue_runs_every_item_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        for threads in [1, 2, 5] {
+            // Small n on purpose: par_queue must parallelize even a
+            // two-item queue instead of falling back to inline execution.
+            for n in [0usize, 1, 2, 3, 17] {
+                let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+                par_queue(threads, n, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "threads={threads} n={n}"
+                );
+            }
+        }
     }
 
     #[test]

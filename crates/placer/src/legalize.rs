@@ -6,8 +6,97 @@
 //! dynamic program, which minimizes total squared displacement subject to
 //! no overlap. [`tetris_legalize`] is a cruder greedy fallback used by
 //! tests as a displacement upper bound.
+//!
+//! Both legalizers (and [`check_legal`]) are fixed-obstacle aware: every
+//! fixed cell's footprint — IO pads sitting on boundary rows as well as
+//! multi-row hard macros in the core area — is subtracted from the rows
+//! it covers, and cells are packed into the remaining free
+//! [`RowSegment`]s. A legal placement therefore overlaps neither other
+//! movable cells nor any fixed block.
 
 use netlist::{CellId, Design, Placement};
+
+/// A maximal obstacle-free interval of one placement row: the unit the
+/// legalizers pack cells into. Produced by [`free_segments`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowSegment {
+    /// Index of the row this segment belongs to (into `design.rows()`).
+    pub row: usize,
+    /// Row y coordinate.
+    pub y: f64,
+    /// Segment x start.
+    pub lx: f64,
+    /// Segment x end.
+    pub ux: f64,
+}
+
+/// Computes the free segments of every row after subtracting the
+/// footprints of all fixed cells (at their `placement` positions). A
+/// fixed cell blocks a row when its y-span overlaps the row's by more
+/// than a hair; the blocked x-intervals are merged and the gaps between
+/// them become segments. Zero-width gaps are dropped.
+///
+/// Deterministic: depends only on the design and the fixed positions.
+pub fn free_segments(design: &Design, placement: &Placement) -> Vec<RowSegment> {
+    const EPS: f64 = 1e-9;
+    let rows = design.rows();
+    let row_h = design.row_height();
+    let mut blocked: Vec<Vec<(f64, f64)>> = vec![Vec::new(); rows.len()];
+    for cell in design.cell_ids() {
+        if !design.cell(cell).fixed {
+            continue;
+        }
+        let (x, y) = placement.get(cell);
+        let ty = design.cell_type(cell);
+        let (x0, x1) = (x, x + ty.width);
+        let (y0, y1) = (y, y + ty.height);
+        if rows.is_empty() || x1 <= x0 {
+            continue;
+        }
+        // Rows whose y-span genuinely overlaps [y0, y1).
+        let first = ((y0 - rows[0].y) / row_h).floor().max(0.0) as usize;
+        for (ri, row) in rows.iter().enumerate().skip(first) {
+            if row.y >= y1 - EPS {
+                break;
+            }
+            if row.y + row.height > y0 + EPS {
+                // Clamp into the row's x-range; a footprint entirely
+                // left or right of it clamps to an empty (inverted)
+                // interval and must be dropped, not pushed — an
+                // inverted interval would fabricate a bogus free
+                // segment past the row end.
+                let (b0, b1) = (x0.max(row.lx), x1.min(row.ux));
+                if b1 > b0 + EPS {
+                    blocked[ri].push((b0, b1));
+                }
+            }
+        }
+    }
+    let mut segments = Vec::new();
+    for (ri, row) in rows.iter().enumerate() {
+        let intervals = &mut blocked[ri];
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut cursor = row.lx;
+        let mut push = |lx: f64, ux: f64| {
+            if ux - lx > EPS {
+                segments.push(RowSegment {
+                    row: ri,
+                    y: row.y,
+                    lx,
+                    ux,
+                });
+            }
+        };
+        for &(b0, b1) in intervals.iter() {
+            if b0 > cursor {
+                push(cursor, b0);
+            }
+            cursor = cursor.max(b1);
+        }
+        push(cursor, row.ux);
+    }
+    segments
+}
 
 /// Displacement statistics reported by the legalizers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -161,23 +250,30 @@ impl RowState {
 
 /// Abacus legalization: snaps every movable cell onto rows without overlap,
 /// minimizing squared displacement within each row. Fixed cells are left in
-/// place (assumed off-row or pre-legal).
+/// place and their footprints (pads, multi-row macros) are excluded from
+/// the packable space via [`free_segments`].
 ///
 /// Returns the statistics; `placement` is updated in place.
 pub fn abacus_legalize(design: &Design, placement: &mut Placement) -> LegalizeStats {
     let rows = design.rows();
     assert!(!rows.is_empty(), "design has no rows");
-    let mut states: Vec<RowState> = rows
+    let segments = free_segments(design, placement);
+    let mut states: Vec<RowState> = segments
         .iter()
-        .map(|r| RowState {
-            y: r.y,
-            lx: r.lx,
-            ux: r.ux,
+        .map(|s| RowState {
+            y: s.y,
+            lx: s.lx,
+            ux: s.ux,
             cells: Vec::new(),
             clusters: Vec::new(),
             used_width: 0.0,
         })
         .collect();
+    // Row index → indices of its segments' states.
+    let mut row_states: Vec<Vec<usize>> = vec![Vec::new(); rows.len()];
+    for (si, seg) in segments.iter().enumerate() {
+        row_states[seg.row].push(si);
+    }
 
     // Cells sorted by target x (the Abacus processing order).
     let mut movable: Vec<CellId> = design
@@ -224,20 +320,22 @@ pub fn abacus_legalize(design: &Design, placement: &mut Placement) -> LegalizeSt
                 }
             }
             for r in candidates {
-                let dy = (states[r].y - ty).abs();
-                if let Some((cost, x)) = states[r].trial(design, cell, tx) {
-                    let total = cost + dy;
-                    if best.is_none_or(|(bc, _, _)| total < bc) {
-                        best = Some((total, r, x));
+                for &si in &row_states[r] {
+                    let dy = (states[si].y - ty).abs();
+                    if let Some((cost, x)) = states[si].trial(design, cell, tx) {
+                        let total = cost + dy;
+                        if best.is_none_or(|(bc, _, _)| total < bc) {
+                            best = Some((total, si, x));
+                        }
                     }
                 }
             }
         }
-        let (_, row, _) = best.expect("no row can accommodate the cell; die too full");
-        if row != nearest {
+        let (_, si, _) = best.expect("no free row segment can accommodate the cell; die too full");
+        if segments[si].row != nearest {
             spills += 1;
         }
-        states[row].insert(design, cell, tx);
+        states[si].insert(design, cell, tx);
     }
 
     // Write back final positions.
@@ -265,7 +363,8 @@ pub fn abacus_legalize(design: &Design, placement: &mut Placement) -> LegalizeSt
 pub fn tetris_legalize(design: &Design, placement: &mut Placement) -> LegalizeStats {
     let rows = design.rows();
     assert!(!rows.is_empty(), "design has no rows");
-    let mut frontier: Vec<f64> = rows.iter().map(|r| r.lx).collect();
+    let segments = free_segments(design, placement);
+    let mut frontier: Vec<f64> = segments.iter().map(|s| s.lx).collect();
     let mut movable: Vec<CellId> = design
         .cell_ids()
         .filter(|&c| !design.cell(c).fixed)
@@ -287,25 +386,25 @@ pub fn tetris_legalize(design: &Design, placement: &mut Placement) -> LegalizeSt
         let nearest = (((ty - rows[0].y) / row_h).round() as isize)
             .clamp(0, rows.len() as isize - 1) as usize;
         let mut best: Option<(f64, usize, f64)> = None;
-        for (r, row) in rows.iter().enumerate() {
-            if frontier[r] + w > row.ux {
+        for (si, seg) in segments.iter().enumerate() {
+            if frontier[si] + w > seg.ux {
                 continue;
             }
-            let x = frontier[r].max(tx.min(row.ux - w));
-            let x = x.max(frontier[r]);
-            let cost = (x - tx).abs() + (row.y - ty).abs();
+            let x = frontier[si].max(tx.min(seg.ux - w));
+            let x = x.max(frontier[si]);
+            let cost = (x - tx).abs() + (seg.y - ty).abs();
             if best.is_none_or(|(bc, _, _)| cost < bc) {
-                best = Some((cost, r, x));
+                best = Some((cost, si, x));
             }
         }
-        let (cost, r, x) = best.expect("no row can accommodate the cell");
-        if r != nearest {
+        let (cost, si, x) = best.expect("no free row segment can accommodate the cell");
+        if segments[si].row != nearest {
             spills += 1;
         }
-        frontier[r] = x + w;
+        frontier[si] = x + w;
         total_disp += cost;
         max_disp = max_disp.max(cost);
-        placement.set(cell, x, rows[r].y);
+        placement.set(cell, x, segments[si].y);
     }
     LegalizeStats {
         total_displacement: total_disp,
@@ -314,11 +413,17 @@ pub fn tetris_legalize(design: &Design, placement: &mut Placement) -> LegalizeSt
     }
 }
 
-/// Checks that no two movable cells overlap and all sit on rows inside the
-/// die. Returns a description of the first violation found.
+/// Checks that no two movable cells overlap, all sit on rows inside the
+/// die, and none intrudes into a fixed cell's footprint (pad or macro).
+/// Returns a description of the first violation found.
 pub fn check_legal(design: &Design, placement: &Placement) -> Result<(), String> {
     let rows = design.rows();
     let row_h = design.row_height();
+    let segments = free_segments(design, placement);
+    let mut row_segs: Vec<Vec<&RowSegment>> = vec![Vec::new(); rows.len()];
+    for seg in &segments {
+        row_segs[seg.row].push(seg);
+    }
     let mut per_row: Vec<Vec<(f64, f64, CellId)>> = vec![Vec::new(); rows.len()];
     for cell in design.cell_ids() {
         if design.cell(cell).fixed {
@@ -334,9 +439,16 @@ pub fn check_legal(design: &Design, placement: &Placement) -> Result<(), String>
                 design.cell(cell).name
             ));
         }
-        if x < rows[ri_usize].lx - 1e-6 || x + w > rows[ri_usize].ux + 1e-6 {
+        // The cell must fit entirely inside one obstacle-free segment of
+        // its row; anything else either leaves the row's x-range or
+        // overlaps a fixed footprint.
+        let inside_free = row_segs[ri_usize]
+            .iter()
+            .any(|s| x >= s.lx - 1e-6 && x + w <= s.ux + 1e-6);
+        if !inside_free {
             return Err(format!(
-                "cell {} outside row x-range (x = {x})",
+                "cell {} outside the free row space (x = {x}, row {ri_usize}): \
+                 off the row or overlapping a fixed cell",
                 design.cell(cell).name
             ));
         }
@@ -476,6 +588,104 @@ mod tests {
         }
         abacus_legalize(&d, &mut p);
         check_legal(&d, &p).unwrap();
+    }
+
+    fn design_with_macro(n: usize, die: f64) -> (netlist::Design, Placement) {
+        let mut b = DesignBuilder::new(
+            "m",
+            CellLibrary::standard(),
+            Rect::new(0.0, 0.0, die, die),
+            10.0,
+        );
+        let pi = b.add_fixed_cell("pi", "IOPAD_IN", 0.0, 0.0).unwrap();
+        // A 48x40 macro in the middle of the die, row-aligned.
+        let blk = b.add_fixed_cell("blk", "MACRO_BLK", 40.0, 40.0).unwrap();
+        let mut prev = pi;
+        let mut pin = "PAD".to_string();
+        for i in 0..n {
+            let c = b.add_cell(&format!("u{i}"), "INV_X1").unwrap();
+            b.add_net(&format!("n{i}"), &[(prev, pin.as_str()), (c, "A")])
+                .unwrap();
+            prev = c;
+            pin = "Y".to_string();
+        }
+        b.add_net("nm", &[(prev, pin.as_str()), (blk, "PAD")])
+            .unwrap();
+        let (d, fixed) = b.finish_with_positions().unwrap();
+        let mut p = Placement::new(&d);
+        for (c, x, y) in fixed {
+            p.set(c, x, y);
+        }
+        (d, p)
+    }
+
+    #[test]
+    fn free_segments_exclude_macro_footprints() {
+        let (d, p) = design_with_macro(4, 120.0);
+        let segs = free_segments(&d, &p);
+        // Rows 4..8 (y in [40, 80)) are split around the macro's x-span
+        // [40, 88): no segment there may intersect it.
+        for s in &segs {
+            if s.y >= 40.0 - 1e-9 && s.y < 80.0 - 1e-9 {
+                assert!(
+                    s.ux <= 40.0 + 1e-9 || s.lx >= 88.0 - 1e-9,
+                    "segment {s:?} intersects the macro"
+                );
+            }
+        }
+        // Rows clear of the macro and the pad span the full die width.
+        assert!(segs
+            .iter()
+            .any(|s| s.y >= 80.0 && (s.ux - s.lx - 120.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn legalizers_avoid_macro_footprints() {
+        let (d, pads) = design_with_macro(60, 120.0);
+        for seed in [3u64, 11] {
+            let mut pa = pads.clone();
+            let mut pt = pads.clone();
+            for c in d.cell_ids() {
+                if !d.cell(c).fixed {
+                    // Jitter everything ON the macro to force evictions.
+                    let (jx, jy) = jittered_placement(&d, seed).get(c);
+                    pa.set(c, 40.0 + jx * 0.4, 40.0 + jy * 0.3);
+                    pt.set(c, 40.0 + jx * 0.4, 40.0 + jy * 0.3);
+                }
+            }
+            abacus_legalize(&d, &mut pa);
+            check_legal(&d, &pa).unwrap();
+            tetris_legalize(&d, &mut pt);
+            check_legal(&d, &pt).unwrap();
+        }
+    }
+
+    #[test]
+    fn fixed_cells_outside_row_x_range_do_not_fabricate_segments() {
+        // A fixed cell whose x-span lies entirely right of the die still
+        // overlaps rows in y; its clamped blocked interval is empty and
+        // must not produce a free segment extending past the row end.
+        let (d, mut p) = design_with_macro(1, 120.0);
+        let blk = d
+            .cell_ids()
+            .find(|&c| d.cell(c).name.starts_with("blk"))
+            .unwrap();
+        p.set(blk, 150.0, 40.0); // right of the die's [0, 120) rows
+        for s in free_segments(&d, &p) {
+            assert!(s.ux <= 120.0 + 1e-9, "segment {s:?} escapes the row");
+            assert!(s.lx >= 0.0 - 1e-9);
+            assert!(s.ux > s.lx);
+        }
+    }
+
+    #[test]
+    fn check_legal_detects_overlap_with_fixed_macro() {
+        let (d, mut p) = design_with_macro(1, 120.0);
+        let c = d.cell_ids().find(|&c| !d.cell(c).fixed).unwrap();
+        // Dead center of the macro, on a row.
+        p.set(c, 60.0, 50.0);
+        let err = check_legal(&d, &p).unwrap_err();
+        assert!(err.contains("free row space"), "{err}");
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub use density::{BinGrid, ElectrostaticDensity};
 pub use engine::{
     GlobalPlacer, IterationStats, NoTimingObjective, PlaceResult, PlacerConfig, TimingObjective,
 };
-pub use legalize::{abacus_legalize, tetris_legalize, LegalizeStats};
+pub use legalize::{abacus_legalize, free_segments, tetris_legalize, LegalizeStats, RowSegment};
 pub use optim::{NesterovOptimizer, OptimizerKind};
 pub use wirelength::{WaScratch, WaWirelength};

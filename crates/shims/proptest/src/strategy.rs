@@ -94,6 +94,8 @@ impl_strategy_tuple! {
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
 /// Length specification for [`crate::prop::collection::vec`]: either a

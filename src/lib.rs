@@ -1,4 +1,5 @@
 //! Facade crate re-exporting the Efficient-TDP workspace.
+pub use batch;
 pub use benchgen;
 pub use netlist;
 pub use placer;

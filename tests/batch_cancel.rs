@@ -1,0 +1,124 @@
+//! Per-job cancellation: stopping one job mid-batch through its
+//! cancellation flag (raised from a progress-sink callback, i.e. through
+//! the job's own `Observer` stream) must yield a well-formed partial
+//! outcome for that job and leave every sibling's result bitwise
+//! untouched.
+
+use efficient_tdp::batch::{
+    make_jobs, run_batch, BatchEvent, BatchPlan, BatchRunConfig, BatchSink, CancelSet, JobStatus,
+    NullSink, Profile,
+};
+use efficient_tdp::benchgen::{CircuitParams, SuiteCase};
+use std::sync::Arc;
+
+fn cases() -> Vec<SuiteCase> {
+    vec![
+        SuiteCase {
+            name: "ca",
+            params: CircuitParams::small("ca", 81),
+        },
+        SuiteCase {
+            name: "cb",
+            params: CircuitParams::small("cb", 82),
+        },
+    ]
+}
+
+fn plan() -> BatchPlan {
+    let mut jobs = Vec::new();
+    for case in cases() {
+        jobs.extend(make_jobs(&case, None, Profile::Quick, &[]).expect("valid jobs"));
+    }
+    BatchPlan::new(jobs)
+}
+
+/// Cancels `victim` as soon as its own iteration stream reaches
+/// `at_iter`. Deterministic: the flag is raised inside the victim's own
+/// observer callback, so the placement loop stops at exactly the same
+/// iteration on every run, for every worker count.
+struct CancelAt {
+    victim: usize,
+    at_iter: usize,
+    cancel: Arc<CancelSet>,
+}
+
+impl BatchSink for CancelAt {
+    fn on_event(&self, event: &BatchEvent) {
+        if let BatchEvent::Iteration { job, iter, .. } = event {
+            if *job == self.victim && *iter >= self.at_iter {
+                self.cancel.cancel(self.victim);
+            }
+        }
+    }
+}
+
+#[test]
+fn cancelling_one_job_leaves_siblings_bit_identical() {
+    const VICTIM: usize = 2;
+    const AT_ITER: usize = 20;
+
+    // Reference fleet: nothing canceled.
+    let reference = run_batch(
+        &plan(),
+        &BatchRunConfig {
+            workers: 2,
+            iteration_stride: 16,
+        },
+        &NullSink,
+    );
+    assert!(reference
+        .reports
+        .iter()
+        .all(|r| r.status == JobStatus::Done));
+
+    // Same plan, but the victim is canceled from its own event stream.
+    // Stride 1 so the cancel threshold is observed exactly.
+    let plan = plan();
+    let sink = CancelAt {
+        victim: VICTIM,
+        at_iter: AT_ITER,
+        cancel: plan.cancel_handle(),
+    };
+    let result = run_batch(
+        &plan,
+        &BatchRunConfig {
+            workers: 2,
+            iteration_stride: 1,
+        },
+        &sink,
+    );
+
+    let victim = &result.reports[VICTIM];
+    assert_eq!(victim.status, JobStatus::Canceled);
+    // The victim stopped right after the threshold iteration and still
+    // produced a legalized, evaluated partial outcome.
+    assert_eq!(victim.iterations, AT_ITER + 1);
+    assert!(
+        victim.iterations < reference.reports[VICTIM].iterations,
+        "cancellation must actually cut the run short"
+    );
+    assert!(victim.legal, "partial outcome must be legalized");
+    let m = victim.metrics.expect("partial outcome carries metrics");
+    assert!(m.hpwl.is_finite() && m.hpwl > 0.0);
+    assert!(m.total_endpoints > 0);
+
+    // Every sibling — including the three jobs sharing the victim's
+    // design and session — is bitwise identical to the uncanceled fleet.
+    for (r, c) in reference.reports.iter().zip(&result.reports) {
+        if r.job == VICTIM {
+            continue;
+        }
+        assert_eq!(c.status, JobStatus::Done, "job {}", r.job);
+        assert_eq!(r.iterations, c.iterations, "job {}", r.job);
+        let (rm, cm) = (r.metrics.unwrap(), c.metrics.unwrap());
+        assert_eq!(rm.tns.to_bits(), cm.tns.to_bits(), "job {}", r.job);
+        assert_eq!(rm.wns.to_bits(), cm.wns.to_bits(), "job {}", r.job);
+        assert_eq!(rm.hpwl.to_bits(), cm.hpwl.to_bits(), "job {}", r.job);
+        assert_eq!(rm.failing_endpoints, cm.failing_endpoints, "job {}", r.job);
+    }
+
+    // Cancellation after the fact is a no-op on the canceled-set state
+    // of other jobs.
+    assert!(plan.cancel_handle().is_canceled(VICTIM));
+    assert!(!plan.cancel_handle().is_canceled(VICTIM + 1));
+}

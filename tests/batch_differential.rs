@@ -1,0 +1,125 @@
+//! Batch determinism: running a plan on N workers must produce per-job
+//! results bitwise identical to the same jobs run serially — both through
+//! the batch runner with one worker and through hand-rolled sessions.
+//! This is the concurrent analogue of `threads_equiv.rs` (kernel threads)
+//! and `session_equivalence.rs` (session reuse): the `workers` knob is a
+//! speed knob only.
+
+use efficient_tdp::batch::{
+    make_jobs, run_batch, BatchPlan, BatchRunConfig, JobStatus, NullSink, Profile,
+};
+use efficient_tdp::benchgen::{CircuitParams, SuiteCase};
+use efficient_tdp::tdp_core::{Metrics, Session};
+
+/// Three tiny designs spanning the structural families: baseline layered
+/// logic, a macro-heavy floorplan and a deeper cone. Small enough that
+/// the whole matrix stays in CI-smoke territory.
+fn cases() -> Vec<SuiteCase> {
+    vec![
+        SuiteCase {
+            name: "tiny",
+            params: CircuitParams::small("tiny", 71),
+        },
+        SuiteCase {
+            name: "tinymx",
+            params: CircuitParams {
+                num_macros: 2,
+                ..CircuitParams::small("tinymx", 72)
+            },
+        },
+        SuiteCase {
+            name: "tinydl",
+            params: CircuitParams {
+                levels: 14,
+                clock_period: 2300.0,
+                ..CircuitParams::small("tinydl", 73)
+            },
+        },
+    ]
+}
+
+fn plan() -> BatchPlan {
+    let mut jobs = Vec::new();
+    for case in cases() {
+        jobs.extend(make_jobs(&case, None, Profile::Quick, &[]).expect("valid jobs"));
+    }
+    BatchPlan::new(jobs)
+}
+
+fn assert_metrics_bitwise(a: &Metrics, b: &Metrics, what: &str) {
+    assert_eq!(a.tns.to_bits(), b.tns.to_bits(), "{what}: tns");
+    assert_eq!(a.wns.to_bits(), b.wns.to_bits(), "{what}: wns");
+    assert_eq!(a.hpwl.to_bits(), b.hpwl.to_bits(), "{what}: hpwl");
+    assert_eq!(a.failing_endpoints, b.failing_endpoints, "{what}: failing");
+    assert_eq!(a.total_endpoints, b.total_endpoints, "{what}: endpoints");
+}
+
+#[test]
+fn n_workers_match_serial_bitwise() {
+    let plan_serial = plan();
+    let plan_parallel = plan();
+    let serial = run_batch(
+        &plan_serial,
+        &BatchRunConfig {
+            workers: 1,
+            iteration_stride: 16,
+        },
+        &NullSink,
+    );
+    let parallel = run_batch(
+        &plan_parallel,
+        &BatchRunConfig {
+            workers: 4,
+            iteration_stride: 16,
+        },
+        &NullSink,
+    );
+    assert_eq!(serial.workers, 1);
+    assert!(parallel.workers > 1, "need real concurrency to compare");
+    assert_eq!(serial.reports.len(), parallel.reports.len());
+    for (s, p) in serial.reports.iter().zip(&parallel.reports) {
+        assert_eq!(s.job, p.job);
+        assert_eq!(s.case, p.case);
+        assert_eq!(s.objective, p.objective);
+        assert_eq!(s.status, JobStatus::Done);
+        assert_eq!(p.status, JobStatus::Done);
+        assert_eq!(s.iterations, p.iterations, "job {}", s.job);
+        assert!(s.legal && p.legal, "job {}", s.job);
+        assert_metrics_bitwise(
+            &s.metrics.expect("serial metrics"),
+            &p.metrics.expect("parallel metrics"),
+            &format!("job {} ({} × {})", s.job, s.case, s.objective),
+        );
+    }
+}
+
+#[test]
+fn batch_runner_matches_hand_rolled_sessions_bitwise() {
+    // The reference: one session per design, specs run in plan order on
+    // this thread — no batch machinery at all.
+    let plan = plan();
+    let mut reference: Vec<Metrics> = Vec::new();
+    for case in cases() {
+        let (design, pads) = efficient_tdp::benchgen::generate(&case.params);
+        let mut session = Session::builder(design, pads).build().expect("acyclic");
+        for job in plan.jobs().iter().filter(|j| j.case == case.name) {
+            reference.push(session.run(&job.spec).expect("builtin objective").metrics);
+        }
+    }
+    let batched = run_batch(
+        &plan,
+        &BatchRunConfig {
+            workers: 3,
+            iteration_stride: 16,
+        },
+        &NullSink,
+    );
+    assert_eq!(reference.len(), batched.reports.len());
+    for (r, b) in reference.iter().zip(&batched.reports) {
+        assert_metrics_bitwise(
+            r,
+            &b.metrics.expect("batch metrics"),
+            &format!("job {} ({} × {})", b.job, b.case, b.objective),
+        );
+    }
+}

@@ -1,16 +1,13 @@
 //! End-to-end integration tests spanning all workspace crates: generate a
 //! benchmark, place it with each method, legalize, and evaluate with the
-//! shared kit.
-//!
-//! These deliberately stay on the deprecated `run_method` compatibility
-//! wrapper — they are the proof that existing callers keep working
-//! unchanged. `tests/session_equivalence.rs` exercises the session API
-//! and its bitwise equivalence with this path.
-#![allow(deprecated)]
+//! shared kit — all through the session API. (The deprecated `run_method`
+//! wrapper keeps exactly one back-compat test, in
+//! `tests/session_equivalence.rs`.)
 
 use efficient_tdp::benchgen::{generate, CircuitParams};
+use efficient_tdp::netlist::{Design, Placement};
 use efficient_tdp::placer::legalize::check_legal;
-use efficient_tdp::tdp_core::{run_method, FlowConfig, Method};
+use efficient_tdp::tdp_core::{FlowBuilder, FlowConfig, FlowOutcome, Method, Session};
 
 fn quick_config() -> FlowConfig {
     let mut cfg = FlowConfig::default();
@@ -21,12 +18,25 @@ fn quick_config() -> FlowConfig {
     cfg
 }
 
+/// One cold flow: fresh session, one run — the session-API equivalent of
+/// the old `run_method` call shape.
+fn run_cold(design: &Design, pads: &Placement, method: Method, cfg: &FlowConfig) -> FlowOutcome {
+    let mut session = Session::builder(design.clone(), pads.clone())
+        .build()
+        .expect("generated designs are acyclic");
+    let spec = FlowBuilder::from_config(cfg.clone())
+        .objective(method)
+        .build()
+        .expect("quick config is valid");
+    session.run(&spec).expect("builtin objectives build")
+}
+
 #[test]
 fn efficient_tdp_beats_wirelength_only_on_timing() {
     let (design, pads) = generate(&CircuitParams::small("e2e", 77));
     let cfg = quick_config();
-    let baseline = run_method(&design, pads.clone(), Method::DreamPlace, &cfg);
-    let ours = run_method(&design, pads, Method::EfficientTdp, &cfg);
+    let baseline = run_cold(&design, &pads, Method::DreamPlace, &cfg);
+    let ours = run_cold(&design, &pads, Method::EfficientTdp, &cfg);
     assert!(
         baseline.metrics.tns < 0.0,
         "calibration: the baseline must fail timing (tns {})",
@@ -51,7 +61,7 @@ fn all_methods_yield_legal_placements_and_finite_metrics() {
         Method::DifferentiableTdp,
         Method::EfficientTdp,
     ] {
-        let out = run_method(&design, pads.clone(), method, &cfg);
+        let out = run_cold(&design, &pads, method, &cfg);
         check_legal(&design, &out.placement).unwrap_or_else(|e| panic!("{}: {e}", out.method));
         assert!(out.metrics.hpwl.is_finite() && out.metrics.hpwl > 0.0);
         assert!(out.metrics.tns <= 0.0);
@@ -67,8 +77,8 @@ fn whole_pipeline_is_deterministic() {
     let (design_b, pads_b) = generate(&CircuitParams::small("det", 5));
     assert_eq!(design_a.num_cells(), design_b.num_cells());
     let cfg = quick_config();
-    let a = run_method(&design_a, pads_a, Method::EfficientTdp, &cfg);
-    let b = run_method(&design_b, pads_b, Method::EfficientTdp, &cfg);
+    let a = run_cold(&design_a, &pads_a, Method::EfficientTdp, &cfg);
+    let b = run_cold(&design_b, &pads_b, Method::EfficientTdp, &cfg);
     assert_eq!(a.metrics.tns, b.metrics.tns);
     assert_eq!(a.metrics.wns, b.metrics.wns);
     assert_eq!(a.metrics.hpwl, b.metrics.hpwl);
@@ -81,10 +91,27 @@ fn whole_pipeline_is_deterministic() {
 fn fixed_pads_never_move() {
     let (design, pads) = generate(&CircuitParams::small("pads", 31));
     let cfg = quick_config();
-    let out = run_method(&design, pads.clone(), Method::EfficientTdp, &cfg);
+    let out = run_cold(&design, &pads, Method::EfficientTdp, &cfg);
     for c in design.cell_ids() {
         if design.cell(c).fixed {
             assert_eq!(out.placement.get(c), pads.get(c), "pad moved");
+        }
+    }
+}
+
+#[test]
+fn fixed_macros_never_move_and_stay_clear_of_cells() {
+    let params = CircuitParams {
+        num_macros: 3,
+        ..CircuitParams::small("mac", 37)
+    };
+    let (design, pads) = generate(&params);
+    let cfg = quick_config();
+    let out = run_cold(&design, &pads, Method::EfficientTdp, &cfg);
+    check_legal(&design, &out.placement).unwrap();
+    for c in design.cell_ids() {
+        if design.cell(c).fixed {
+            assert_eq!(out.placement.get(c), pads.get(c), "fixed cell moved");
         }
     }
 }
@@ -95,7 +122,7 @@ fn evaluation_kit_is_method_agnostic() {
     // identical numbers, and matches a manual HPWL computation.
     let (design, pads) = generate(&CircuitParams::small("kit", 3));
     let cfg = quick_config();
-    let out = run_method(&design, pads, Method::DreamPlace, &cfg);
+    let out = run_cold(&design, &pads, Method::DreamPlace, &cfg);
     let m1 = efficient_tdp::tdp_core::evaluate(&design, &out.placement, cfg.rc);
     let m2 = efficient_tdp::tdp_core::evaluate(&design, &out.placement, cfg.rc);
     assert_eq!(m1, m2);

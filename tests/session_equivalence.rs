@@ -1,15 +1,14 @@
 //! Session API acceptance tests: bitwise equivalence with the legacy
-//! `run_method` wrapper, state-leak-free engine reuse, the custom
-//! objective front door, and observer-driven cancellation.
-#![allow(deprecated)] // compares against the `run_method` compat wrapper
+//! `run_method` wrapper (the workspace's one deliberate back-compat test
+//! of the deprecated entry point), state-leak-free engine reuse, the
+//! custom objective front door, and observer-driven cancellation.
 
 use efficient_tdp::benchgen::{generate, CircuitParams};
 use efficient_tdp::netlist::{Design, MoveTracker, Placement};
 use efficient_tdp::placer::{legalize::check_legal, TimingObjective};
 use efficient_tdp::tdp_core::{
-    run_method, FlowBuilder, FlowConfig, FlowError, FlowOutcome, FlowSpec, Method,
-    ObjectiveContext, ObjectiveFactory, ObjectiveSpec, Observer, ObserverAction, Session,
-    SessionObjective,
+    FlowBuilder, FlowConfig, FlowError, FlowOutcome, FlowSpec, Method, ObjectiveContext,
+    ObjectiveFactory, ObjectiveSpec, Observer, ObserverAction, Session, SessionObjective,
 };
 
 fn quick_config() -> FlowConfig {
@@ -50,8 +49,13 @@ fn assert_bitwise_equal(design: &Design, a: &FlowOutcome, b: &FlowOutcome) {
     }
 }
 
+/// The workspace's single intentional use of the deprecated wrapper:
+/// existing `run_method` callers must keep getting bitwise-identical
+/// results until the entry point is removed.
 #[test]
+#[allow(deprecated)]
 fn run_method_wrapper_matches_session_run_bitwise() {
+    use efficient_tdp::tdp_core::run_method;
     let (design, pads) = generate(&CircuitParams::small("eq", 51));
     let cfg = quick_config();
     let legacy = run_method(&design, pads.clone(), Method::EfficientTdp, &cfg);
@@ -73,7 +77,6 @@ fn repeated_session_runs_are_identical_no_state_leaks() {
 #[test]
 fn session_method_matrix_matches_four_cold_runs_bitwise() {
     let (design, pads) = generate(&CircuitParams::small("mat", 53));
-    let cfg = quick_config();
     let mut session = Session::builder(design.clone(), pads.clone())
         .build()
         .unwrap();
@@ -83,7 +86,10 @@ fn session_method_matrix_matches_four_cold_runs_bitwise() {
         Method::DifferentiableTdp,
         Method::EfficientTdp,
     ] {
-        let cold = run_method(&design, pads.clone(), method, &cfg);
+        let mut one_shot = Session::builder(design.clone(), pads.clone())
+            .build()
+            .unwrap();
+        let cold = one_shot.run(&quick_spec(method)).unwrap();
         let shared = session.run(&quick_spec(method)).unwrap();
         assert_bitwise_equal(&design, &cold, &shared);
         check_legal(&design, &shared.placement)

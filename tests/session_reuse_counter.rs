@@ -1,14 +1,13 @@
 //! Setup-amortization proof: one `Session` running the full 4-method
 //! matrix performs timing-graph and RC-skeleton construction exactly
-//! once, while the cold `run_method` path pays it per call.
+//! once, while cold per-method sessions pay it per run.
 //!
 //! This file holds a single test on purpose: the construction counters
 //! are process-wide, so no other test may run in this binary.
-#![allow(deprecated)] // measures the `run_method` compat wrapper's cost
 
 use efficient_tdp::benchgen::{generate, CircuitParams};
 use efficient_tdp::sta::{graph_build_count, rc_skeleton_build_count};
-use efficient_tdp::tdp_core::{run_method, FlowBuilder, FlowConfig, Method, Session};
+use efficient_tdp::tdp_core::{FlowBuilder, FlowConfig, FlowSpec, Method, Session};
 
 const METHODS: [Method; 4] = [
     Method::DreamPlace,
@@ -26,10 +25,16 @@ fn quick_config() -> FlowConfig {
     cfg
 }
 
+fn spec(method: Method) -> FlowSpec {
+    FlowBuilder::from_config(quick_config())
+        .objective(method)
+        .build()
+        .expect("quick config is valid")
+}
+
 #[test]
 fn session_builds_graph_and_rc_data_exactly_once_for_the_matrix() {
     let (design, pads) = generate(&CircuitParams::small("cnt", 61));
-    let cfg = quick_config();
 
     // One session, four methods: exactly one graph + one skeleton build.
     let graphs_before = graph_build_count();
@@ -39,11 +44,7 @@ fn session_builds_graph_and_rc_data_exactly_once_for_the_matrix() {
         .unwrap();
     let mut shared = Vec::new();
     for method in METHODS {
-        let spec = FlowBuilder::from_config(cfg.clone())
-            .objective(method)
-            .build()
-            .unwrap();
-        shared.push(session.run(&spec).unwrap());
+        shared.push(session.run(&spec(method)).unwrap());
     }
     assert_eq!(
         graph_build_count() - graphs_before,
@@ -56,14 +57,17 @@ fn session_builds_graph_and_rc_data_exactly_once_for_the_matrix() {
         "the session must build the RC skeleton exactly once for the whole matrix"
     );
 
-    // Four cold runs: the wrapper pays the setup per call (one session
-    // build + nothing shared between calls). Each run_method builds one
-    // graph + one skeleton.
+    // Four cold runs — a fresh session per method, the shape a naive
+    // caller (or the old `run_method` wrapper) produces: the setup is
+    // paid per run, one graph + one skeleton each.
     let graphs_before = graph_build_count();
     let skeletons_before = rc_skeleton_build_count();
     let mut cold = Vec::new();
     for method in METHODS {
-        cold.push(run_method(&design, pads.clone(), method, &cfg));
+        let mut one_shot = Session::builder(design.clone(), pads.clone())
+            .build()
+            .unwrap();
+        cold.push(one_shot.run(&spec(method)).unwrap());
     }
     assert_eq!(graph_build_count() - graphs_before, 4);
     assert_eq!(rc_skeleton_build_count() - skeletons_before, 4);

@@ -1,31 +1,31 @@
 //! Flow-level thread-count invariance: the `threads` knob must never
 //! change what the flow computes — only how fast. One worker and eight
 //! workers must produce the same placement to the last bit.
-#![allow(deprecated)] // exercises the `run_method` compat wrapper on purpose
 
 use efficient_tdp::benchgen::{generate, CircuitParams};
-use efficient_tdp::tdp_core::{run_method, FlowConfig, Method};
+use efficient_tdp::netlist::{Design, Placement};
+use efficient_tdp::tdp_core::{FlowBuilder, FlowOutcome, Method, Session};
 
-fn quick_config(threads: usize) -> FlowConfig {
-    let mut cfg = FlowConfig::default();
-    cfg.placer.max_iterations = 260;
-    cfg.placer.min_iterations = 60;
-    cfg.timing_start = 120;
-    cfg.timing_interval = 10;
-    cfg.threads = threads;
-    cfg
+fn run_with_threads(design: &Design, pads: &Placement, threads: usize) -> FlowOutcome {
+    let mut session = Session::builder(design.clone(), pads.clone())
+        .build()
+        .expect("generated designs are acyclic");
+    let spec = FlowBuilder::new()
+        .objective(Method::EfficientTdp)
+        .iterations(60, 260)
+        .timing_start(120)
+        .timing_interval(10)
+        .threads(threads)
+        .build()
+        .expect("quick config is valid");
+    session.run(&spec).expect("builtin objective builds")
 }
 
 #[test]
 fn flow_results_are_thread_count_invariant() {
     let (design, pads) = generate(&CircuitParams::small("teq", 19));
-    let one = run_method(
-        &design,
-        pads.clone(),
-        Method::EfficientTdp,
-        &quick_config(1),
-    );
-    let many = run_method(&design, pads, Method::EfficientTdp, &quick_config(8));
+    let one = run_with_threads(&design, &pads, 1);
+    let many = run_with_threads(&design, &pads, 8);
     assert_eq!(one.metrics.tns.to_bits(), many.metrics.tns.to_bits());
     assert_eq!(one.metrics.wns.to_bits(), many.metrics.wns.to_bits());
     assert_eq!(one.metrics.hpwl.to_bits(), many.metrics.hpwl.to_bits());
@@ -54,13 +54,8 @@ fn auto_threads_matches_explicit_serial() {
     // `threads = 0` resolves to the machine's parallelism; results must
     // still match the serial run bit-for-bit.
     let (design, pads) = generate(&CircuitParams::small("teq0", 23));
-    let serial = run_method(
-        &design,
-        pads.clone(),
-        Method::EfficientTdp,
-        &quick_config(1),
-    );
-    let auto = run_method(&design, pads, Method::EfficientTdp, &quick_config(0));
+    let serial = run_with_threads(&design, &pads, 1);
+    let auto = run_with_threads(&design, &pads, 0);
     assert_eq!(serial.metrics.tns.to_bits(), auto.metrics.tns.to_bits());
     assert_eq!(serial.metrics.hpwl.to_bits(), auto.metrics.hpwl.to_bits());
     assert!(auto.runtime.threads >= 1);

@@ -262,13 +262,14 @@ fn run() -> Result<i32, BatchError> {
     std::fs::write(&jsonl_path, result.to_jsonl())?;
     std::fs::write(&md_path, result.to_markdown())?;
 
-    let fleet = result.fleet();
     if !args.quiet {
         println!();
         print!("{}", result.to_markdown());
         println!("\nreports: {jsonl_path}  {md_path}");
     }
-    Ok(if fleet.failed > 0 { 1 } else { 0 })
+    // Exit non-zero when any job failed (the Markdown footer names
+    // them); canceled jobs are deliberate and keep a green exit.
+    Ok(result.exit_code())
 }
 
 fn main() {

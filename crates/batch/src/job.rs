@@ -41,6 +41,17 @@ pub const BUILTIN_OBJECTIVES: [ObjectiveSpec; 4] = [
     ObjectiveSpec::EfficientTdp,
 ];
 
+/// The canonical CLI/wire names of [`BUILTIN_OBJECTIVES`], in the same
+/// order — the single source every `all` sweep expands from
+/// (`tdp-batch` job files server-side, `tdp-client` client-side). Each
+/// name parses back through [`parse_objective`].
+pub const BUILTIN_OBJECTIVE_NAMES: [&str; 4] = [
+    "dreamplace",
+    "dreamplace4",
+    "differentiable-tdp",
+    "efficient-tdp",
+];
+
 /// One schedulable unit of batch work: a design plus a validated flow
 /// spec. Plain data, cheap to clone, `Send + Sync`.
 #[derive(Debug, Clone)]
@@ -86,7 +97,16 @@ impl Profile {
     /// with the `threads=` key when a batch is smaller than the
     /// machine).
     pub fn builder(self, case: &SuiteCase) -> FlowBuilder {
-        let b = FlowBuilder::new().rc(sta_params(&case.params)).threads(1);
+        self.builder_for(&case.params)
+    }
+
+    /// [`Profile::builder`] from bare generator parameters — for designs
+    /// that are not catalog entries (e.g. inline designs submitted to
+    /// the serve daemon). Same construction path, so a spec built from
+    /// parameters equal to a catalog case's is identical to the
+    /// catalog-built one.
+    pub fn builder_for(self, params: &CircuitParams) -> FlowBuilder {
+        let b = FlowBuilder::new().rc(sta_params(params)).threads(1);
         match self {
             Profile::Paper => b,
             Profile::Quick => b.iterations(60, 200).timing_start(100).timing_interval(10),
@@ -129,20 +149,35 @@ pub fn make_jobs(
     profile: Profile,
     overrides: &[(String, String)],
 ) -> Result<Vec<BatchJob>, BatchError> {
+    make_jobs_for(case.name, &case.params, objective, profile, overrides)
+}
+
+/// [`make_jobs`] from a bare `(name, params)` pair instead of a catalog
+/// case — the construction path wire front ends use for inline designs.
+/// Specs built here from parameters equal to a catalog case's are
+/// identical to [`make_jobs`]-built ones, which is what makes a daemon
+/// run bitwise-comparable to a local one.
+pub fn make_jobs_for(
+    name: &str,
+    params: &CircuitParams,
+    objective: Option<&ObjectiveSpec>,
+    profile: Profile,
+    overrides: &[(String, String)],
+) -> Result<Vec<BatchJob>, BatchError> {
     let objectives: Vec<ObjectiveSpec> = match objective {
         Some(o) => vec![o.clone()],
         None => BUILTIN_OBJECTIVES.to_vec(),
     };
     let mut jobs = Vec::with_capacity(objectives.len());
     for obj in objectives {
-        let mut b = profile.builder(case).objective(obj);
+        let mut b = profile.builder_for(params).objective(obj);
         for (key, value) in overrides {
             b = apply_override(b, key, value)?;
         }
         let spec = b.build().map_err(BatchError::Flow)?;
         jobs.push(BatchJob {
-            case: case.name.to_string(),
-            params: case.params.clone(),
+            case: name.to_string(),
+            params: params.clone(),
             spec,
         });
     }
@@ -193,6 +228,38 @@ fn apply_override(b: FlowBuilder, key: &str, value: &str) -> Result<FlowBuilder,
     })
 }
 
+/// Splits one job-file line into `(case, objective, overrides)` without
+/// resolving anything — the shared lexical layer of the job-file
+/// grammar, used by [`parse_job_file`] here and by `tdp-client` for
+/// wire submissions (one grammar, not two drifting copies). Returns
+/// `Ok(None)` for blank and comment-only lines.
+///
+/// # Errors
+///
+/// Returns a message (without line-number prefix; callers add their own
+/// location) for lines missing the objective field or carrying stray
+/// non-`key=value` fields.
+#[allow(clippy::type_complexity)]
+pub fn split_job_line(raw: &str) -> Result<Option<(&str, &str, Vec<(String, String)>)>, String> {
+    let line = raw.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let mut fields = line.split_whitespace();
+    let case = fields.next().expect("non-empty line has a first field");
+    let Some(objective) = fields.next() else {
+        return Err("expected `<case> <objective> [key=value ...]`".to_string());
+    };
+    let mut overrides = Vec::new();
+    for field in fields {
+        let Some((k, v)) = field.split_once('=') else {
+            return Err(format!("stray field {field:?} (overrides are key=value)"));
+        };
+        overrides.push((k.to_string(), v.to_string()));
+    }
+    Ok(Some((case, objective, overrides)))
+}
+
 /// Parses a job file (see the [module docs](self) for the grammar)
 /// against `catalog`, expanding `all` sweeps. `base_overrides` (e.g. a
 /// CLI-wide `threads=N`) apply to every line, before the line's own
@@ -205,33 +272,20 @@ pub fn parse_job_file(
 ) -> Result<Vec<BatchJob>, BatchError> {
     let mut jobs = Vec::new();
     for (i, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let mut fields = line.split_whitespace();
         let lineno = i + 1;
         let at_line = |e: BatchError| match e {
             BatchError::Usage(msg) => BatchError::Usage(format!("line {lineno}: {msg}")),
             other => other,
         };
-        let case_name = fields.next().expect("non-empty line has a first field");
-        let objective_name = fields.next().ok_or_else(|| {
-            BatchError::Usage(format!(
-                "line {lineno}: expected `<case> <objective> [key=value ...]`"
-            ))
-        })?;
+        let Some((case_name, objective_name, line_overrides)) = split_job_line(raw)
+            .map_err(|msg| BatchError::Usage(format!("line {lineno}: {msg}")))?
+        else {
+            continue;
+        };
         let case = find_case(catalog, case_name).map_err(at_line)?;
         let objective = parse_objective(objective_name).map_err(at_line)?;
         let mut overrides = base_overrides.to_vec();
-        for field in fields {
-            let Some((k, v)) = field.split_once('=') else {
-                return Err(BatchError::Usage(format!(
-                    "line {lineno}: stray field {field:?} (overrides are key=value)"
-                )));
-            };
-            overrides.push((k.to_string(), v.to_string()));
-        }
+        overrides.extend(line_overrides);
         jobs.extend(make_jobs(case, objective.as_ref(), profile, &overrides).map_err(at_line)?);
     }
     Ok(jobs)

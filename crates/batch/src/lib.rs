@@ -47,10 +47,15 @@ pub mod progress;
 pub mod report;
 pub mod runner;
 
-pub use job::{make_jobs, parse_job_file, parse_objective, BatchJob, Profile, BUILTIN_OBJECTIVES};
-pub use progress::{BatchEvent, BatchSink, CancelSet, NullSink};
-pub use report::FleetTotals;
-pub use runner::{run_batch, BatchPlan, BatchResult, BatchRunConfig, JobReport, JobStatus};
+pub use job::{
+    find_case, make_jobs, make_jobs_for, parse_job_file, parse_objective, split_job_line, BatchJob,
+    Profile, BUILTIN_OBJECTIVES, BUILTIN_OBJECTIVE_NAMES,
+};
+pub use progress::{BatchEvent, BatchSink, CancelSet, NullSink, SinkObserver};
+pub use report::{job_fields, job_json, FleetTotals};
+pub use runner::{
+    execute_job, run_batch, BatchPlan, BatchResult, BatchRunConfig, JobReport, JobStatus,
+};
 
 use std::fmt;
 

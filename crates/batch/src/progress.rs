@@ -1,6 +1,6 @@
 //! Streaming batch progress and per-job cancellation.
 //!
-//! Every worker forwards its jobs' [`Observer`](tdp_core::Observer)
+//! Every worker forwards its jobs' [`Observer`]
 //! events — phase changes, (strided) placement iterations, timing
 //! analyses — to one shared [`BatchSink`], tagged with the job id. Sinks
 //! are called concurrently from worker threads, so they take `&self` and
@@ -12,12 +12,15 @@
 //! every callback, translating a raised flag into
 //! [`ObserverAction::Stop`](tdp_core::ObserverAction). A canceled job
 //! still produces a well-formed, legalized partial [`JobReport`] — and
-//! because every job runs in its own per-design session, cancelling one
-//! job can never perturb a sibling's result.
+//! cancelling one job can never perturb a sibling's result: jobs of one
+//! design group share a session, but each run through it is isolated by
+//! construction (a pristine analyzer per run — the guarantee
+//! `tests/session_equivalence.rs` pins down), and other groups never
+//! share state at all.
 
 use crate::runner::JobReport;
 use std::sync::atomic::{AtomicBool, Ordering};
-use tdp_core::FlowPhase;
+use tdp_core::{FlowPhase, FlowTraceRow, Observer, ObserverAction};
 
 /// One progress event from a running batch, tagged with the job id it
 /// belongs to.
@@ -95,8 +98,11 @@ pub struct CancelSet {
 }
 
 impl CancelSet {
-    /// A set of `n` lowered flags.
-    pub(crate) fn new(n: usize) -> Self {
+    /// A set of `n` lowered flags. [`BatchPlan::new`](crate::BatchPlan)
+    /// allocates one flag per job; a service scheduling jobs one at a
+    /// time instead allocates a single-flag set per job (the serve
+    /// daemon does) — the flag index is then `0`.
+    pub fn new(n: usize) -> Self {
         Self {
             flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
         }
@@ -123,6 +129,90 @@ impl CancelSet {
     /// Whether `job` has been asked to stop.
     pub fn is_canceled(&self, job: usize) -> bool {
         self.flags[job].load(Ordering::Relaxed)
+    }
+}
+
+/// The per-job [`Observer`]: forwards flow events to a [`BatchSink`]
+/// (tagged with the job id, iterations strided) and polls a
+/// [`CancelSet`] flag on every callback, translating a raised flag into
+/// [`ObserverAction::Stop`].
+///
+/// This is the bridge between one running flow and whatever front end is
+/// watching it — the batch runner attaches one per job, and the serve
+/// daemon attaches one per request (with a single-flag cancel set).
+pub struct SinkObserver<'a> {
+    /// Job id stamped on every event.
+    job: usize,
+    sink: &'a dyn BatchSink,
+    cancel: &'a CancelSet,
+    /// Index of this job's flag within `cancel` (equal to `job` in a
+    /// batch plan; `0` for a single-job set).
+    flag: usize,
+    stride: usize,
+    streamed: usize,
+}
+
+impl<'a> SinkObserver<'a> {
+    /// An observer streaming `job`'s events to `sink`, polling
+    /// `cancel[flag]`, forwarding every `stride`-th iteration (phase
+    /// changes and timing analyses always forward; `stride` is clamped
+    /// to at least 1).
+    pub fn new(
+        job: usize,
+        sink: &'a dyn BatchSink,
+        cancel: &'a CancelSet,
+        flag: usize,
+        stride: usize,
+    ) -> Self {
+        Self {
+            job,
+            sink,
+            cancel,
+            flag,
+            stride: stride.max(1),
+            streamed: 0,
+        }
+    }
+
+    fn action(&self) -> ObserverAction {
+        if self.cancel.is_canceled(self.flag) {
+            ObserverAction::Stop
+        } else {
+            ObserverAction::Continue
+        }
+    }
+}
+
+impl Observer for SinkObserver<'_> {
+    fn on_phase_change(&mut self, phase: FlowPhase) -> ObserverAction {
+        self.sink.on_event(&BatchEvent::Phase {
+            job: self.job,
+            phase,
+        });
+        self.action()
+    }
+
+    fn on_iteration(&mut self, row: &FlowTraceRow) -> ObserverAction {
+        if self.streamed.is_multiple_of(self.stride) {
+            self.sink.on_event(&BatchEvent::Iteration {
+                job: self.job,
+                iter: row.iter,
+                hpwl: row.hpwl,
+                overflow: row.overflow,
+            });
+        }
+        self.streamed += 1;
+        self.action()
+    }
+
+    fn on_timing_analysis(&mut self, iter: usize, tns: f64, wns: f64) -> ObserverAction {
+        self.sink.on_event(&BatchEvent::TimingAnalysis {
+            job: self.job,
+            iter,
+            tns,
+            wns,
+        });
+        self.action()
     }
 }
 

@@ -1,12 +1,16 @@
 //! Aggregated batch reports: JSONL for machines, Markdown for humans.
 //!
-//! Serialization is hand-rolled (the build container has no serde); the
-//! JSON emitter covers exactly the shapes a [`JobReport`] needs — strings
-//! with escaping, numbers (NaN/∞ become `null`, as JSON demands), bools.
+//! Serialization goes through the workspace's shared JSON layer
+//! ([`tdp_jsonio`]) — strings with escaping, numbers (NaN/∞ become
+//! `null`, as JSON demands), bools. The per-job field emitter
+//! ([`job_fields`]) is public so other front ends (the serve daemon's
+//! wire protocol) render the *same* job records instead of inventing a
+//! second schema.
 
 use crate::runner::{BatchResult, JobReport, JobStatus};
 use std::fmt::Write as _;
 use std::time::Duration;
+use tdp_jsonio::{field_bool, field_num, field_str};
 
 /// Fleet-level accounting across one batch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +72,19 @@ impl BatchResult {
         t
     }
 
+    /// The process exit code a CLI front end should report for this
+    /// batch: `0` when every job completed (canceled jobs count as
+    /// completed — someone asked for them to stop), `1` when any job
+    /// `failed`. Centralized here so the guarantee is testable without
+    /// spawning the binary.
+    pub fn exit_code(&self) -> i32 {
+        if self.fleet().failed > 0 {
+            1
+        } else {
+            0
+        }
+    }
+
     /// One JSON object per job (id order), then one `fleet` object —
     /// newline-delimited.
     pub fn to_jsonl(&self) -> String {
@@ -78,25 +95,28 @@ impl BatchResult {
         }
         let f = self.fleet();
         let mut line = String::from("{\"record\":\"fleet\"");
-        push_num(&mut line, "jobs", f.jobs as f64);
-        push_num(&mut line, "done", f.done as f64);
-        push_num(&mut line, "canceled", f.canceled as f64);
-        push_num(&mut line, "failed", f.failed as f64);
-        push_num(&mut line, "tns_sum", f.tns_sum);
-        push_num(&mut line, "wns_worst", f.wns_worst);
-        push_num(&mut line, "hpwl_sum", f.hpwl_sum);
-        push_num(&mut line, "failing_endpoints", f.failing_endpoints as f64);
-        push_num(&mut line, "total_endpoints", f.total_endpoints as f64);
-        push_num(&mut line, "runtime_sum_s", f.runtime_sum.as_secs_f64());
-        push_num(&mut line, "wall_s", self.wall.as_secs_f64());
-        push_num(&mut line, "workers", self.workers as f64);
+        field_num(&mut line, "jobs", f.jobs as f64);
+        field_num(&mut line, "done", f.done as f64);
+        field_num(&mut line, "canceled", f.canceled as f64);
+        field_num(&mut line, "failed", f.failed as f64);
+        field_num(&mut line, "tns_sum", f.tns_sum);
+        field_num(&mut line, "wns_worst", f.wns_worst);
+        field_num(&mut line, "hpwl_sum", f.hpwl_sum);
+        field_num(&mut line, "failing_endpoints", f.failing_endpoints as f64);
+        field_num(&mut line, "total_endpoints", f.total_endpoints as f64);
+        field_num(&mut line, "runtime_sum_s", f.runtime_sum.as_secs_f64());
+        field_num(&mut line, "wall_s", self.wall.as_secs_f64());
+        field_num(&mut line, "workers", self.workers as f64);
         line.push('}');
         out.push_str(&line);
         out.push('\n');
         out
     }
 
-    /// A Markdown report: per-job table plus a fleet-totals section.
+    /// A Markdown report: per-job table, a fleet-totals section, and —
+    /// when anything failed — a `Failed jobs` footer naming each failed
+    /// job with its error, so a red batch is diagnosable from the
+    /// summary alone instead of by scanning per-job rows.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str("# Batch report\n\n");
@@ -117,9 +137,7 @@ impl BatchResult {
             // Table cells must not contain '|' or newlines; failure
             // messages are arbitrary (panic payloads), so sanitize.
             let status = match &r.status {
-                JobStatus::Failed(msg) => format!("failed: {msg}")
-                    .replace('|', "\\|")
-                    .replace(['\n', '\r'], " "),
+                JobStatus::Failed(msg) => format!("failed: {}", sanitize_cell(msg)),
                 s => s.label().to_string(),
             };
             let _ = writeln!(
@@ -164,78 +182,69 @@ impl BatchResult {
             self.workers,
             f.runtime_sum.as_secs_f64() / self.wall.as_secs_f64().max(1e-9),
         );
+        if f.failed > 0 {
+            out.push_str("\n## Failed jobs\n\n");
+            for r in &self.reports {
+                if let JobStatus::Failed(msg) = &r.status {
+                    let _ = writeln!(
+                        out,
+                        "- job {}: {} × {} — {}",
+                        r.job,
+                        r.case,
+                        r.objective,
+                        sanitize_cell(msg)
+                    );
+                }
+            }
+            let _ = writeln!(out, "\n**Exit code: 1** ({} job(s) failed)", f.failed);
+        }
         out
     }
 }
 
-/// One job as a single-line JSON object.
-fn job_json(r: &JobReport) -> String {
+/// Strips Markdown-hostile characters (pipes, newlines) out of an
+/// arbitrary message so it can sit inside a table cell or list item.
+fn sanitize_cell(msg: &str) -> String {
+    msg.replace('|', "\\|").replace(['\n', '\r'], " ")
+}
+
+/// One job as a single-line JSON object (`{"record":"job",...}`).
+pub fn job_json(r: &JobReport) -> String {
     let mut s = String::from("{\"record\":\"job\"");
-    push_num(&mut s, "job", r.job as f64);
-    push_str(&mut s, "case", &r.case);
-    push_str(&mut s, "objective", &r.objective);
-    push_num(&mut s, "cells", r.cells as f64);
-    push_num(&mut s, "nets", r.nets as f64);
-    push_str(&mut s, "status", r.status.label());
-    if let JobStatus::Failed(msg) = &r.status {
-        push_str(&mut s, "error", msg);
-    }
-    push_num(&mut s, "iterations", r.iterations as f64);
-    push_bool(&mut s, "legal", r.legal);
-    if let Some(m) = r.metrics {
-        push_num(&mut s, "tns", m.tns);
-        push_num(&mut s, "wns", m.wns);
-        push_num(&mut s, "hpwl", m.hpwl);
-        push_num(&mut s, "failing_endpoints", m.failing_endpoints as f64);
-        push_num(&mut s, "total_endpoints", m.total_endpoints as f64);
-    }
-    push_num(&mut s, "runtime_s", r.runtime.total.as_secs_f64());
-    push_num(&mut s, "sta_s", r.runtime.timing_analysis.as_secs_f64());
-    push_num(&mut s, "weighting_s", r.runtime.weighting.as_secs_f64());
-    push_num(
-        &mut s,
-        "legalization_s",
-        r.runtime.legalization.as_secs_f64(),
-    );
-    push_num(&mut s, "threads", r.runtime.threads as f64);
+    job_fields(&mut s, r);
     s.push('}');
     s
 }
 
-fn push_str(out: &mut String, key: &str, value: &str) {
-    let _ = write!(out, ",\"{key}\":\"");
-    for c in value.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
+/// Appends the job's fields (`,"key":value` members; the caller owns the
+/// braces) — the one schema both the batch JSONL reports and the serve
+/// protocol's status/finished payloads are rendered from.
+pub fn job_fields(s: &mut String, r: &JobReport) {
+    field_num(s, "job", r.job as f64);
+    field_str(s, "case", &r.case);
+    field_str(s, "objective", &r.objective);
+    field_num(s, "cells", r.cells as f64);
+    field_num(s, "nets", r.nets as f64);
+    field_str(s, "status", r.status.label());
+    if let JobStatus::Failed(msg) = &r.status {
+        field_str(s, "error", msg);
     }
-    out.push('"');
-}
-
-fn push_num(out: &mut String, key: &str, value: f64) {
-    if value.is_finite() {
-        // Integral values print without a fraction, like JSON integers.
-        if value.fract() == 0.0 && value.abs() < 1e15 {
-            let _ = write!(out, ",\"{key}\":{}", value as i64);
-        } else {
-            let _ = write!(out, ",\"{key}\":{value}");
-        }
-    } else {
-        // JSON has no NaN/Infinity.
-        let _ = write!(out, ",\"{key}\":null");
+    field_num(s, "iterations", r.iterations as f64);
+    field_bool(s, "legal", r.legal);
+    if let Some(m) = r.metrics {
+        field_num(s, "tns", m.tns);
+        field_num(s, "wns", m.wns);
+        field_num(s, "hpwl", m.hpwl);
+        field_num(s, "failing_endpoints", m.failing_endpoints as f64);
+        field_num(s, "total_endpoints", m.total_endpoints as f64);
     }
-}
-
-fn push_bool(out: &mut String, key: &str, value: bool) {
-    let _ = write!(out, ",\"{key}\":{value}");
+    // u64 does not fit losslessly in a JSON number; hex string instead.
+    field_str(s, "placement_hash", &format!("{:#018x}", r.placement_hash));
+    field_num(s, "runtime_s", r.runtime.total.as_secs_f64());
+    field_num(s, "sta_s", r.runtime.timing_analysis.as_secs_f64());
+    field_num(s, "weighting_s", r.runtime.weighting.as_secs_f64());
+    field_num(s, "legalization_s", r.runtime.legalization.as_secs_f64());
+    field_num(s, "threads", r.runtime.threads as f64);
 }
 
 #[cfg(test)]
@@ -260,6 +269,7 @@ mod tests {
                 failing_endpoints: 3,
                 total_endpoints: 50,
             }),
+            placement_hash: 0xdead_beef,
             runtime: RuntimeBreakdown::default(),
         }
     }
@@ -292,25 +302,15 @@ mod tests {
         assert_eq!(lines.len(), 3);
         for line in &lines {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            // Every line is valid JSON by the shared parser's judgment.
+            tdp_jsonio::parse(line).unwrap_or_else(|e| panic!("{e}\n{line}"));
         }
         assert!(lines[0].contains("\"record\":\"job\""));
         assert!(lines[0].contains("\"tns\":-120"));
+        assert!(lines[0].contains("\"placement_hash\":\"0x00000000deadbeef\""));
         assert!(lines[1].contains("\"status\":\"canceled\""));
         assert!(lines[2].contains("\"record\":\"fleet\""));
         assert!(lines[2].contains("\"workers\":2"));
-    }
-
-    #[test]
-    fn json_strings_are_escaped_and_nonfinite_numbers_become_null() {
-        let mut s = String::from("{\"x\":0");
-        push_str(&mut s, "msg", "a \"quoted\"\nline\\");
-        push_num(&mut s, "bad", f64::NAN);
-        push_num(&mut s, "inf", f64::INFINITY);
-        s.push('}');
-        assert_eq!(
-            s,
-            "{\"x\":0,\"msg\":\"a \\\"quoted\\\"\\nline\\\\\",\"bad\":null,\"inf\":null}"
-        );
     }
 
     #[test]
@@ -328,5 +328,37 @@ mod tests {
         assert!(md.contains("failed: boom \\| with pipe"));
         assert!(md.contains("Fleet totals"));
         assert!(md.contains("1 failed"));
+    }
+
+    #[test]
+    fn markdown_footer_names_the_failed_jobs() {
+        let mut r = result();
+        r.reports.push(JobReport {
+            metrics: None,
+            legal: false,
+            status: JobStatus::Failed("flow panicked: die too full".into()),
+            case: "hu1".into(),
+            ..report(2, JobStatus::Done, 0.0)
+        });
+        r.reports.push(JobReport {
+            metrics: None,
+            legal: false,
+            status: JobStatus::Failed("objective failed to build".into()),
+            case: "mx1".into(),
+            ..report(3, JobStatus::Done, 0.0)
+        });
+        let md = r.to_markdown();
+        assert!(md.contains("## Failed jobs"), "{md}");
+        assert!(
+            md.contains("- job 2: hu1 × Efficient-TDP (ours) — flow panicked: die too full"),
+            "{md}"
+        );
+        assert!(md.contains("- job 3: mx1 ×"), "{md}");
+        assert!(md.contains("**Exit code: 1** (2 job(s) failed)"), "{md}");
+        assert_eq!(r.exit_code(), 1);
+        // A green (or merely canceled) batch has no footer and exits 0.
+        let green = result();
+        assert!(!green.to_markdown().contains("Failed jobs"));
+        assert_eq!(green.exit_code(), 0);
     }
 }

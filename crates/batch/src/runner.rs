@@ -26,13 +26,11 @@
 //! matter how many jobs the plan holds.
 
 use crate::job::BatchJob;
-use crate::progress::{BatchEvent, BatchSink, CancelSet};
+use crate::progress::{BatchEvent, BatchSink, CancelSet, SinkObserver};
 use benchgen::CircuitParams;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use tdp_core::{
-    FlowPhase, FlowTraceRow, Metrics, Observer, ObserverAction, RuntimeBreakdown, Session,
-};
+use tdp_core::{Metrics, RuntimeBreakdown, Session};
 
 /// How one job ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +80,13 @@ pub struct JobReport {
     /// Evaluation-kit metrics of the legalized placement; `None` for
     /// failed jobs.
     pub metrics: Option<Metrics>,
+    /// Bitwise fingerprint of the legalized placement
+    /// ([`Placement::content_hash`](netlist::Placement::content_hash)),
+    /// computed before the placement is dropped — the differential
+    /// evidence that two executions (N workers vs serial, daemon vs
+    /// local session) produced the identical placement. `0` for failed
+    /// jobs.
+    pub placement_hash: u64,
     /// Runtime breakdown; zeroed for failed jobs.
     pub runtime: RuntimeBreakdown,
 }
@@ -193,7 +198,19 @@ pub fn run_batch(plan: &BatchPlan, cfg: &BatchRunConfig, sink: &dyn BatchSink) -
 
     parx::par_queue(workers, plan.groups.len(), |gi| {
         let group = &plan.groups[gi];
-        let mut session = build_group_session(&group.params);
+        // Panics during design generation / session construction (e.g.
+        // generator parameters the spec validation cannot see) must fail
+        // this group's jobs, not sink the fleet — same containment the
+        // per-job loop below applies.
+        let mut session = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            build_group_session(&group.params)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(format!(
+                "design or session construction panicked: {}",
+                panic_message(payload.as_ref())
+            ))
+        });
         for &job_id in &group.job_ids {
             let job = &plan.jobs[job_id];
             sink.on_event(&BatchEvent::JobStarted {
@@ -248,7 +265,7 @@ fn build_group_session(params: &CircuitParams) -> Result<Session, String> {
 }
 
 /// The report of a job that never produced an outcome.
-fn failed_report(job_id: usize, job: &BatchJob, msg: String) -> JobReport {
+pub(crate) fn failed_report(job_id: usize, job: &BatchJob, msg: String) -> JobReport {
     JobReport {
         job: job_id,
         case: job.case.clone(),
@@ -259,6 +276,7 @@ fn failed_report(job_id: usize, job: &BatchJob, msg: String) -> JobReport {
         iterations: 0,
         legal: false,
         metrics: None,
+        placement_hash: 0,
         runtime: RuntimeBreakdown::default(),
     }
 }
@@ -284,21 +302,40 @@ fn run_one(
     cancel: &CancelSet,
     stride: usize,
 ) -> JobReport {
-    let failed = |msg: String| failed_report(job_id, job, msg);
-    let session = match session {
-        Ok(s) => s,
-        Err(msg) => return failed(msg.clone()),
-    };
-    let mut observer = JobObserver {
-        job: job_id,
-        sink,
-        cancel,
-        stride,
-        streamed: 0,
-    };
+    match session {
+        Ok(s) => execute_job(job_id, job, s, sink, cancel, job_id, stride),
+        Err(msg) => failed_report(job_id, job, msg.clone()),
+    }
+}
+
+/// Runs one job's flow through `session` with a streaming
+/// [`SinkObserver`] attached, and reduces the outcome to its compact
+/// [`JobReport`] (computing the placement fingerprint before the
+/// placement drops — bounded in-flight memory is this function's job,
+/// not the caller's).
+///
+/// This is the single job-execution path shared by every front end: the
+/// batch runner calls it per job of a design group, and the serve
+/// daemon calls it per request with a session checked out of its cache.
+/// A flow error is *not* a Rust error — it is recorded as
+/// [`JobStatus::Failed`] on the report (panics are the caller's to
+/// contain, since containment policy differs per front end).
+///
+/// `flag` is the index of this job's flag within `cancel` — equal to
+/// `job_id` in a batch plan, `0` for a per-job single-flag set.
+pub fn execute_job(
+    job_id: usize,
+    job: &BatchJob,
+    session: &mut Session,
+    sink: &dyn BatchSink,
+    cancel: &CancelSet,
+    flag: usize,
+    stride: usize,
+) -> JobReport {
+    let mut observer = SinkObserver::new(job_id, sink, cancel, flag, stride);
     let outcome = match session.run_with_observer(&job.spec, &mut observer) {
         Ok(outcome) => outcome,
-        Err(e) => return failed(format!("flow failed: {e}")),
+        Err(e) => return failed_report(job_id, job, format!("flow failed: {e}")),
     };
     let legal = placer::legalize::check_legal(session.design(), &outcome.placement).is_ok();
     JobReport {
@@ -315,63 +352,8 @@ fn run_one(
         iterations: outcome.iterations,
         legal,
         metrics: Some(outcome.metrics),
+        placement_hash: outcome.placement.content_hash(),
         runtime: outcome.runtime,
-    }
-    // `outcome` (placement + trace) drops here — bounded in-flight
-    // memory is this scope's job, not the caller's.
-}
-
-/// The per-job observer: forwards flow events to the batch sink (tagged
-/// with the job id, iterations strided) and polls the job's cancellation
-/// flag on every callback.
-struct JobObserver<'a> {
-    job: usize,
-    sink: &'a dyn BatchSink,
-    cancel: &'a CancelSet,
-    stride: usize,
-    streamed: usize,
-}
-
-impl JobObserver<'_> {
-    fn action(&self) -> ObserverAction {
-        if self.cancel.is_canceled(self.job) {
-            ObserverAction::Stop
-        } else {
-            ObserverAction::Continue
-        }
-    }
-}
-
-impl Observer for JobObserver<'_> {
-    fn on_phase_change(&mut self, phase: FlowPhase) -> ObserverAction {
-        self.sink.on_event(&BatchEvent::Phase {
-            job: self.job,
-            phase,
-        });
-        self.action()
-    }
-
-    fn on_iteration(&mut self, row: &FlowTraceRow) -> ObserverAction {
-        if self.streamed.is_multiple_of(self.stride) {
-            self.sink.on_event(&BatchEvent::Iteration {
-                job: self.job,
-                iter: row.iter,
-                hpwl: row.hpwl,
-                overflow: row.overflow,
-            });
-        }
-        self.streamed += 1;
-        self.action()
-    }
-
-    fn on_timing_analysis(&mut self, iter: usize, tns: f64, wns: f64) -> ObserverAction {
-        self.sink.on_event(&BatchEvent::TimingAnalysis {
-            job: self.job,
-            iter,
-            tns,
-            wns,
-        });
-        self.action()
     }
 }
 
@@ -471,6 +453,40 @@ mod tests {
         for r in &result.reports[5..] {
             assert_eq!(r.status, JobStatus::Done, "job {}", r.job);
             assert!(r.legal);
+        }
+    }
+
+    #[test]
+    fn a_panicking_design_generation_fails_its_group_not_the_fleet() {
+        // Parameters the spec validation cannot see: the generator
+        // asserts on zero logic levels. The whole group must fail with
+        // the panic message while other designs run to completion.
+        let bad_case = SuiteCase {
+            name: "bad",
+            params: CircuitParams {
+                levels: 0,
+                ..CircuitParams::small("bad", 9)
+            },
+        };
+        let mut jobs = make_jobs(&bad_case, None, Profile::Quick, &[]).unwrap();
+        jobs.extend(make_jobs(&tiny_case("good", 3), None, Profile::Quick, &[]).unwrap());
+        let plan = BatchPlan::new(jobs);
+        let result = run_batch(
+            &plan,
+            &BatchRunConfig {
+                workers: 2,
+                iteration_stride: 64,
+            },
+            &NullSink,
+        );
+        for r in &result.reports[..BUILTIN_OBJECTIVES.len()] {
+            let JobStatus::Failed(msg) = &r.status else {
+                panic!("job {} must fail, got {:?}", r.job, r.status);
+            };
+            assert!(msg.contains("panicked"), "{msg}");
+        }
+        for r in &result.reports[BUILTIN_OBJECTIVES.len()..] {
+            assert_eq!(r.status, JobStatus::Done, "job {}", r.job);
         }
     }
 

@@ -31,7 +31,7 @@ pub mod circuit;
 pub mod suite;
 
 pub use circuit::{generate, CircuitParams};
-pub use suite::{full_suite, suite, SuiteCase};
+pub use suite::{case_by_name, full_suite, suite, SuiteCase};
 
 use netlist::{Design, Placement};
 

@@ -100,10 +100,24 @@ pub fn full_suite() -> Vec<SuiteCase> {
     cases
 }
 
+/// Looks a case up by name in the widened [`full_suite`] — the design
+/// catalog resident services resolve `"case"` references against.
+pub fn case_by_name(name: &str) -> Option<SuiteCase> {
+    full_suite().into_iter().find(|c| c.name == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generate;
+
+    #[test]
+    fn case_by_name_resolves_every_catalog_entry() {
+        for case in full_suite() {
+            assert_eq!(case_by_name(case.name), Some(case.clone()));
+        }
+        assert_eq!(case_by_name("nope"), None);
+    }
 
     #[test]
     fn suite_has_eight_unique_cases() {

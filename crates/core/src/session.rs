@@ -491,6 +491,18 @@ struct EvalCache {
 /// [`FlowSpec`] produce bitwise-identical [`FlowOutcome`]s, and a full
 /// method matrix through one session matches cold per-method runs
 /// bit-for-bit.
+///
+/// # Sharing across threads and across time
+///
+/// A `Session` is `Send + Sync` (asserted by a compile-time test): it can
+/// be built on one thread and handed to another, or parked in an
+/// `Arc<Mutex<Session>>` cache by a long-lived service and reused by
+/// whichever worker picks up the next request for the same design — the
+/// serve daemon's session cache relies on exactly this. Runs need `&mut
+/// self` (the cached evaluation analyzer is reused in place), so
+/// concurrent runs on one session serialize on the mutex; the
+/// run-isolation guarantee above means that serialization is the *only*
+/// interaction between them.
 pub struct Session {
     design: Design,
     pads: Placement,
@@ -918,6 +930,18 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ObjectiveSpec>();
         assert_send_sync::<FlowSpec>();
+    }
+
+    #[test]
+    fn sessions_are_send_and_sync() {
+        // The serve daemon parks sessions in an `Arc<Mutex<Session>>`
+        // cache and hands them to whichever worker thread picks up the
+        // next request for the same design. If a future change smuggles
+        // an `Rc`/raw pointer into the session (or anything it owns,
+        // including the cached evaluation analyzer), this stops
+        // compiling — by design.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
     }
 
     #[test]

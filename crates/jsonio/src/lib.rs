@@ -1,0 +1,320 @@
+//! The workspace's single JSON implementation.
+//!
+//! The build container has no crates.io access (so no serde); before this
+//! crate, the batch reporter hand-rolled its own emitter and the serve
+//! protocol would have needed a second one plus a parser. This crate is
+//! that one implementation, shared by both:
+//!
+//! * [`JsonValue`] — an order-preserving JSON tree ([`JsonValue::encode`]
+//!   renders it on one line, deterministically).
+//! * the field helpers ([`field_str`], [`field_num`], [`field_bool`],
+//!   [`field_raw`]) — the streaming `,"key":value` emitter style the
+//!   batch JSONL reports are written in, extracted verbatim from
+//!   `batch::report`.
+//! * [`parse`] — a minimal recursive-descent parser with line/column
+//!   tagged errors ([`JsonError`]), for request decoding on the wire.
+//!
+//! # Number semantics
+//!
+//! JSON has no NaN or infinities: non-finite numbers encode as `null`
+//! (exactly what the batch reporter always did). Finite integral values
+//! within `±1e15` print without a fraction, like JSON integers, so
+//! `encode(parse(s)) == s` holds for everything this crate itself emits —
+//! the fixpoint `tests/proptests.rs` asserts.
+
+mod parse;
+
+pub use parse::{parse, JsonError};
+
+use std::fmt::Write as _;
+
+/// An order-preserving JSON document. Object members keep insertion
+/// order (and may repeat — the wire format allows it; [`JsonValue::get`]
+/// returns the first match).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also what non-finite numbers encode to).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as, and emitted from, an `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object as an ordered member list.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (first match); `None` for missing keys
+    /// and for non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one
+    /// exactly (no fraction, no overflow).
+    pub fn as_usize(&self) -> Option<usize> {
+        let n = self.as_f64()?;
+        (n.fract() == 0.0 && (0.0..=9.007199254740992e15).contains(&n)).then_some(n as usize)
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// Renders the value as one line of JSON (no whitespace), appending
+    /// to `out`. Deterministic: member order is preserved, numbers use
+    /// [`format_num`].
+    pub fn encode_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => push_num(out, *n),
+            JsonValue::Str(s) => push_escaped(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_escaped(out, k);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// [`JsonValue::encode_into`] into a fresh string.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(n: f64) -> Self {
+        JsonValue::Num(n)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::Num(n as f64)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+/// Appends `"value"` with JSON escaping: quotes, backslashes, the
+/// named control escapes, `\u00XX` for the rest of C0.
+pub fn push_escaped(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a number: integral values within `±1e15` print without a
+/// fraction (like JSON integers), non-finite values print `null` (JSON
+/// has no NaN/Infinity).
+pub fn push_num(out: &mut String, value: f64) {
+    if value.is_finite() {
+        if value.fract() == 0.0 && value.abs() < 1e15 {
+            let _ = write!(out, "{}", value as i64);
+        } else {
+            let _ = write!(out, "{value}");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// [`push_num`] into a fresh string (handy for CLI key=value plumbing).
+pub fn format_num(value: f64) -> String {
+    let mut s = String::new();
+    push_num(&mut s, value);
+    s
+}
+
+/// Appends `,"key":"value"` with escaping — the streaming object-member
+/// style of the batch JSONL reports. The caller opens the object with its
+/// first member and closes it with `}`.
+pub fn field_str(out: &mut String, key: &str, value: &str) {
+    out.push(',');
+    push_escaped(out, key);
+    out.push(':');
+    push_escaped(out, value);
+}
+
+/// Appends `,"key":value` for a number (see [`push_num`] for the
+/// integer/non-finite rules).
+pub fn field_num(out: &mut String, key: &str, value: f64) {
+    out.push(',');
+    push_escaped(out, key);
+    out.push(':');
+    push_num(out, value);
+}
+
+/// Appends `,"key":true|false`.
+pub fn field_bool(out: &mut String, key: &str, value: bool) {
+    out.push(',');
+    push_escaped(out, key);
+    out.push(':');
+    out.push_str(if value { "true" } else { "false" });
+}
+
+/// Appends `,"key":<raw>` where `raw` must already be valid JSON (a
+/// nested object rendered elsewhere, a pre-encoded [`JsonValue`], …).
+pub fn field_raw(out: &mut String, key: &str, raw: &str) {
+    out.push(',');
+    push_escaped(out, key);
+    out.push(':');
+    out.push_str(raw);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped_and_nonfinite_numbers_become_null() {
+        // The exact behaviour the batch reporter had before extraction.
+        let mut s = String::from("{\"x\":0");
+        field_str(&mut s, "msg", "a \"quoted\"\nline\\");
+        field_num(&mut s, "bad", f64::NAN);
+        field_num(&mut s, "inf", f64::INFINITY);
+        s.push('}');
+        assert_eq!(
+            s,
+            "{\"x\":0,\"msg\":\"a \\\"quoted\\\"\\nline\\\\\",\"bad\":null,\"inf\":null}"
+        );
+    }
+
+    #[test]
+    fn control_chars_use_unicode_escapes() {
+        let mut s = String::new();
+        push_escaped(&mut s, "a\u{1}b\tc");
+        assert_eq!(s, "\"a\\u0001b\\tc\"");
+    }
+
+    #[test]
+    fn integral_numbers_print_without_fraction() {
+        assert_eq!(format_num(3.0), "3");
+        assert_eq!(format_num(-42.0), "-42");
+        assert_eq!(format_num(2.5), "2.5");
+        // Huge magnitudes expand to digits but still parse back bitwise.
+        let huge = format_num(1e300);
+        assert_eq!(huge.parse::<f64>().unwrap().to_bits(), 1e300f64.to_bits());
+        assert_eq!(format_num(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn encode_renders_nested_values_in_member_order() {
+        let v = JsonValue::Obj(vec![
+            ("b".into(), JsonValue::Num(1.0)),
+            (
+                "a".into(),
+                JsonValue::Arr(vec![JsonValue::Null, true.into()]),
+            ),
+            ("s".into(), "x\"y".into()),
+        ]);
+        assert_eq!(v.encode(), "{\"b\":1,\"a\":[null,true],\"s\":\"x\\\"y\"}");
+    }
+
+    #[test]
+    fn accessors_narrow_types() {
+        let v = JsonValue::Obj(vec![
+            ("n".into(), JsonValue::Num(7.0)),
+            ("f".into(), JsonValue::Num(7.5)),
+            ("neg".into(), JsonValue::Num(-1.0)),
+            ("b".into(), JsonValue::Bool(true)),
+        ]);
+        assert_eq!(v.get("n").unwrap().as_usize(), Some(7));
+        assert_eq!(v.get("f").unwrap().as_usize(), None);
+        assert_eq!(v.get("neg").unwrap().as_usize(), None);
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(JsonValue::Num(1.0).get("n"), None);
+    }
+}

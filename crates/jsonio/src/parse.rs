@@ -1,0 +1,429 @@
+//! Recursive-descent JSON parsing with line/column-tagged errors.
+//!
+//! Scope: exactly RFC 8259 — objects, arrays, strings (with the named
+//! escapes, `\uXXXX` and surrogate pairs), numbers, `true`/`false`/
+//! `null`. No extensions (no comments, no trailing commas, no bare
+//! NaN/Infinity — the writer in this crate never emits them either).
+//!
+//! Errors report the 1-based line and column of the offending byte so a
+//! malformed wire request can be diagnosed from the error alone; the
+//! serve protocol forwards both fields verbatim.
+
+use crate::JsonValue;
+use std::fmt;
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// 1-based line of the offending byte.
+    pub line: usize,
+    /// 1-based column (in bytes) of the offending byte.
+    pub col: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json error at line {} col {}: {}",
+            self.line, self.col, self.msg
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Nesting depth cap: parsing is recursive, and a hostile wire request of
+/// `[[[[…` must exhaust this limit, not the stack.
+const MAX_DEPTH: usize = 128;
+
+/// Parses one complete JSON document; trailing non-whitespace is an
+/// error.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] naming the line/column of the first offending
+/// byte.
+pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Advances one byte, maintaining the line/column cursor.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(b) if b == want => {
+                self.bump();
+                Ok(())
+            }
+            Some(b) => Err(self.err(format!(
+                "expected {:?}, found {:?}",
+                want as char, b as char
+            ))),
+            None => Err(self.err(format!("expected {:?}, found end of input", want as char))),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.keyword("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.err(format!("unexpected character {:?}", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        let (line, col) = (self.line, self.col);
+        for want in word.bytes() {
+            match self.peek() {
+                Some(b) if b == want => {
+                    self.bump();
+                }
+                _ => {
+                    return Err(JsonError {
+                        line,
+                        col,
+                        msg: format!("invalid literal (expected `{word}`)"),
+                    })
+                }
+            }
+        }
+        Ok(value)
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b'}') => {
+                    self.bump();
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' after an object member")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b']') => {
+                    self.bump();
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' after an array element")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => out.push(self.unicode_escape()?),
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode the UTF-8 sequence starting at `b` (the
+                    // input is a &str, so it is valid by construction).
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    for _ in 1..len {
+                        self.bump();
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    /// Decodes `XXXX` after `\u`, combining surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: a `\uXXXX` low surrogate must follow.
+            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                return Err(self.err("high surrogate not followed by \\u escape"));
+            }
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            return char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("lone surrogate in \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => return Err(self.err("expected four hex digits after \\u")),
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        // Integer part: `0` alone or a nonzero digit run (leading zeros
+        // are invalid JSON).
+        match self.peek() {
+            Some(b'0') => {
+                self.bump();
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.err("leading zeros are not allowed"));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            }
+            _ => return Err(self.err("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.bump();
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit after the decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit in the exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| JsonError {
+                line,
+                col,
+                msg: format!("invalid number {text:?}"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn num(n: f64) -> JsonValue {
+        JsonValue::Num(n)
+    }
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("-12.5e2").unwrap(), num(-1250.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), JsonValue::Str("a\nb".into()));
+        assert_eq!(
+            parse("[1,[],{}]").unwrap(),
+            JsonValue::Arr(vec![
+                num(1.0),
+                JsonValue::Arr(vec![]),
+                JsonValue::Obj(vec![])
+            ])
+        );
+        assert_eq!(
+            parse("{\"a\": 1, \"b\": [true, null]}").unwrap(),
+            JsonValue::Obj(vec![
+                ("a".into(), num(1.0)),
+                (
+                    "b".into(),
+                    JsonValue::Arr(vec![JsonValue::Bool(true), JsonValue::Null])
+                ),
+            ])
+        );
+    }
+
+    #[test]
+    fn unicode_escapes_and_raw_utf8_round_trip() {
+        assert_eq!(
+            parse("\"\\u00e9\\u20ac\"").unwrap(),
+            JsonValue::Str("é€".into())
+        );
+        // Surrogate pair → one astral char.
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            JsonValue::Str("😀".into())
+        );
+        // Raw multibyte UTF-8 passes through.
+        assert_eq!(
+            parse("\"héllo→\"").unwrap(),
+            JsonValue::Str("héllo→".into())
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let e = parse("{\"a\": 1,\n  \"b\": nope}").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 8), "{e}");
+
+        let e = parse("[1, 2,\n3,\n 04]").unwrap_err();
+        assert_eq!(e.line, 3, "{e}");
+        assert!(e.msg.contains("leading zeros"), "{e}");
+
+        let e = parse("\"unterminated").unwrap_err();
+        assert!(e.msg.contains("unterminated"), "{e}");
+
+        let e = parse("{\"a\" 1}").unwrap_err();
+        assert!(e.msg.contains("':'"), "{e}");
+        assert_eq!((e.line, e.col), (1, 6), "{e}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_json_extensions() {
+        assert!(parse("1 2").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1,}").is_err());
+        assert!(parse("NaN").is_err());
+        assert!(parse("Infinity").is_err());
+        assert!(parse("'single'").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("\"\u{1}\"").is_err(), "raw control char in string");
+        assert!(parse("\"\\ud800x\"").is_err(), "lone high surrogate");
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let deep = "[".repeat(100_000);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.msg.contains("nesting"), "{e}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Property coverage for the shared JSON layer:
+//!
+//! * encode → parse → encode is a fixpoint over generated values (the
+//!   first encode canonicalizes — e.g. NaN becomes `null` — and from
+//!   then on the representation is stable);
+//! * string escaping round-trips arbitrary content, including control
+//!   characters, quotes, backslashes and non-ASCII;
+//! * parsed numbers are bitwise-stable through a round trip.
+
+use proptest::prelude::*;
+use tdp_jsonio::{parse, push_escaped, JsonValue};
+
+/// One SplitMix64 step.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic value generator: a SplitMix64 stream drives a small
+/// recursive grammar. Depth-limited so trees stay printable.
+fn gen_value(state: &mut u64, depth: usize) -> JsonValue {
+    let choice = if depth == 0 {
+        next(state) % 4
+    } else {
+        next(state) % 6
+    };
+    match choice {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(next(state).is_multiple_of(2)),
+        2 => {
+            // Mix integers, fractions, huge magnitudes and non-finite
+            // values (which must canonicalize to null).
+            let r = next(state);
+            JsonValue::Num(match r % 5 {
+                0 => (r as i32 as i64) as f64,
+                1 => (r % 1_000_000) as f64 / 997.0,
+                2 => f64::from_bits(r).abs() % 1e300,
+                3 => -((r % 4096) as f64),
+                _ => {
+                    if r.is_multiple_of(7) {
+                        f64::NAN
+                    } else {
+                        (r % 100) as f64 + 0.5
+                    }
+                }
+            })
+        }
+        3 => {
+            let mut s = String::new();
+            for _ in 0..(next(state) % 12) {
+                let c = match next(state) % 7 {
+                    0 => '"',
+                    1 => '\\',
+                    2 => char::from_u32((next(state) % 0x20) as u32).unwrap(),
+                    3 => 'é',
+                    4 => '😀',
+                    5 => (b'a' + (next(state) % 26) as u8) as char,
+                    _ => ' ',
+                };
+                s.push(c);
+            }
+            JsonValue::Str(s)
+        }
+        4 => {
+            let n = (next(state) % 4) as usize;
+            JsonValue::Arr((0..n).map(|_| gen_value(state, depth - 1)).collect())
+        }
+        _ => {
+            let n = (next(state) % 4) as usize;
+            let mut members = Vec::with_capacity(n);
+            for i in 0..n {
+                let tag = next(state);
+                members.push((format!("k{}{}", i, tag % 100), gen_value(state, depth - 1)));
+            }
+            JsonValue::Obj(members)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// encode ∘ parse is the identity on everything this crate emits.
+    #[test]
+    fn encode_parse_encode_is_a_fixpoint(seed in 0u64..u64::MAX / 2) {
+        let mut state = seed;
+        let value = gen_value(&mut state, 4);
+        let first = value.encode();
+        let reparsed = parse(&first)
+            .unwrap_or_else(|e| panic!("own output must parse: {e}\n{first}"));
+        let second = reparsed.encode();
+        prop_assert_eq!(&first, &second, "fixpoint violated for seed {}", seed);
+        // And once more for good measure: the canonical form is stable.
+        let third = parse(&second).unwrap().encode();
+        prop_assert_eq!(second, third);
+    }
+
+    /// Escaped strings survive a parse round-trip byte for byte.
+    #[test]
+    fn string_escaping_round_trips(seed in 0u64..u64::MAX / 2) {
+        let mut state = seed;
+        // Draw a handful of adversarial strings per case.
+        for _ in 0..8 {
+            let JsonValue::Str(s) = gen_value(&mut state, 0) else {
+                continue;
+            };
+            let mut encoded = String::new();
+            push_escaped(&mut encoded, &s);
+            let back = parse(&encoded).unwrap();
+            prop_assert_eq!(back.as_str(), Some(s.as_str()));
+        }
+    }
+
+    /// Finite numbers round-trip bitwise through encode/parse (non-finite
+    /// ones canonicalize to null — also asserted).
+    #[test]
+    fn numbers_round_trip_bitwise(seed in 0u64..u64::MAX / 2) {
+        let mut state = seed;
+        for _ in 0..16 {
+            let JsonValue::Num(n) = gen_value(&mut state, 0) else {
+                continue;
+            };
+            let encoded = JsonValue::Num(n).encode();
+            let back = parse(&encoded).unwrap();
+            if n == 0.0 {
+                // The writer canonicalizes -0.0 to `0`.
+                prop_assert_eq!(back.as_f64(), Some(0.0), "{}", encoded);
+            } else if n.is_finite() {
+                let m = back.as_f64().expect("finite number parses as number");
+                prop_assert_eq!(n.to_bits(), m.to_bits(), "{}", encoded);
+            } else {
+                prop_assert!(back.is_null(), "{}", encoded);
+            }
+        }
+    }
+}

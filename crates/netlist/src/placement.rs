@@ -129,6 +129,35 @@ impl Placement {
         ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
     }
 
+    /// A bitwise fingerprint of the placement: FNV-1a over the IEEE-754
+    /// bit patterns of every coordinate in cell order.
+    ///
+    /// Two placements hash equal iff they are bit-identical (modulo hash
+    /// collisions), so the fingerprint can stand in for the full
+    /// coordinate vectors in differential guarantees — e.g. "a placement
+    /// computed by the serve daemon matches a local run" — without
+    /// shipping or retaining the placement itself. `-0.0` and `0.0` hash
+    /// differently, as do different NaN payloads: this is equality of
+    /// bits, not of numbers.
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut eat = |v: f64| {
+            for byte in v.to_bits().to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for &x in &self.x {
+            eat(x);
+        }
+        for &y in &self.y {
+            eat(y);
+        }
+        h
+    }
+
     /// Clamps every movable cell inside the die (fixed cells untouched).
     pub fn clamp_to_die(&mut self, design: &Design) {
         let die = design.die();
@@ -318,6 +347,24 @@ mod tests {
         assert_eq!(moved, vec![u1, u2]);
         exact.rebase(&p);
         assert!(exact.moved_cells(&p).is_empty());
+    }
+
+    #[test]
+    fn content_hash_tracks_bit_level_changes() {
+        let (d, u1, _) = two_inv_design();
+        let mut p = Placement::new(&d);
+        p.set(u1, 10.0, 20.0);
+        let h0 = p.content_hash();
+        assert_eq!(h0, p.clone().content_hash(), "clones hash equal");
+        // The smallest representable nudge changes the hash.
+        p.set(u1, f64::from_bits(10.0f64.to_bits() + 1), 20.0);
+        assert_ne!(h0, p.content_hash());
+        // Bit-equality, not numeric equality: -0.0 differs from 0.0.
+        let mut a = Placement::new(&d);
+        let mut b = Placement::new(&d);
+        a.set(u1, 0.0, 0.0);
+        b.set(u1, -0.0, 0.0);
+        assert_ne!(a.content_hash(), b.content_hash());
     }
 
     #[test]

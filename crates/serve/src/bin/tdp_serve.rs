@@ -1,0 +1,93 @@
+//! `tdp-serve` — the resident placement daemon.
+//!
+//! ```text
+//! tdp-serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
+//!           [--stride K] [--quiet]
+//! ```
+//!
+//! Binds, prints the bound address (port 0 resolves to an ephemeral
+//! port), and serves until a wire `shutdown` request arrives. See the
+//! README's `tdp-serve` section for the protocol grammar.
+
+use serve::{Server, ServerConfig};
+
+const USAGE: &str = "usage: tdp-serve [options]
+  --addr HOST:PORT     bind address (default: 127.0.0.1:7171; port 0 =
+                       ephemeral, printed at startup)
+  --workers N          job worker threads; 0 = one per hardware thread
+                       (default: 2)
+  --cache-capacity N   sessions kept hot in the LRU cache (default: 8)
+  --stride K           default event stride for submits (default: 16)
+  --quiet              suppress the startup banner";
+
+fn parse_args() -> Result<(ServerConfig, bool), String> {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7171".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut quiet = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects a non-negative integer".to_string())?
+            }
+            "--cache-capacity" => {
+                cfg.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity expects a positive integer".to_string())?
+            }
+            "--stride" => {
+                cfg.default_stride = value("--stride")?
+                    .parse()
+                    .map_err(|_| "--stride expects a positive integer".to_string())?
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok((cfg, quiet))
+}
+
+fn main() {
+    let (cfg, quiet) = match parse_args() {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("tdp-serve: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let workers = cfg.workers;
+    let cache = cfg.cache_capacity;
+    let handle = match Server::start(cfg) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("tdp-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !quiet {
+        println!(
+            "tdp-serve listening on {} ({} workers, cache {})",
+            handle.addr(),
+            if workers == 0 {
+                "auto".to_string()
+            } else {
+                workers.to_string()
+            },
+            cache,
+        );
+    }
+    handle.join();
+    if !quiet {
+        println!("tdp-serve: shut down cleanly");
+    }
+}

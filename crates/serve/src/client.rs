@@ -1,0 +1,225 @@
+//! A line-protocol client for the daemon — the library behind
+//! `tdp-client`, and what the serve tests drive the server with.
+
+use crate::protocol::SubmitRequest;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+use tdp_jsonio::JsonValue;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, EOF mid-response).
+    Io(std::io::Error),
+    /// The server's bytes were not a valid response line.
+    Protocol(String),
+    /// The server answered `{"ok":false,...}`.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a `tdp-serve` daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr`, retrying for up to `retry` (pass
+    /// `Duration::ZERO` for a single attempt). Retrying covers the
+    /// daemon-still-booting window in scripts that start the server in
+    /// the background.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connect error once the deadline passes.
+    pub fn connect(addr: impl ToSocketAddrs + Copy, retry: Duration) -> std::io::Result<Self> {
+        let deadline = Instant::now() + retry;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let reader = BufReader::new(stream.try_clone()?);
+                    return Ok(Self {
+                        writer: stream,
+                        reader,
+                    });
+                }
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// Sends one raw request line and returns the parsed response
+    /// object; `{"ok":false}` responses become [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn roundtrip(&mut self, request: &str) -> Result<JsonValue, ClientError> {
+        self.send(request)?;
+        let doc = self.read_value()?;
+        check_ok(doc)
+    }
+
+    fn send(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    fn read_value(&mut self) -> Result<JsonValue, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        tdp_jsonio::parse(line.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("{e} in {line:?}")))
+    }
+
+    /// Submits a job; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn submit(&mut self, req: &SubmitRequest) -> Result<usize, ClientError> {
+        let doc = self.roundtrip(&req.encode())?;
+        doc.get("job")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| ClientError::Protocol("submit response lacks \"job\"".into()))
+    }
+
+    /// Non-blocking state poll.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn status(&mut self, job: usize) -> Result<JsonValue, ClientError> {
+        self.roundtrip(&format!("{{\"cmd\":\"status\",\"job\":{job}}}"))
+    }
+
+    /// Blocks server-side until the job is terminal; returns the final
+    /// status object (with its `"report"`).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn wait(&mut self, job: usize) -> Result<JsonValue, ClientError> {
+        self.roundtrip(&format!("{{\"cmd\":\"wait\",\"job\":{job}}}"))
+    }
+
+    /// Requests cancellation (takes effect at the job's next observer
+    /// callback).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn cancel(&mut self, job: usize) -> Result<JsonValue, ClientError> {
+        self.roundtrip(&format!("{{\"cmd\":\"cancel\",\"job\":{job}}}"))
+    }
+
+    /// Server counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn metrics(&mut self) -> Result<JsonValue, ClientError> {
+        self.roundtrip("{\"cmd\":\"metrics\"}")
+    }
+
+    /// Asks the server to stop; returns its acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn shutdown(&mut self) -> Result<JsonValue, ClientError> {
+        self.roundtrip("{\"cmd\":\"shutdown\"}")
+    }
+
+    /// Streams the job's events from index `from`, invoking `on_event`
+    /// per event object, until a terminal line (returned): `finished`
+    /// (full replay/live stream) or `end` (when `from` already points
+    /// past the job's terminal event — both carry `"state"`).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; a stream that ends without a terminal event
+    /// (server shut down mid-stream) is an I/O error.
+    pub fn events(
+        &mut self,
+        job: usize,
+        from: usize,
+        mut on_event: impl FnMut(&JsonValue),
+    ) -> Result<JsonValue, ClientError> {
+        self.send(&format!(
+            "{{\"cmd\":\"events\",\"job\":{job},\"from\":{from}}}"
+        ))?;
+        loop {
+            let doc = self.read_value()?;
+            if doc.get("ok").is_some() {
+                // An error response instead of a stream (unknown job).
+                return check_ok(doc).map(|_| unreachable!("ok responses have no event stream"));
+            }
+            let kind = doc
+                .get("event")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| ClientError::Protocol("event line lacks \"event\"".into()))?
+                .to_string();
+            on_event(&doc);
+            if kind == "finished" || kind == "end" {
+                return Ok(doc);
+            }
+        }
+    }
+}
+
+fn check_ok(doc: JsonValue) -> Result<JsonValue, ClientError> {
+    match doc.get("ok").and_then(JsonValue::as_bool) {
+        Some(true) => Ok(doc),
+        Some(false) => {
+            let msg = doc
+                .get("error")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unspecified server error");
+            let at = match (
+                doc.get("line").and_then(JsonValue::as_usize),
+                doc.get("col").and_then(JsonValue::as_usize),
+            ) {
+                (Some(l), Some(c)) => format!(" (at line {l} col {c})"),
+                _ => String::new(),
+            };
+            Err(ClientError::Server(format!("{msg}{at}")))
+        }
+        None => Err(ClientError::Protocol(format!(
+            "response lacks \"ok\": {}",
+            doc.encode()
+        ))),
+    }
+}

@@ -1,0 +1,47 @@
+//! `tdp-serve`: the placement flow as a resident service.
+//!
+//! Every earlier entry point in this workspace — the table harnesses,
+//! `tdp-batch`, the examples — is a run-to-completion process: it pays
+//! binary startup, design generation and the full STA setup on every
+//! invocation, then exits and throws the warm state away. This crate
+//! fronts the same execution core with a long-lived daemon, the way
+//! production query engines front theirs:
+//!
+//! * [`server`] — the [`Server`]: a std-only TCP listener (no external
+//!   deps), a worker pool on [`parx::TaskQueue`], and per-connection
+//!   handler threads speaking newline-delimited JSON.
+//! * [`protocol`] — the wire grammar: `submit` / `status` / `wait` /
+//!   `events` / `cancel` / `metrics` / `shutdown`, plus the canonical
+//!   [`protocol::design_key`] content hash.
+//! * [`cache`] — the LRU [`SessionCache`]: repeat requests for one
+//!   design (by catalog name or bit-identical inline parameters, across
+//!   connections and across time) reuse one built
+//!   [`Session`](tdp_core::Session), so the timing graph and RC skeleton
+//!   are constructed exactly once per design per residency — the batch
+//!   runner's amortization, promoted from per-plan to per-daemon.
+//! * [`metrics`] — counters behind the `metrics` request.
+//! * [`client`] — the [`Client`] library used by `tdp-client`, the CI
+//!   smoke job and the differential tests.
+//!
+//! # The differential guarantee
+//!
+//! A job submitted to the daemon runs through [`batch::make_jobs_for`]
+//! (spec construction) and [`batch::execute_job`] (execution) — the
+//! exact functions a local run uses. The daemon adds scheduling, caching
+//! and streaming *around* the flow, never arithmetic inside it, so a
+//! daemon-served result is bitwise identical — metrics and placement
+//! fingerprint — to the same spec run through a local
+//! [`Session`](tdp_core::Session). The workspace test
+//! `tests/serve_differential.rs` asserts this end to end over the wire.
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{SessionCache, SessionSlot};
+pub use client::{Client, ClientError};
+pub use metrics::{Gauges, ServeMetrics};
+pub use protocol::{design_key, DesignRef, ProtoError, Request, SubmitRequest};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,120 @@
+//! Server-lifetime counters, exposed by the `metrics` request.
+//!
+//! All counters are relaxed atomics: they are observability, not
+//! synchronization — the numbers a deterministic test asserts on
+//! (cache hits/misses) are updated on the single submit path, in submit
+//! order, so they *are* exact for sequential clients.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counters for one server instance.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    started: Instant,
+    /// Requests parsed (including ones that errored semantically).
+    pub requests: AtomicU64,
+    /// Submits accepted (a job was enqueued).
+    pub submits: AtomicU64,
+    /// Jobs that finished `done`.
+    pub jobs_done: AtomicU64,
+    /// Jobs that finished `canceled`.
+    pub jobs_canceled: AtomicU64,
+    /// Jobs that finished `failed`.
+    pub jobs_failed: AtomicU64,
+    /// Submits that found their design's session already cached.
+    pub cache_hits: AtomicU64,
+    /// Submits that allocated a new cache slot.
+    pub cache_misses: AtomicU64,
+    /// Sessions evicted to respect the cache capacity.
+    pub cache_evictions: AtomicU64,
+    /// `events` streams served.
+    pub event_streams: AtomicU64,
+    /// `sta::graph_build_count()` at server start — the baseline for
+    /// the `graph_builds` metric (builds attributable to this server).
+    pub graph_builds_at_start: u64,
+    /// `sta::rc_skeleton_build_count()` at server start.
+    pub rc_builds_at_start: u64,
+}
+
+impl ServeMetrics {
+    /// Fresh counters; records the process-wide STA build baselines.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            submits: AtomicU64::new(0),
+            jobs_done: AtomicU64::new(0),
+            jobs_canceled: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            event_streams: AtomicU64::new(0),
+            graph_builds_at_start: sta::graph_build_count() as u64,
+            rc_builds_at_start: sta::rc_skeleton_build_count() as u64,
+        }
+    }
+
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the counters (plus the caller-supplied [`Gauges`]
+    /// snapshot) as the fields of a `metrics` response. Documented
+    /// field-by-field in the README's `tdp-serve` section.
+    pub fn render(&self, out: &mut String, gauges: &Gauges) {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64;
+        tdp_jsonio::field_num(out, "uptime_s", self.started.elapsed().as_secs_f64());
+        tdp_jsonio::field_num(out, "workers", gauges.workers as f64);
+        tdp_jsonio::field_num(out, "requests", get(&self.requests));
+        tdp_jsonio::field_num(out, "submits", get(&self.submits));
+        tdp_jsonio::field_num(out, "jobs", gauges.jobs_total as f64);
+        tdp_jsonio::field_num(out, "queued", gauges.jobs_queued as f64);
+        tdp_jsonio::field_num(out, "running", gauges.jobs_running as f64);
+        tdp_jsonio::field_num(out, "done", get(&self.jobs_done));
+        tdp_jsonio::field_num(out, "canceled", get(&self.jobs_canceled));
+        tdp_jsonio::field_num(out, "failed", get(&self.jobs_failed));
+        tdp_jsonio::field_num(out, "cache_entries", gauges.cache_entries as f64);
+        tdp_jsonio::field_num(out, "cache_capacity", gauges.cache_capacity as f64);
+        tdp_jsonio::field_num(out, "cache_hits", get(&self.cache_hits));
+        tdp_jsonio::field_num(out, "cache_misses", get(&self.cache_misses));
+        tdp_jsonio::field_num(out, "cache_evictions", get(&self.cache_evictions));
+        tdp_jsonio::field_num(out, "event_streams", get(&self.event_streams));
+        tdp_jsonio::field_num(
+            out,
+            "graph_builds",
+            (sta::graph_build_count() as u64).saturating_sub(self.graph_builds_at_start) as f64,
+        );
+        tdp_jsonio::field_num(
+            out,
+            "rc_builds",
+            (sta::rc_skeleton_build_count() as u64).saturating_sub(self.rc_builds_at_start) as f64,
+        );
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time state the server snapshots for one `metrics` response —
+/// values that live in the scheduler, not in the counters.
+#[derive(Debug, Clone, Copy)]
+pub struct Gauges {
+    /// Resolved worker-thread count.
+    pub workers: usize,
+    /// Jobs ever submitted.
+    pub jobs_total: usize,
+    /// Jobs waiting for a worker.
+    pub jobs_queued: usize,
+    /// Jobs executing right now.
+    pub jobs_running: usize,
+    /// Designs currently cached.
+    pub cache_entries: usize,
+    /// Cache capacity.
+    pub cache_capacity: usize,
+}

@@ -1,0 +1,534 @@
+//! The wire protocol: newline-delimited JSON, one request or response
+//! object per line.
+//!
+//! # Requests
+//!
+//! ```text
+//! {"cmd":"submit","case":"sb18","objective":"efficient-tdp",
+//!  "profile":"quick","overrides":{"seed":7},"stride":8}
+//! {"cmd":"submit","params":{"name":"d","seed":3,"num_comb":400},...}
+//! {"cmd":"status","job":0}
+//! {"cmd":"wait","job":0}
+//! {"cmd":"events","job":0,"from":0}
+//! {"cmd":"cancel","job":0}
+//! {"cmd":"metrics"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! A submit names its design either by `case` (a [`benchgen::full_suite`]
+//! name) or inline by `params` (generator parameters; absent fields
+//! default from [`CircuitParams::small`] seeded with the given
+//! `name`/`seed`). `objective` is a single objective name as accepted by
+//! [`batch::parse_objective`] (`all` is not valid on the wire — submit
+//! one job per objective). `overrides` take the job-file `key=value`
+//! vocabulary; values may be JSON numbers or strings.
+//!
+//! # Responses
+//!
+//! Every response carries `"ok"` and echoes `"cmd"`. Errors are
+//! `{"ok":false,"error":"...",["line":L,"col":C]}` with the line/column
+//! present for JSON syntax errors (as reported by [`tdp_jsonio::parse`]).
+//!
+//! The module also owns the **design key**: a canonical content hash of
+//! the generator parameters ([`design_key`]) under which the daemon
+//! caches sessions. A `case` reference and an inline `params` submission
+//! that resolve to equal parameters hash identically and therefore share
+//! one cached session.
+
+use benchgen::CircuitParams;
+use std::fmt;
+use tdp_jsonio::{parse, push_escaped, push_num, JsonError, JsonValue};
+
+/// How a submit names its design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignRef {
+    /// A named case from the widened 12-case suite.
+    Case(String),
+    /// Inline generator parameters.
+    Inline(CircuitParams),
+}
+
+/// One decoded `submit` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// The design to place.
+    pub design: DesignRef,
+    /// Objective name (single; `all` is rejected).
+    pub objective: String,
+    /// Base schedule, `paper` or `quick`.
+    pub profile: String,
+    /// `key=value` overrides in job-file vocabulary.
+    pub overrides: Vec<(String, String)>,
+    /// Event stride override (`None` = server default).
+    pub stride: Option<usize>,
+}
+
+impl SubmitRequest {
+    /// A quick-profile request for a named case with no overrides.
+    pub fn case(case: &str, objective: &str) -> Self {
+        Self {
+            design: DesignRef::Case(case.to_string()),
+            objective: objective.to_string(),
+            profile: "quick".to_string(),
+            overrides: Vec::new(),
+            stride: None,
+        }
+    }
+
+    /// Renders the request as one wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut s = String::from("{\"cmd\":\"submit\"");
+        match &self.design {
+            DesignRef::Case(name) => tdp_jsonio::field_str(&mut s, "case", name),
+            DesignRef::Inline(params) => {
+                tdp_jsonio::field_raw(&mut s, "params", &params_to_json(params).encode())
+            }
+        }
+        tdp_jsonio::field_str(&mut s, "objective", &self.objective);
+        tdp_jsonio::field_str(&mut s, "profile", &self.profile);
+        if !self.overrides.is_empty() {
+            let mut o = String::from("{");
+            for (i, (k, v)) in self.overrides.iter().enumerate() {
+                if i > 0 {
+                    o.push(',');
+                }
+                push_escaped(&mut o, k);
+                o.push(':');
+                push_escaped(&mut o, v);
+            }
+            o.push('}');
+            tdp_jsonio::field_raw(&mut s, "overrides", &o);
+        }
+        if let Some(stride) = self.stride {
+            tdp_jsonio::field_num(&mut s, "stride", stride as f64);
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// One decoded request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Enqueue a job.
+    Submit(Box<SubmitRequest>),
+    /// Non-blocking job state poll.
+    Status {
+        /// Job id.
+        job: usize,
+    },
+    /// Block until the job is terminal, then answer like `status`.
+    Wait {
+        /// Job id.
+        job: usize,
+    },
+    /// Stream the job's progress events from index `from` until the job
+    /// finishes.
+    Events {
+        /// Job id.
+        job: usize,
+        /// First event index to replay (0 = from the beginning).
+        from: usize,
+    },
+    /// Request cancellation of a queued or running job.
+    Cancel {
+        /// Job id.
+        job: usize,
+    },
+    /// Server counters.
+    Metrics,
+    /// Stop accepting work, cancel in-flight jobs, exit cleanly.
+    Shutdown,
+}
+
+/// Why a request line was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtoError {
+    /// Human-readable reason.
+    pub msg: String,
+    /// Line/column for JSON syntax errors.
+    pub at: Option<(usize, usize)>,
+}
+
+impl ProtoError {
+    /// A semantic (non-syntax) protocol error.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self {
+            msg: msg.into(),
+            at: None,
+        }
+    }
+
+    /// Renders the error as one response line.
+    pub fn to_response(&self) -> String {
+        let mut s = String::from("{\"ok\":false");
+        tdp_jsonio::field_str(&mut s, "error", &self.msg);
+        if let Some((line, col)) = self.at {
+            tdp_jsonio::field_num(&mut s, "line", line as f64);
+            tdp_jsonio::field_num(&mut s, "col", col as f64);
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at {
+            Some((line, col)) => write!(f, "{} (at line {line} col {col})", self.msg),
+            None => write!(f, "{}", self.msg),
+        }
+    }
+}
+
+impl From<JsonError> for ProtoError {
+    fn from(e: JsonError) -> Self {
+        Self {
+            msg: format!("malformed JSON: {}", e.msg),
+            at: Some((e.line, e.col)),
+        }
+    }
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] with position info for JSON syntax errors and
+/// without for semantic ones (unknown command, missing fields, bad
+/// types).
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let doc = parse(line)?;
+    if doc.as_object().is_none() {
+        return Err(ProtoError::new("request must be a JSON object"));
+    }
+    let cmd = doc
+        .get("cmd")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ProtoError::new("missing string field \"cmd\""))?;
+    match cmd {
+        "submit" => Ok(Request::Submit(Box::new(parse_submit(&doc)?))),
+        "status" => Ok(Request::Status { job: job_id(&doc)? }),
+        "wait" => Ok(Request::Wait { job: job_id(&doc)? }),
+        "events" => Ok(Request::Events {
+            job: job_id(&doc)?,
+            from: match doc.get("from") {
+                None => 0,
+                Some(v) => v
+                    .as_usize()
+                    .ok_or_else(|| ProtoError::new("\"from\" must be a non-negative integer"))?,
+            },
+        }),
+        "cancel" => Ok(Request::Cancel { job: job_id(&doc)? }),
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ProtoError::new(format!(
+            "unknown cmd {other:?} (expected submit, status, wait, events, cancel, metrics \
+             or shutdown)"
+        ))),
+    }
+}
+
+fn job_id(doc: &JsonValue) -> Result<usize, ProtoError> {
+    doc.get("job")
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| ProtoError::new("missing non-negative integer field \"job\""))
+}
+
+fn parse_submit(doc: &JsonValue) -> Result<SubmitRequest, ProtoError> {
+    let design = match (doc.get("case"), doc.get("params")) {
+        (Some(c), None) => DesignRef::Case(
+            c.as_str()
+                .ok_or_else(|| ProtoError::new("\"case\" must be a string"))?
+                .to_string(),
+        ),
+        (None, Some(p)) => DesignRef::Inline(params_from_json(p)?),
+        (Some(_), Some(_)) => {
+            return Err(ProtoError::new(
+                "give either \"case\" or \"params\", not both",
+            ))
+        }
+        (None, None) => {
+            return Err(ProtoError::new(
+                "submit needs a design: \"case\" (catalog name) or \"params\" (inline)",
+            ))
+        }
+    };
+    let objective = doc
+        .get("objective")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ProtoError::new("missing string field \"objective\""))?
+        .to_string();
+    let profile = match doc.get("profile") {
+        None => "paper".to_string(),
+        Some(p) => p
+            .as_str()
+            .ok_or_else(|| ProtoError::new("\"profile\" must be a string"))?
+            .to_string(),
+    };
+    let mut overrides = Vec::new();
+    if let Some(o) = doc.get("overrides") {
+        let members = o
+            .as_object()
+            .ok_or_else(|| ProtoError::new("\"overrides\" must be an object"))?;
+        for (key, value) in members {
+            let text = match value {
+                JsonValue::Str(s) => s.clone(),
+                JsonValue::Num(n) => tdp_jsonio::format_num(*n),
+                _ => {
+                    return Err(ProtoError::new(format!(
+                        "override {key:?} must be a string or number"
+                    )))
+                }
+            };
+            overrides.push((key.clone(), text));
+        }
+    }
+    let stride = match doc.get("stride") {
+        None => None,
+        Some(v) => Some(
+            v.as_usize()
+                .filter(|&s| s > 0)
+                .ok_or_else(|| ProtoError::new("\"stride\" must be a positive integer"))?,
+        ),
+    };
+    Ok(SubmitRequest {
+        design,
+        objective,
+        profile,
+        overrides,
+        stride,
+    })
+}
+
+/// Encodes generator parameters as a JSON object (full field set — the
+/// inverse of [`params_from_json`]).
+pub fn params_to_json(p: &CircuitParams) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("name".into(), JsonValue::Str(p.name.clone())),
+        ("seed".into(), JsonValue::Num(p.seed as f64)),
+        ("num_comb".into(), p.num_comb.into()),
+        ("num_ff".into(), p.num_ff.into()),
+        ("num_pi".into(), p.num_pi.into()),
+        ("num_po".into(), p.num_po.into()),
+        ("levels".into(), p.levels.into()),
+        ("max_fanout".into(), p.max_fanout.into()),
+        (
+            "high_fanout_fraction".into(),
+            JsonValue::Num(p.high_fanout_fraction),
+        ),
+        ("utilization".into(), JsonValue::Num(p.utilization)),
+        ("num_macros".into(), p.num_macros.into()),
+        ("clock_period".into(), JsonValue::Num(p.clock_period)),
+        ("res_per_unit".into(), JsonValue::Num(p.res_per_unit)),
+        ("cap_per_unit".into(), JsonValue::Num(p.cap_per_unit)),
+    ])
+}
+
+/// Decodes inline generator parameters. `name` and `seed` are required;
+/// every other field defaults from [`CircuitParams::small`] with that
+/// name and seed, so small probes stay terse while full specifications
+/// round-trip exactly.
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] for missing/ill-typed fields and unknown keys
+/// (unknown keys are rejected so typos cannot silently fall back to
+/// defaults — a wrong design would cache under a wrong key).
+pub fn params_from_json(v: &JsonValue) -> Result<CircuitParams, ProtoError> {
+    let members = v
+        .as_object()
+        .ok_or_else(|| ProtoError::new("\"params\" must be an object"))?;
+    let name = v
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ProtoError::new("params: missing string field \"name\""))?;
+    let seed = v
+        .get("seed")
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| ProtoError::new("params: missing non-negative integer \"seed\""))?;
+    let mut p = CircuitParams::small(name, seed as u64);
+    for (key, value) in members {
+        let bad_usize =
+            || ProtoError::new(format!("params: {key:?} must be a non-negative integer"));
+        let bad_f64 = || ProtoError::new(format!("params: {key:?} must be a finite number"));
+        let as_usize = || value.as_usize().ok_or_else(bad_usize);
+        let as_f64 = || value.as_f64().filter(|f| f.is_finite()).ok_or_else(bad_f64);
+        match key.as_str() {
+            "name" | "seed" => {}
+            "num_comb" => p.num_comb = as_usize()?,
+            "num_ff" => p.num_ff = as_usize()?,
+            "num_pi" => p.num_pi = as_usize()?,
+            "num_po" => p.num_po = as_usize()?,
+            "levels" => p.levels = as_usize()?,
+            "max_fanout" => p.max_fanout = as_usize()?,
+            "high_fanout_fraction" => p.high_fanout_fraction = as_f64()?,
+            "utilization" => p.utilization = as_f64()?,
+            "num_macros" => p.num_macros = as_usize()?,
+            "clock_period" => p.clock_period = as_f64()?,
+            "res_per_unit" => p.res_per_unit = as_f64()?,
+            "cap_per_unit" => p.cap_per_unit = as_f64()?,
+            other => return Err(ProtoError::new(format!("params: unknown field {other:?}"))),
+        }
+    }
+    Ok(p)
+}
+
+/// The canonical content key of a design: FNV-1a over a canonical
+/// rendering of the generator parameters (floats by IEEE-754 bits, so
+/// the key is exact, not formatting-dependent). Equal parameters — by
+/// name or inline — always produce equal keys; the session cache is
+/// keyed by this.
+pub fn design_key(p: &CircuitParams) -> u64 {
+    let mut canon = String::with_capacity(256);
+    canon.push_str("name=");
+    canon.push_str(&p.name);
+    let mut field = |key: &str, v: u64| {
+        canon.push(';');
+        canon.push_str(key);
+        let _ = std::fmt::Write::write_fmt(&mut canon, format_args!("={v:x}"));
+    };
+    field("seed", p.seed);
+    field("num_comb", p.num_comb as u64);
+    field("num_ff", p.num_ff as u64);
+    field("num_pi", p.num_pi as u64);
+    field("num_po", p.num_po as u64);
+    field("levels", p.levels as u64);
+    field("max_fanout", p.max_fanout as u64);
+    field("high_fanout_fraction", p.high_fanout_fraction.to_bits());
+    field("utilization", p.utilization.to_bits());
+    field("num_macros", p.num_macros as u64);
+    field("clock_period", p.clock_period.to_bits());
+    field("res_per_unit", p.res_per_unit.to_bits());
+    field("cap_per_unit", p.cap_per_unit.to_bits());
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for b in canon.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Renders a `{"ok":true,"cmd":...}` response prefix; the caller appends
+/// fields and the closing `}`.
+pub fn ok_prefix(cmd: &str) -> String {
+    let mut s = String::from("{\"ok\":true");
+    tdp_jsonio::field_str(&mut s, "cmd", cmd);
+    s
+}
+
+/// Renders one job progress event as a wire line.
+pub fn event_line(kind: &str, job: usize, fields: impl FnOnce(&mut String)) -> String {
+    let mut s = String::from("{\"event\":");
+    push_escaped(&mut s, kind);
+    s.push_str(",\"job\":");
+    push_num(&mut s, job as f64);
+    fields(&mut s);
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips_through_encode_and_parse() {
+        let mut req = SubmitRequest::case("sb18", "efficient-tdp");
+        req.overrides.push(("seed".into(), "9".into()));
+        req.stride = Some(4);
+        let line = req.encode();
+        let Request::Submit(back) = parse_request(&line).unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(*back, req);
+    }
+
+    #[test]
+    fn inline_params_round_trip_and_share_keys_with_cases() {
+        let case = benchgen::case_by_name("mx1").unwrap();
+        let req = SubmitRequest {
+            design: DesignRef::Inline(case.params.clone()),
+            objective: "dreamplace4".into(),
+            profile: "paper".into(),
+            overrides: vec![],
+            stride: None,
+        };
+        let Request::Submit(back) = parse_request(&req.encode()).unwrap() else {
+            panic!("expected submit");
+        };
+        let DesignRef::Inline(params) = &back.design else {
+            panic!("expected inline design");
+        };
+        assert_eq!(params, &case.params);
+        // The content key is reference-independent.
+        assert_eq!(design_key(params), design_key(&case.params));
+        // And sensitive to any parameter change.
+        let mut other = case.params.clone();
+        other.clock_period += 1.0;
+        assert_ne!(design_key(&other), design_key(&case.params));
+    }
+
+    #[test]
+    fn inline_params_default_from_small_and_reject_unknown_keys() {
+        let v = parse("{\"name\":\"d\",\"seed\":3,\"num_comb\":400}").unwrap();
+        let p = params_from_json(&v).unwrap();
+        assert_eq!(p.num_comb, 400);
+        assert_eq!(p.num_ff, CircuitParams::small("d", 3).num_ff);
+
+        let bad = parse("{\"name\":\"d\",\"seed\":3,\"num_cmb\":400}").unwrap();
+        let err = params_from_json(&bad).unwrap_err();
+        assert!(err.msg.contains("num_cmb"), "{err}");
+    }
+
+    #[test]
+    fn overrides_accept_numbers_and_strings() {
+        let line = "{\"cmd\":\"submit\",\"case\":\"sb18\",\"objective\":\"ours\",\
+                    \"overrides\":{\"seed\":7,\"beta\":\"1e-3\"}}";
+        let Request::Submit(req) = parse_request(line).unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(
+            req.overrides,
+            vec![
+                ("seed".to_string(), "7".to_string()),
+                ("beta".to_string(), "1e-3".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn syntax_errors_carry_positions_and_semantic_errors_do_not() {
+        let err = parse_request("{\"cmd\": nope}").unwrap_err();
+        assert_eq!(err.at, Some((1, 9)), "{err}");
+        assert!(err.to_response().contains("\"line\":1"));
+
+        let err = parse_request("{\"cmd\":\"warp\"}").unwrap_err();
+        assert_eq!(err.at, None);
+        assert!(err.msg.contains("warp"), "{err}");
+
+        let err = parse_request("{\"cmd\":\"status\"}").unwrap_err();
+        assert!(err.msg.contains("job"), "{err}");
+
+        let err = parse_request("{\"cmd\":\"submit\",\"objective\":\"ours\"}").unwrap_err();
+        assert!(err.msg.contains("design"), "{err}");
+    }
+
+    #[test]
+    fn requests_without_payload_parse() {
+        assert_eq!(
+            parse_request("{\"cmd\":\"metrics\"}").unwrap(),
+            Request::Metrics
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"events\",\"job\":2}").unwrap(),
+            Request::Events { job: 2, from: 0 }
+        );
+    }
+}

@@ -1,0 +1,747 @@
+//! The resident placement service.
+//!
+//! One [`Server`] owns a TCP listener, a worker pool fed by a
+//! [`parx::TaskQueue`], and the [`SessionCache`]. Connections are
+//! line-oriented: each accepted socket gets a handler thread that reads
+//! one JSON request per line and writes one (or, for `events`, many)
+//! JSON response lines — see [`crate::protocol`] for the grammar.
+//!
+//! # Execution path
+//!
+//! A `submit` resolves the design, builds the job's [`FlowSpec`](tdp_core::FlowSpec) through
+//! exactly the same [`batch::make_jobs_for`] path a local run uses,
+//! reserves a session slot in the cache (hit/miss counted in submit
+//! order), appends a job-state record and enqueues its id. A worker pops the
+//! id, checks the session out of the slot (building it on first use) and
+//! runs [`batch::execute_job`] — the same function the batch runner
+//! executes — with a [`SinkObserver`](batch::SinkObserver) streaming progress into the job's
+//! event log. Results are therefore **bitwise identical** to a local
+//! `Session::run` of the same spec: the daemon adds scheduling and
+//! caching around the flow, never arithmetic inside it (the differential
+//! test at the workspace root asserts this, placement fingerprint
+//! included).
+//!
+//! # Shutdown discipline
+//!
+//! `shutdown` (request or [`ServerHandle::shutdown`]) closes the queue,
+//! raises every unfinished job's cancel flag, unblocks the acceptor and
+//! shuts every connection socket. Workers drain the backlog (fast-failing
+//! jobs that never started), every job reaches a terminal state (so
+//! `wait`ers and `events` streams wake), and [`ServerHandle::join`]
+//! returns only after the acceptor, every handler and every worker have
+//! been joined — no leaked threads, asserted by the serve tests.
+
+use crate::cache::{SessionCache, SessionSlot};
+use crate::metrics::ServeMetrics;
+use crate::protocol::{
+    design_key, event_line, ok_prefix, parse_request, DesignRef, ProtoError, Request, SubmitRequest,
+};
+use batch::{
+    execute_job, job_json, make_jobs_for, parse_objective, BatchEvent, BatchJob, BatchSink,
+    CancelSet, JobReport, JobStatus, Profile,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use tdp_core::FlowPhase;
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (the bound address
+    /// is on [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads executing jobs (`0` = one per hardware thread).
+    pub workers: usize,
+    /// Sessions kept hot in the LRU cache.
+    pub cache_capacity: usize,
+    /// Default event stride for submits that do not set one.
+    pub default_stride: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            cache_capacity: 8,
+            default_stride: 16,
+        }
+    }
+}
+
+/// Terminal-state-aware job phase (the report is boxed so the common
+/// non-terminal states stay pointer-sized).
+#[derive(Debug)]
+enum JobPhase {
+    Queued,
+    Running,
+    Finished(Box<JobReport>),
+}
+
+impl JobPhase {
+    fn label(&self) -> &str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Finished(r) => r.status.label(),
+        }
+    }
+}
+
+/// Append-only per-job event log with blocking readers.
+#[derive(Debug, Default)]
+struct EventLog {
+    state: Mutex<EventLogState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct EventLogState {
+    lines: Vec<String>,
+    closed: bool,
+}
+
+impl EventLog {
+    fn push(&self, line: String) {
+        let mut s = self.state.lock().expect("event log lock");
+        if !s.closed {
+            s.lines.push(line);
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("event log lock").closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until lines beyond `index` exist (returning them) or the
+    /// log closes with none left (returning an empty vec).
+    fn wait_from(&self, index: usize) -> (Vec<String>, bool) {
+        let mut s = self.state.lock().expect("event log lock");
+        loop {
+            if s.lines.len() > index {
+                return (s.lines[index..].to_vec(), s.closed);
+            }
+            if s.closed {
+                return (Vec::new(), true);
+            }
+            s = self.cv.wait(s).expect("event log lock");
+        }
+    }
+}
+
+/// One submitted job and everything needed to run, watch and cancel it.
+struct JobState {
+    id: usize,
+    job: BatchJob,
+    key: u64,
+    slot: Arc<SessionSlot>,
+    stride: usize,
+    /// Single-flag cancel set (flag index 0).
+    cancel: CancelSet,
+    phase: Mutex<JobPhase>,
+    cv: Condvar,
+    events: EventLog,
+}
+
+impl JobState {
+    fn finish(&self, report: JobReport, metrics: &ServeMetrics) {
+        match report.status {
+            JobStatus::Done => ServeMetrics::bump(&metrics.jobs_done),
+            JobStatus::Canceled => ServeMetrics::bump(&metrics.jobs_canceled),
+            JobStatus::Failed(_) => ServeMetrics::bump(&metrics.jobs_failed),
+        }
+        self.events.push(event_line("finished", self.id, |s| {
+            tdp_jsonio::field_str(s, "state", report.status.label());
+            tdp_jsonio::field_raw(s, "report", &job_json(&report));
+        }));
+        *self.phase.lock().expect("job phase lock") = JobPhase::Finished(Box::new(report));
+        self.cv.notify_all();
+        self.events.close();
+    }
+
+    fn is_finished(&self) -> bool {
+        matches!(
+            *self.phase.lock().expect("job phase lock"),
+            JobPhase::Finished(_)
+        )
+    }
+}
+
+/// State shared by the acceptor, handlers and workers.
+struct Shared {
+    cfg: ServerConfig,
+    workers: usize,
+    addr: SocketAddr,
+    cache: SessionCache,
+    metrics: ServeMetrics,
+    jobs: Mutex<Vec<Arc<JobState>>>,
+    queue: parx::TaskQueue<usize>,
+    shutting_down: AtomicBool,
+    /// Live connections by id, so shutdown can unblock their reads. A
+    /// handler *must* unregister on exit — a resident daemon would
+    /// otherwise leak one fd per closed connection.
+    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_conn: std::sync::atomic::AtomicU64,
+}
+
+impl Shared {
+    fn job(&self, id: usize) -> Option<Arc<JobState>> {
+        self.jobs.lock().expect("jobs lock").get(id).cloned()
+    }
+
+    /// Registers a connection for shutdown teardown; returns its
+    /// registry id, or `None` if the server is already shutting down
+    /// (the caller should bail).
+    fn register_conn(&self, stream: &TcpStream) -> Option<u64> {
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let mut conns = self.conns.lock().expect("conns lock");
+        if let Ok(clone) = stream.try_clone() {
+            conns.insert(id, clone);
+        }
+        // Checked under the conns lock: `initiate_shutdown` sets the
+        // flag before sweeping this map, so either we see the flag here
+        // or the sweep sees our entry — never neither.
+        if self.shutting_down.load(Ordering::SeqCst) {
+            conns.remove(&id);
+            None
+        } else {
+            Some(id)
+        }
+    }
+
+    /// Drops a finished connection's registry entry (and its fd).
+    fn unregister_conn(&self, id: u64) {
+        self.conns.lock().expect("conns lock").remove(&id);
+    }
+
+    fn initiate_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // No new work; workers drain what is queued (fast-failing it).
+        self.queue.close();
+        // Stop in-flight flows at their next observer callback.
+        for job in self.jobs.lock().expect("jobs lock").iter() {
+            if !job.is_finished() {
+                job.cancel.cancel(0);
+            }
+        }
+        // Unblock every handler thread's read/write...
+        for conn in self.conns.lock().expect("conns lock").values() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // ...and the acceptor.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server. Keep the handle: dropping it shuts the server down
+/// and joins every thread.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Initiates shutdown without blocking (idempotent; also triggered
+    /// by the wire `shutdown` command).
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Blocks until the server has fully stopped: acceptor, handlers and
+    /// workers all joined.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.initiate_shutdown();
+        self.join_inner();
+    }
+}
+
+/// The service entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the worker pool and the acceptor, and returns
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = parx::resolve_threads(cfg.workers);
+        let shared = Arc::new(Shared {
+            cache: SessionCache::new(cfg.cache_capacity),
+            metrics: ServeMetrics::new(),
+            jobs: Mutex::new(Vec::new()),
+            queue: parx::TaskQueue::new(),
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(std::collections::HashMap::new()),
+            next_conn: std::sync::atomic::AtomicU64::new(0),
+            workers,
+            addr,
+            cfg,
+        });
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("tdp-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tdp-serve-acceptor".to_string())
+                .spawn(move || {
+                    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                    for stream in listener.incoming() {
+                        if shared.shutting_down.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shared = Arc::clone(&shared);
+                        if let Ok(h) = std::thread::Builder::new()
+                            .name("tdp-serve-conn".to_string())
+                            .spawn(move || handle_connection(&shared, stream))
+                        {
+                            handlers.push(h);
+                        }
+                    }
+                    for h in handlers {
+                        let _ = h.join();
+                    }
+                    for h in worker_handles {
+                        let _ = h.join();
+                    }
+                })?
+        };
+
+        Ok(ServerHandle {
+            shared,
+            supervisor: Some(supervisor),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+/// Renders flow events into the job's event log.
+struct LogSink<'a> {
+    log: &'a EventLog,
+}
+
+impl BatchSink for LogSink<'_> {
+    fn on_event(&self, event: &BatchEvent) {
+        let line = match event {
+            BatchEvent::JobStarted {
+                job,
+                case,
+                objective,
+            } => event_line("started", *job, |s| {
+                tdp_jsonio::field_str(s, "case", case);
+                tdp_jsonio::field_str(s, "objective", objective);
+            }),
+            BatchEvent::Phase { job, phase } => event_line("phase", *job, |s| {
+                let name = match phase {
+                    FlowPhase::Setup => "setup",
+                    FlowPhase::GlobalPlacement => "global_placement",
+                    FlowPhase::Legalization => "legalization",
+                    FlowPhase::Evaluation => "evaluation",
+                };
+                tdp_jsonio::field_str(s, "phase", name);
+            }),
+            BatchEvent::Iteration {
+                job,
+                iter,
+                hpwl,
+                overflow,
+            } => event_line("iteration", *job, |s| {
+                tdp_jsonio::field_num(s, "iter", *iter as f64);
+                tdp_jsonio::field_num(s, "hpwl", *hpwl);
+                tdp_jsonio::field_num(s, "overflow", *overflow);
+            }),
+            BatchEvent::TimingAnalysis {
+                job,
+                iter,
+                tns,
+                wns,
+            } => event_line("timing", *job, |s| {
+                tdp_jsonio::field_num(s, "iter", *iter as f64);
+                tdp_jsonio::field_num(s, "tns", *tns);
+                tdp_jsonio::field_num(s, "wns", *wns);
+            }),
+            // The terminal line is pushed by `JobState::finish` (which
+            // also closes the log), not by the sink.
+            BatchEvent::JobFinished { .. } => return,
+        };
+        self.log.push(line);
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(id) = shared.queue.pop() {
+        let Some(job) = shared.job(id) else { continue };
+        run_job(shared, &job);
+    }
+}
+
+/// The report of a job that could not run (mirrors the batch runner's
+/// failed-report shape).
+fn failed_report(job: &JobState, msg: String) -> JobReport {
+    JobReport {
+        job: job.id,
+        case: job.job.case.clone(),
+        objective: job.job.spec.objective().label(),
+        cells: 0,
+        nets: 0,
+        status: JobStatus::Failed(msg),
+        iterations: 0,
+        legal: false,
+        metrics: None,
+        placement_hash: 0,
+        runtime: Default::default(),
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_job(shared: &Shared, job: &JobState) {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        // Drained off the closed queue: never started, fail fast so
+        // waiters wake and shutdown stays prompt.
+        job.finish(
+            failed_report(job, "server shut down before the job started".into()),
+            &shared.metrics,
+        );
+        return;
+    }
+    *job.phase.lock().expect("job phase lock") = JobPhase::Running;
+    let sink = LogSink { log: &job.events };
+    sink.on_event(&BatchEvent::JobStarted {
+        job: job.id,
+        case: job.job.case.clone(),
+        objective: job.job.spec.objective().label(),
+    });
+    // One catch_unwind around *everything* that can assert — design
+    // generation and session construction included (inline params are
+    // only type-checked at submit, so the generator may still reject
+    // them with a panic). A panic must fail the job, never the worker:
+    // a dead worker would strand the queue and every waiter.
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        match job.slot.session(&job.job.params) {
+            Err(msg) => failed_report(job, msg),
+            Ok(session_mutex) => match session_mutex.lock() {
+                // A panic inside an earlier job poisoned this design's
+                // session; fail cleanly rather than run on half-updated
+                // state (same policy as the batch runner's group
+                // poisoning).
+                Err(_) => failed_report(
+                    job,
+                    "session poisoned by a previous job's panic on this design".into(),
+                ),
+                Ok(mut session) => execute_job(
+                    job.id,
+                    &job.job,
+                    &mut session,
+                    &sink,
+                    &job.cancel,
+                    0,
+                    job.stride,
+                ),
+            },
+        }
+    }));
+    let report = attempt.unwrap_or_else(|payload| {
+        failed_report(job, format!("job panicked: {}", panic_text(payload)))
+    });
+    job.finish(report, &shared.metrics);
+}
+
+// ---------------------------------------------------------------------
+// Connection side
+// ---------------------------------------------------------------------
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let Some(conn_id) = shared.register_conn(&stream) else {
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    };
+    serve_requests(shared, stream);
+    shared.unregister_conn(conn_id);
+}
+
+/// The per-connection request loop; returns on EOF, socket teardown or
+/// a failed write.
+fn serve_requests(shared: &Shared, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // EOF or torn-down socket
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        ServeMetrics::bump(&shared.metrics.requests);
+        let outcome = match parse_request(line.trim_end()) {
+            Err(e) => write_line(&mut writer, &e.to_response()),
+            Ok(request) => dispatch(shared, request, &mut writer),
+        };
+        if outcome.is_err() {
+            return; // client went away mid-response
+        }
+    }
+}
+
+/// Handles one request; `Err` means the socket died and the connection
+/// loop should end.
+fn dispatch(shared: &Shared, request: Request, writer: &mut TcpStream) -> std::io::Result<()> {
+    match request {
+        Request::Submit(req) => match handle_submit(shared, &req) {
+            Err(e) => write_line(writer, &e.to_response()),
+            Ok(response) => write_line(writer, &response),
+        },
+        Request::Status { job } => match shared.job(job) {
+            None => write_line(writer, &unknown_job(job)),
+            Some(j) => write_line(writer, &render_status("status", &j)),
+        },
+        Request::Wait { job } => match shared.job(job) {
+            None => write_line(writer, &unknown_job(job)),
+            Some(j) => {
+                let mut phase = j.phase.lock().expect("job phase lock");
+                while !matches!(*phase, JobPhase::Finished(_)) {
+                    phase = j.cv.wait(phase).expect("job phase lock");
+                }
+                drop(phase);
+                write_line(writer, &render_status("wait", &j))
+            }
+        },
+        Request::Events { job, from } => match shared.job(job) {
+            None => write_line(writer, &unknown_job(job)),
+            Some(j) => {
+                ServeMetrics::bump(&shared.metrics.event_streams);
+                let mut index = from;
+                let mut sent = 0usize;
+                loop {
+                    let (lines, closed) = j.events.wait_from(index);
+                    if lines.is_empty() && closed {
+                        if sent == 0 {
+                            // `from` pointed at or past the terminal
+                            // `finished` line, so the stream replayed
+                            // nothing. Emit an explicit terminator —
+                            // a silent empty stream would deadlock a
+                            // client waiting for a terminal event.
+                            let state = j.phase.lock().expect("job phase lock").label().to_string();
+                            let end = event_line("end", j.id, |s| {
+                                tdp_jsonio::field_str(s, "state", &state);
+                            });
+                            return write_line(writer, &end);
+                        }
+                        return Ok(());
+                    }
+                    index += lines.len();
+                    sent += lines.len();
+                    for l in &lines {
+                        write_line(writer, l)?;
+                    }
+                }
+            }
+        },
+        Request::Cancel { job } => match shared.job(job) {
+            None => write_line(writer, &unknown_job(job)),
+            Some(j) => {
+                j.cancel.cancel(0);
+                let mut s = ok_prefix("cancel");
+                tdp_jsonio::field_num(&mut s, "job", job as f64);
+                s.push('}');
+                write_line(writer, &s)
+            }
+        },
+        Request::Metrics => {
+            let (total, queued, running) = {
+                let jobs = shared.jobs.lock().expect("jobs lock");
+                let mut queued = 0usize;
+                let mut running = 0usize;
+                for j in jobs.iter() {
+                    match *j.phase.lock().expect("job phase lock") {
+                        JobPhase::Queued => queued += 1,
+                        JobPhase::Running => running += 1,
+                        JobPhase::Finished(_) => {}
+                    }
+                }
+                (jobs.len(), queued, running)
+            };
+            let mut s = ok_prefix("metrics");
+            shared.metrics.render(
+                &mut s,
+                &crate::metrics::Gauges {
+                    workers: shared.workers,
+                    jobs_total: total,
+                    jobs_queued: queued,
+                    jobs_running: running,
+                    cache_entries: shared.cache.len(),
+                    cache_capacity: shared.cache.capacity(),
+                },
+            );
+            s.push('}');
+            write_line(writer, &s)
+        }
+        Request::Shutdown => {
+            let mut s = ok_prefix("shutdown");
+            tdp_jsonio::field_num(
+                &mut s,
+                "jobs",
+                shared.jobs.lock().expect("jobs lock").len() as f64,
+            );
+            s.push('}');
+            let result = write_line(writer, &s);
+            shared.initiate_shutdown();
+            result
+        }
+    }
+}
+
+fn unknown_job(job: usize) -> String {
+    ProtoError::new(format!("unknown job {job}")).to_response()
+}
+
+fn render_status(cmd: &str, job: &JobState) -> String {
+    let phase = job.phase.lock().expect("job phase lock");
+    let mut s = ok_prefix(cmd);
+    tdp_jsonio::field_num(&mut s, "job", job.id as f64);
+    tdp_jsonio::field_str(&mut s, "state", phase.label());
+    tdp_jsonio::field_str(&mut s, "design", &format!("{:#018x}", job.key));
+    if let JobPhase::Finished(report) = &*phase {
+        tdp_jsonio::field_raw(&mut s, "report", &job_json(report));
+    }
+    s.push('}');
+    s
+}
+
+fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<String, ProtoError> {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Err(ProtoError::new("server is shutting down"));
+    }
+    let (name, params) = match &req.design {
+        DesignRef::Case(name) => {
+            let case = benchgen::case_by_name(name).ok_or_else(|| {
+                let known: Vec<&str> = benchgen::full_suite().iter().map(|c| c.name).collect();
+                ProtoError::new(format!(
+                    "unknown case {name:?} (available: {})",
+                    known.join(", ")
+                ))
+            })?;
+            (case.name.to_string(), case.params)
+        }
+        DesignRef::Inline(params) => (params.name.clone(), params.clone()),
+    };
+    let objective = parse_objective(&req.objective)
+        .map_err(|e| ProtoError::new(e.to_string()))?
+        .ok_or_else(|| {
+            ProtoError::new(
+                "objective \"all\" is not valid on the wire; submit one job per objective",
+            )
+        })?;
+    let profile = Profile::parse(&req.profile).map_err(|e| ProtoError::new(e.to_string()))?;
+    let mut jobs = make_jobs_for(&name, &params, Some(&objective), profile, &req.overrides)
+        .map_err(|e| ProtoError::new(e.to_string()))?;
+    debug_assert_eq!(jobs.len(), 1, "one objective yields one job");
+    let job = jobs.remove(0);
+
+    let key = design_key(&params);
+    let (slot, hit, evictions) = shared.cache.checkout(key);
+    if hit {
+        ServeMetrics::bump(&shared.metrics.cache_hits);
+    } else {
+        ServeMetrics::bump(&shared.metrics.cache_misses);
+    }
+    for _ in 0..evictions {
+        ServeMetrics::bump(&shared.metrics.cache_evictions);
+    }
+
+    let stride = req.stride.unwrap_or(shared.cfg.default_stride).max(1);
+    let state = {
+        let mut jobs_vec = shared.jobs.lock().expect("jobs lock");
+        let id = jobs_vec.len();
+        let state = Arc::new(JobState {
+            id,
+            job,
+            key,
+            slot,
+            stride,
+            cancel: CancelSet::new(1),
+            phase: Mutex::new(JobPhase::Queued),
+            cv: Condvar::new(),
+            events: EventLog::default(),
+        });
+        jobs_vec.push(Arc::clone(&state));
+        state
+    };
+    ServeMetrics::bump(&shared.metrics.submits);
+    if !shared.queue.push(state.id) {
+        // Shutdown raced the submit; resolve the job terminally so
+        // status/wait/events still behave.
+        state.finish(
+            failed_report(&state, "server shut down before the job started".into()),
+            &shared.metrics,
+        );
+    }
+    let mut s = ok_prefix("submit");
+    tdp_jsonio::field_num(&mut s, "job", state.id as f64);
+    tdp_jsonio::field_str(&mut s, "design", &format!("{key:#018x}"));
+    tdp_jsonio::field_bool(&mut s, "cached", hit);
+    s.push('}');
+    Ok(s)
+}

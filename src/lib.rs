@@ -3,5 +3,7 @@ pub use batch;
 pub use benchgen;
 pub use netlist;
 pub use placer;
+pub use serve;
 pub use sta;
 pub use tdp_core;
+pub use tdp_jsonio;

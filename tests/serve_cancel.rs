@@ -1,0 +1,252 @@
+//! Request cancellation isolation: canceling one in-flight daemon job
+//! stops *that* job (leaving a well-formed, legalized partial result)
+//! while a concurrently running sibling on another design finishes
+//! untouched — bitwise equal to a local baseline run.
+//!
+//! Also exercised: the daemon shuts down cleanly with its full job
+//! history intact (every `ServerHandle::join` in the serve tests is the
+//! no-leaked-threads assertion — join hangs if any worker, handler or
+//! acceptor thread survives).
+
+use efficient_tdp::batch::{make_jobs_for, parse_objective, Profile};
+use efficient_tdp::benchgen::{case_by_name, generate};
+use efficient_tdp::serve::{Client, Server, ServerConfig, SubmitRequest};
+use efficient_tdp::tdp_core::Session;
+use std::time::Duration;
+use tdp_jsonio::JsonValue;
+
+#[test]
+fn canceling_one_job_leaves_its_concurrent_sibling_bitwise_untouched() {
+    let handle = Server::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(handle.addr(), Duration::from_secs(5)).expect("connect");
+
+    // The victim: a long-budget run (max_iters raised far beyond quick
+    // convergence) streaming every iteration, so there is ample window
+    // to cancel mid-flight and an event to trigger on.
+    let mut victim = SubmitRequest::case("sb18", "efficient-tdp");
+    victim.overrides = vec![("max_iters".to_string(), "4000".to_string())];
+    victim.stride = Some(1);
+    let victim_id = client.submit(&victim).expect("submit victim");
+
+    // The sibling: a normal quick run on a different design, racing the
+    // victim on the second worker.
+    let sibling = SubmitRequest::case("dl1", "efficient-tdp");
+    let sibling_id = client.submit(&sibling).expect("submit sibling");
+
+    // Cancel the victim from a second connection as soon as its first
+    // placement iteration streams.
+    let mut canceler =
+        Client::connect(handle.addr(), Duration::from_secs(5)).expect("second connection");
+    let mut canceled_at: Option<usize> = None;
+    let finished = client
+        .events(victim_id, 0, |event| {
+            if canceled_at.is_none()
+                && event.get("event").and_then(JsonValue::as_str) == Some("iteration")
+            {
+                canceled_at = event.get("iter").and_then(JsonValue::as_usize);
+                canceler.cancel(victim_id).expect("cancel");
+            }
+        })
+        .expect("victim event stream");
+    assert!(canceled_at.is_some(), "no iteration event ever streamed");
+    assert_eq!(
+        finished.get("state").and_then(JsonValue::as_str),
+        Some("canceled"),
+        "{}",
+        finished.encode()
+    );
+
+    // The canceled job still reports a legalized partial placement.
+    let victim_status = client.wait(victim_id).expect("victim wait");
+    let report = victim_status
+        .get("report")
+        .expect("canceled jobs carry a report");
+    assert_eq!(report.get("legal").and_then(JsonValue::as_bool), Some(true));
+    let iterations = report
+        .get("iterations")
+        .and_then(JsonValue::as_usize)
+        .unwrap();
+    assert!(
+        iterations < 4000,
+        "victim must have stopped early, ran {iterations}"
+    );
+
+    // The sibling is done, legal, and bitwise equal to a cold local run
+    // of the same spec — the cancellation never reached it.
+    let sibling_status = client.wait(sibling_id).expect("sibling wait");
+    assert_eq!(
+        sibling_status.get("state").and_then(JsonValue::as_str),
+        Some("done")
+    );
+    let case = case_by_name("dl1").unwrap();
+    let jobs = make_jobs_for(
+        "dl1",
+        &case.params,
+        Some(parse_objective("efficient-tdp").unwrap().as_ref().unwrap()),
+        Profile::parse("quick").unwrap(),
+        &[],
+    )
+    .unwrap();
+    let (design, pads) = generate(&case.params);
+    let mut session = Session::builder(design, pads).build().unwrap();
+    let outcome = session.run(&jobs[0].spec).unwrap();
+    let remote = sibling_status.get("report").unwrap();
+    let hex = remote
+        .get("placement_hash")
+        .and_then(JsonValue::as_str)
+        .unwrap();
+    assert_eq!(
+        u64::from_str_radix(hex.trim_start_matches("0x"), 16).unwrap(),
+        outcome.placement.content_hash(),
+        "sibling placement must be bit-identical to the local baseline"
+    );
+    assert_eq!(
+        remote
+            .get("tns")
+            .and_then(JsonValue::as_f64)
+            .unwrap()
+            .to_bits(),
+        outcome.metrics.tns.to_bits()
+    );
+    assert_eq!(
+        remote.get("iterations").and_then(JsonValue::as_usize),
+        Some(outcome.iterations)
+    );
+
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(
+        metrics.get("canceled").and_then(JsonValue::as_usize),
+        Some(1),
+        "{}",
+        metrics.encode()
+    );
+    assert_eq!(metrics.get("done").and_then(JsonValue::as_usize), Some(1));
+
+    client.shutdown().expect("shutdown ack");
+    // The no-leak assertion: join returns only after the acceptor, every
+    // connection handler and every worker exited.
+    handle.join();
+}
+
+#[test]
+fn a_panicking_submit_fails_alone_and_the_worker_pool_survives() {
+    use efficient_tdp::benchgen::CircuitParams;
+    use efficient_tdp::serve::DesignRef;
+
+    let handle = Server::start(ServerConfig {
+        workers: 1, // one worker: if the panic killed it, nothing would ever run again
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(handle.addr(), Duration::from_secs(5)).expect("connect");
+
+    // Inline parameters that pass wire type-checking but make the
+    // generator assert (`need at least one logic level`).
+    let bomb = SubmitRequest {
+        design: DesignRef::Inline(CircuitParams {
+            levels: 0,
+            ..CircuitParams::small("bomb", 1)
+        }),
+        ..SubmitRequest::case("unused", "efficient-tdp")
+    };
+    let bomb_id = client
+        .submit(&bomb)
+        .expect("submit accepts type-valid params");
+    let failed = client.wait(bomb_id).expect("wait must terminate, not hang");
+    assert_eq!(
+        failed.get("state").and_then(JsonValue::as_str),
+        Some("failed"),
+        "{}",
+        failed.encode()
+    );
+    let error = failed
+        .get("report")
+        .and_then(|r| r.get("error"))
+        .and_then(JsonValue::as_str)
+        .expect("failed report carries the error");
+    assert!(error.contains("panicked"), "{error}");
+
+    // The (sole) worker survived the panic: a normal job still runs.
+    let ok_id = client
+        .submit(&SubmitRequest::case("sb18", "dreamplace"))
+        .expect("submit");
+    let done = client.wait(ok_id).expect("wait");
+    assert_eq!(done.get("state").and_then(JsonValue::as_str), Some("done"));
+
+    // Resuming an event stream past the terminal event must answer with
+    // an explicit `end` line, not silence (a silent empty stream would
+    // deadlock the reader).
+    let terminal = client
+        .events(ok_id, 10_000, |event| {
+            // Only the terminator itself may stream — no replayed rows.
+            assert_eq!(
+                event.get("event").and_then(JsonValue::as_str),
+                Some("end"),
+                "{}",
+                event.encode()
+            );
+        })
+        .expect("resumed stream terminates");
+    assert_eq!(
+        terminal.get("event").and_then(JsonValue::as_str),
+        Some("end")
+    );
+    assert_eq!(
+        terminal.get("state").and_then(JsonValue::as_str),
+        Some("done")
+    );
+
+    client.shutdown().expect("shutdown ack");
+    handle.join();
+}
+
+#[test]
+fn shutdown_fails_queued_jobs_and_cancels_running_ones_promptly() {
+    // One worker so the queue backs up behind a long-running job.
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(handle.addr(), Duration::from_secs(5)).expect("connect");
+
+    let mut long = SubmitRequest::case("sb18", "efficient-tdp");
+    long.overrides = vec![("max_iters".to_string(), "4000".to_string())];
+    long.stride = Some(1);
+    let running = client.submit(&long).expect("submit running");
+    let queued = client
+        .submit(&SubmitRequest::case("dl1", "efficient-tdp"))
+        .expect("submit queued");
+
+    // Make sure the first job is actually executing before shutdown.
+    let mut watcher =
+        Client::connect(handle.addr(), Duration::from_secs(5)).expect("watcher connection");
+    let mut seen_iteration = false;
+    // Read events on the watcher until the first iteration, then stop
+    // reading (drop the connection with the stream unfinished — the
+    // server must cope with that too).
+    let _ = watcher.events(running, 0, |event| {
+        if !seen_iteration && event.get("event").and_then(JsonValue::as_str) == Some("iteration") {
+            seen_iteration = true;
+            // Trigger shutdown mid-run from the main connection.
+            client.shutdown().expect("shutdown ack");
+        }
+    });
+    assert!(seen_iteration, "the long job never started iterating");
+
+    // Everything terminates; join proves no threads leak even with a
+    // half-read event stream and a queued job that never ran.
+    let addr = handle.addr();
+    handle.join();
+
+    // The listener is gone: fresh connections are refused.
+    assert!(
+        Client::connect(addr, Duration::ZERO).is_err(),
+        "the daemon's port must be closed after join"
+    );
+    let _ = (running, queued);
+}

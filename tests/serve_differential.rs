@@ -1,0 +1,203 @@
+//! The daemon's differential guarantee: a request served by `tdp-serve`
+//! is **bitwise identical** to the same spec run through a local
+//! [`Session`] — metrics bit for bit, iteration for iteration, and the
+//! placement fingerprint too. The daemon may add scheduling, caching and
+//! streaming around the flow; it may never change a single bit inside it.
+//!
+//! Also covered here: streamed events arrive in iteration order, and an
+//! inline-parameters submission resolves to the same design key (and the
+//! same bits) as the equivalent catalog reference.
+
+use efficient_tdp::batch::make_jobs_for;
+use efficient_tdp::benchgen::{case_by_name, generate};
+use efficient_tdp::serve::{design_key, Client, DesignRef, Server, ServerConfig, SubmitRequest};
+use efficient_tdp::tdp_core::Session;
+use std::time::Duration;
+use tdp_jsonio::JsonValue;
+
+fn connect(handle: &efficient_tdp::serve::ServerHandle) -> Client {
+    Client::connect(handle.addr(), Duration::from_secs(5)).expect("connect to in-process server")
+}
+
+fn f64_field(doc: &JsonValue, key: &str) -> f64 {
+    doc.get("report")
+        .and_then(|r| r.get(key))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("report field {key} missing in {}", doc.encode()))
+}
+
+fn usize_field(doc: &JsonValue, key: &str) -> usize {
+    doc.get("report")
+        .and_then(|r| r.get(key))
+        .and_then(JsonValue::as_usize)
+        .unwrap_or_else(|| panic!("report field {key} missing in {}", doc.encode()))
+}
+
+fn hash_field(doc: &JsonValue) -> u64 {
+    let hex = doc
+        .get("report")
+        .and_then(|r| r.get("placement_hash"))
+        .and_then(JsonValue::as_str)
+        .expect("placement_hash present");
+    u64::from_str_radix(hex.trim_start_matches("0x"), 16).expect("hex placement hash")
+}
+
+#[test]
+fn daemon_results_match_local_sessions_bitwise() {
+    let handle = Server::start(ServerConfig::default()).expect("server starts");
+    let mut client = connect(&handle);
+
+    // Two objectives on one design, submitted over the wire with an
+    // explicit seed override to exercise the override path too.
+    let case = case_by_name("sb18").expect("catalog case");
+    let overrides = vec![("seed".to_string(), "9".to_string())];
+    for objective in ["efficient-tdp", "dreamplace4"] {
+        let mut req = SubmitRequest::case("sb18", objective);
+        req.overrides = overrides.clone();
+        req.stride = Some(4);
+        let job = client.submit(&req).expect("submit");
+
+        // Stream the events: iteration indices must arrive in strictly
+        // increasing order, phases in flow order.
+        let mut iters: Vec<usize> = Vec::new();
+        let mut phases: Vec<String> = Vec::new();
+        let finished = client
+            .events(job, 0, |event| {
+                match event.get("event").and_then(JsonValue::as_str) {
+                    Some("iteration") => {
+                        iters.push(event.get("iter").and_then(JsonValue::as_usize).unwrap())
+                    }
+                    Some("phase") => phases.push(
+                        event
+                            .get("phase")
+                            .and_then(JsonValue::as_str)
+                            .unwrap()
+                            .to_string(),
+                    ),
+                    _ => {}
+                }
+            })
+            .expect("event stream");
+        assert_eq!(
+            finished.get("state").and_then(JsonValue::as_str),
+            Some("done"),
+            "{}",
+            finished.encode()
+        );
+        assert!(iters.len() > 1, "strided iterations must stream");
+        assert!(
+            iters.windows(2).all(|w| w[0] < w[1]),
+            "events out of iteration order: {iters:?}"
+        );
+        assert_eq!(
+            phases,
+            ["setup", "global_placement", "legalization", "evaluation"],
+            "phases must stream in flow order"
+        );
+
+        let remote = client.wait(job).expect("wait");
+
+        // The local baseline: identical spec construction, one fresh
+        // session, plain `run`.
+        let jobs = make_jobs_for(
+            "sb18",
+            &case.params,
+            Some(
+                efficient_tdp::batch::parse_objective(objective)
+                    .unwrap()
+                    .as_ref()
+                    .unwrap(),
+            ),
+            efficient_tdp::batch::Profile::parse("quick").unwrap(),
+            &overrides,
+        )
+        .unwrap();
+        let (design, pads) = generate(&case.params);
+        let mut session = Session::builder(design, pads).build().unwrap();
+        let outcome = session.run(&jobs[0].spec).unwrap();
+
+        assert_eq!(usize_field(&remote, "iterations"), outcome.iterations);
+        assert_eq!(
+            f64_field(&remote, "tns").to_bits(),
+            outcome.metrics.tns.to_bits(),
+            "{objective}: tns"
+        );
+        assert_eq!(
+            f64_field(&remote, "wns").to_bits(),
+            outcome.metrics.wns.to_bits(),
+            "{objective}: wns"
+        );
+        assert_eq!(
+            f64_field(&remote, "hpwl").to_bits(),
+            outcome.metrics.hpwl.to_bits(),
+            "{objective}: hpwl"
+        );
+        assert_eq!(
+            usize_field(&remote, "failing_endpoints"),
+            outcome.metrics.failing_endpoints
+        );
+        assert_eq!(
+            hash_field(&remote),
+            outcome.placement.content_hash(),
+            "{objective}: the daemon's legalized placement must be \
+             bit-identical to the local one"
+        );
+    }
+
+    // Quick profile submits must also match with no overrides at all:
+    // the daemon builds its spec through the same Profile path.
+    client.shutdown().expect("shutdown ack");
+    handle.join();
+}
+
+#[test]
+fn inline_params_share_design_key_and_bits_with_the_catalog_case() {
+    let handle = Server::start(ServerConfig::default()).expect("server starts");
+    let mut client = connect(&handle);
+    let case = case_by_name("sb18").expect("catalog case");
+
+    let by_name = SubmitRequest::case("sb18", "efficient-tdp");
+    let job_a = client.submit(&by_name).expect("submit by name");
+    let a = client.wait(job_a).expect("wait");
+
+    let inline = SubmitRequest {
+        design: DesignRef::Inline(case.params.clone()),
+        ..SubmitRequest::case("sb18", "efficient-tdp")
+    };
+    let job_b = client.submit(&inline).expect("submit inline");
+    let b = client.wait(job_b).expect("wait");
+
+    // Same canonical design key on both responses...
+    let key = |doc: &JsonValue| {
+        doc.get("design")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .expect("design key in status")
+    };
+    assert_eq!(key(&a), key(&b));
+    assert_eq!(
+        key(&a),
+        format!("{:#018x}", design_key(&case.params)),
+        "wire key must equal the locally computed canonical key"
+    );
+    // ...and bit-identical results (same session, same spec).
+    assert_eq!(hash_field(&a), hash_field(&b));
+    assert_eq!(
+        f64_field(&a, "tns").to_bits(),
+        f64_field(&b, "tns").to_bits()
+    );
+
+    // The second submit must have been a cache hit.
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(
+        metrics.get("cache_hits").and_then(JsonValue::as_usize),
+        Some(1)
+    );
+    assert_eq!(
+        metrics.get("cache_misses").and_then(JsonValue::as_usize),
+        Some(1)
+    );
+
+    client.shutdown().expect("shutdown ack");
+    handle.join();
+}

@@ -19,10 +19,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 const USAGE: &str = "usage: tdp-batch [options]
   --suite paper|full      case catalog: the paper's 8 cases or the widened
-                          12-case suite (default: full)
+                          14-case suite (default: full)
   --cases a,b,c           restrict to these case names
   --objectives NAME|all   dreamplace, dreamplace4, differentiable-tdp,
-                          efficient-tdp or all (default: all)
+                          efficient-tdp, congestion-aware or all
+                          (default: all)
   --jobs FILE             read the job list from FILE instead
   --profile paper|quick   base schedule (default: paper)
   --workers N             worker threads; 0 = one per hardware thread

@@ -18,12 +18,17 @@
 //! dl1    dreamplace4   seed=7 timing_start=80 timing_interval=8
 //! ```
 //!
-//! * `<case>` — a name from [`benchgen::full_suite`] (`sb1` … `dl1`).
+//! * `<case>` — a name from [`benchgen::full_suite`] (`sb1` … `cg2`).
 //! * `<objective>` — `dreamplace`, `dreamplace4`, `differentiable-tdp`,
-//!   `efficient-tdp`, or `all` to sweep the four builtin objectives.
+//!   `efficient-tdp`, `congestion-aware`, or `all` to sweep the five
+//!   builtin objectives.
 //! * `key=value` overrides, applied on top of the selected
 //!   [`Profile`]: `beta`, `w0`, `w1`, `seed`, `threads`,
-//!   `timing_start`, `timing_interval`, `min_iters`, `max_iters`.
+//!   `timing_start`, `timing_interval`, `min_iters`, `max_iters`,
+//!   `route_bins`, `route_capacity`, `route_pin_weight`,
+//!   `congestion_weight` (tunes the `congestion-aware` objective —
+//!   including that member of an `all` sweep — and is a no-op for the
+//!   others, like `beta` on `dreamplace`).
 //!
 //! Malformed lines are reported with their 1-based line number; unknown
 //! cases list the available catalog.
@@ -32,24 +37,28 @@ use crate::BatchError;
 use benchgen::{CircuitParams, SuiteCase};
 use tdp_core::{FlowBuilder, FlowSpec, ObjectiveSpec};
 
-/// The four builtin objectives, in the paper's table order — the sweep
-/// `all` expands to.
-pub const BUILTIN_OBJECTIVES: [ObjectiveSpec; 4] = [
+/// The five builtin objectives — the paper's four in table order, then
+/// the congestion-aware extension — the sweep `all` expands to.
+pub const BUILTIN_OBJECTIVES: [ObjectiveSpec; 5] = [
     ObjectiveSpec::DreamPlace,
     ObjectiveSpec::DreamPlace4,
     ObjectiveSpec::DifferentiableTdp,
     ObjectiveSpec::EfficientTdp,
+    ObjectiveSpec::CongestionAware {
+        weight: tdp_core::DEFAULT_CONGESTION_WEIGHT,
+    },
 ];
 
 /// The canonical CLI/wire names of [`BUILTIN_OBJECTIVES`], in the same
 /// order — the single source every `all` sweep expands from
 /// (`tdp-batch` job files server-side, `tdp-client` client-side). Each
 /// name parses back through [`parse_objective`].
-pub const BUILTIN_OBJECTIVE_NAMES: [&str; 4] = [
+pub const BUILTIN_OBJECTIVE_NAMES: [&str; 5] = [
     "dreamplace",
     "dreamplace4",
     "differentiable-tdp",
     "efficient-tdp",
+    "congestion-aware",
 ];
 
 /// One schedulable unit of batch work: a design plus a validated flow
@@ -132,10 +141,13 @@ pub fn parse_objective(s: &str) -> Result<Option<ObjectiveSpec>, BatchError> {
         "dreamplace4" | "dp4" => Some(ObjectiveSpec::DreamPlace4),
         "differentiable-tdp" | "dtdp" => Some(ObjectiveSpec::DifferentiableTdp),
         "efficient-tdp" | "ours" => Some(ObjectiveSpec::EfficientTdp),
+        "congestion-aware" | "ca" => Some(ObjectiveSpec::CongestionAware {
+            weight: tdp_core::DEFAULT_CONGESTION_WEIGHT,
+        }),
         other => {
             return Err(BatchError::Usage(format!(
                 "unknown objective {other:?} (expected dreamplace, dreamplace4, \
-                 differentiable-tdp, efficient-tdp or all)"
+                 differentiable-tdp, efficient-tdp, congestion-aware or all)"
             )))
         }
     })
@@ -219,10 +231,35 @@ fn apply_override(b: FlowBuilder, key: &str, value: &str) -> Result<FlowBuilder,
             let (min, max) = (b.config().placer.min_iterations, as_usize()?);
             b.iterations(min, max)
         }
+        "route_bins" => {
+            let bins = as_usize()?;
+            let route = tdp_core::RouteConfig {
+                bins_x: bins,
+                bins_y: bins,
+                ..b.config().route
+            };
+            b.route(route)
+        }
+        "route_capacity" => {
+            let route = tdp_core::RouteConfig {
+                capacity: as_f64()?,
+                ..b.config().route
+            };
+            b.route(route)
+        }
+        "route_pin_weight" => {
+            let route = tdp_core::RouteConfig {
+                pin_weight: as_f64()?,
+                ..b.config().route
+            };
+            b.route(route)
+        }
+        "congestion_weight" => b.congestion_weight(as_f64()?),
         _ => {
             return Err(BatchError::Usage(format!(
                 "unknown override key {key:?} (expected beta, w0, w1, seed, threads, \
-                 timing_start, timing_interval, min_iters or max_iters)"
+                 timing_start, timing_interval, min_iters, max_iters, route_bins, \
+                 route_capacity, route_pin_weight or congestion_weight)"
             )))
         }
     })
@@ -311,21 +348,72 @@ mod tests {
     }
 
     #[test]
-    fn all_expands_to_four_jobs() {
+    fn all_expands_to_every_builtin_objective() {
         let cat = catalog();
         let case = find_case(&cat, "sb18").unwrap();
         let jobs = make_jobs(case, None, Profile::Quick, &[]).unwrap();
-        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs.len(), BUILTIN_OBJECTIVES.len());
         let labels: Vec<String> = jobs.iter().map(|j| j.spec.objective().label()).collect();
         assert!(labels.iter().any(|l| l.contains("DREAMPlace")));
         assert!(labels.iter().any(|l| l.contains("Efficient-TDP")));
+        assert!(labels.iter().any(|l| l.contains("Congestion-Aware")));
+        // Every canonical name parses back to its sweep position.
+        for (name, spec) in BUILTIN_OBJECTIVE_NAMES.iter().zip(&BUILTIN_OBJECTIVES) {
+            let parsed = parse_objective(name).unwrap().unwrap();
+            assert_eq!(parsed.label(), spec.label());
+        }
+    }
+
+    #[test]
+    fn congestion_weight_override_never_hijacks_the_objective() {
+        let cat = catalog();
+        let case = find_case(&cat, "sb18").unwrap();
+        let w = vec![("congestion_weight".to_string(), "0.7".to_string())];
+        // On the congestion-aware objective the weight is applied…
+        let jobs = make_jobs(
+            case,
+            Some(&parse_objective("congestion-aware").unwrap().unwrap()),
+            Profile::Quick,
+            &w,
+        )
+        .unwrap();
+        assert!(matches!(
+            jobs[0].spec.objective(),
+            tdp_core::ObjectiveSpec::CongestionAware { weight } if *weight == 0.7
+        ));
+        // …on any other objective it is a harmless no-op…
+        let jobs = make_jobs(
+            case,
+            Some(&parse_objective("efficient-tdp").unwrap().unwrap()),
+            Profile::Quick,
+            &w,
+        )
+        .unwrap();
+        assert!(matches!(
+            jobs[0].spec.objective(),
+            tdp_core::ObjectiveSpec::EfficientTdp
+        ));
+        // …and an `all` sweep keeps all five objectives, with only the
+        // congestion-aware member tuned.
+        let jobs = make_jobs(case, None, Profile::Quick, &w).unwrap();
+        assert_eq!(jobs.len(), BUILTIN_OBJECTIVES.len());
+        let tuned = jobs
+            .iter()
+            .filter(|j| {
+                matches!(
+                    j.spec.objective(),
+                    tdp_core::ObjectiveSpec::CongestionAware { weight } if *weight == 0.7
+                )
+            })
+            .count();
+        assert_eq!(tuned, 1);
     }
 
     #[test]
     fn job_file_parses_comments_overrides_and_sweeps() {
         let text = "\n# header comment\nsb18 efficient-tdp beta=1e-3 seed=9\nmx1 all # sweep\n";
         let jobs = parse_job_file(text, &catalog(), Profile::Quick, &[]).unwrap();
-        assert_eq!(jobs.len(), 5);
+        assert_eq!(jobs.len(), 1 + BUILTIN_OBJECTIVES.len());
         assert_eq!(jobs[0].case, "sb18");
         assert_eq!(jobs[0].spec.config().beta, 1e-3);
         assert_eq!(jobs[0].spec.config().placer.seed, 9);

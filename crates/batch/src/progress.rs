@@ -65,6 +65,18 @@ pub enum BatchEvent {
         /// Worst negative slack.
         wns: f64,
     },
+    /// The job's objective refreshed its congestion map (congestion-
+    /// aware objectives do this on the timing schedule).
+    Congestion {
+        /// Job id.
+        job: usize,
+        /// Iteration the refresh ran at.
+        iter: usize,
+        /// Worst bin utilization of the refreshed map.
+        peak: f64,
+        /// Total overflow of the refreshed map.
+        overflow: f64,
+    },
     /// The job finished (completed, canceled or failed); the compact
     /// report is all that survives of the run. Boxed so routine progress
     /// events stay pointer-sized.
@@ -211,6 +223,20 @@ impl Observer for SinkObserver<'_> {
             iter,
             tns,
             wns,
+        });
+        self.action()
+    }
+
+    fn on_congestion_update(
+        &mut self,
+        iter: usize,
+        report: &tdp_core::CongestionReport,
+    ) -> ObserverAction {
+        self.sink.on_event(&BatchEvent::Congestion {
+            job: self.job,
+            iter,
+            peak: report.peak,
+            overflow: report.overflow,
         });
         self.action()
     }

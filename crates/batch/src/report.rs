@@ -34,6 +34,12 @@ pub struct FleetTotals {
     pub failing_endpoints: usize,
     /// Total timed endpoints over jobs with metrics.
     pub total_endpoints: usize,
+    /// Worst congestion peak utilization across jobs with a congestion
+    /// report (0 when none have one).
+    pub congestion_peak_max: f64,
+    /// Total congestion overflow summed over jobs with a congestion
+    /// report — the fleet's "how much routing debt remains" figure.
+    pub congestion_overflow_sum: f64,
     /// Sum of per-job flow runtimes (CPU-ish time; compare against
     /// `wall` for the concurrency win).
     pub runtime_sum: Duration,
@@ -52,6 +58,8 @@ impl BatchResult {
             hpwl_sum: 0.0,
             failing_endpoints: 0,
             total_endpoints: 0,
+            congestion_peak_max: 0.0,
+            congestion_overflow_sum: 0.0,
             runtime_sum: Duration::ZERO,
         };
         for r in &self.reports {
@@ -66,6 +74,10 @@ impl BatchResult {
                 t.hpwl_sum += m.hpwl;
                 t.failing_endpoints += m.failing_endpoints;
                 t.total_endpoints += m.total_endpoints;
+            }
+            if let Some(c) = r.congestion {
+                t.congestion_peak_max = t.congestion_peak_max.max(c.peak);
+                t.congestion_overflow_sum += c.overflow;
             }
             t.runtime_sum += r.runtime.total;
         }
@@ -104,6 +116,12 @@ impl BatchResult {
         field_num(&mut line, "hpwl_sum", f.hpwl_sum);
         field_num(&mut line, "failing_endpoints", f.failing_endpoints as f64);
         field_num(&mut line, "total_endpoints", f.total_endpoints as f64);
+        field_num(&mut line, "congestion_peak_max", f.congestion_peak_max);
+        field_num(
+            &mut line,
+            "congestion_overflow_sum",
+            f.congestion_overflow_sum,
+        );
         field_num(&mut line, "runtime_sum_s", f.runtime_sum.as_secs_f64());
         field_num(&mut line, "wall_s", self.wall.as_secs_f64());
         field_num(&mut line, "workers", self.workers as f64);
@@ -121,9 +139,9 @@ impl BatchResult {
         let mut out = String::new();
         out.push_str("# Batch report\n\n");
         out.push_str(
-            "| job | case | objective | cells | iters | TNS | WNS | HPWL | fail/total EP | time (s) | status |\n",
+            "| job | case | objective | cells | iters | TNS | WNS | HPWL | fail/total EP | cong peak | time (s) | status |\n",
         );
-        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|\n");
+        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|\n");
         for r in &self.reports {
             let (tns, wns, hpwl, ep) = match r.metrics {
                 Some(m) => (
@@ -134,6 +152,10 @@ impl BatchResult {
                 ),
                 None => ("-".into(), "-".into(), "-".into(), "-".into()),
             };
+            let cong = match r.congestion {
+                Some(c) => format!("{:.2}", c.peak),
+                None => "-".into(),
+            };
             // Table cells must not contain '|' or newlines; failure
             // messages are arbitrary (panic payloads), so sanitize.
             let status = match &r.status {
@@ -142,7 +164,7 @@ impl BatchResult {
             };
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.2} | {}{} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.2} | {}{} |",
                 r.job,
                 r.case,
                 r.objective,
@@ -152,6 +174,7 @@ impl BatchResult {
                 wns,
                 hpwl,
                 ep,
+                cong,
                 r.runtime.total.as_secs_f64(),
                 status,
                 if r.legal { "" } else { " (ILLEGAL)" },
@@ -173,6 +196,11 @@ impl BatchResult {
             out,
             "- ΣHPWL: {:.3e}   failing endpoints: {}/{}",
             f.hpwl_sum, f.failing_endpoints, f.total_endpoints
+        );
+        let _ = writeln!(
+            out,
+            "- congestion: peak {:.2}   Σ overflow {:.2}",
+            f.congestion_peak_max, f.congestion_overflow_sum
         );
         let _ = writeln!(
             out,
@@ -238,19 +266,28 @@ pub fn job_fields(s: &mut String, r: &JobReport) {
         field_num(s, "failing_endpoints", m.failing_endpoints as f64);
         field_num(s, "total_endpoints", m.total_endpoints as f64);
     }
+    if let Some(c) = r.congestion {
+        field_num(s, "congestion_peak", c.peak);
+        field_num(s, "congestion_average", c.average);
+        field_num(s, "congestion_overflow", c.overflow);
+        field_num(s, "congestion_overflow_bins", c.overflow_bins as f64);
+        // u64 map hash rendered like placement_hash: hex string.
+        field_str(s, "congestion_map_hash", &format!("{:#018x}", c.map_hash));
+    }
     // u64 does not fit losslessly in a JSON number; hex string instead.
     field_str(s, "placement_hash", &format!("{:#018x}", r.placement_hash));
     field_num(s, "runtime_s", r.runtime.total.as_secs_f64());
     field_num(s, "sta_s", r.runtime.timing_analysis.as_secs_f64());
     field_num(s, "weighting_s", r.runtime.weighting.as_secs_f64());
     field_num(s, "legalization_s", r.runtime.legalization.as_secs_f64());
+    field_num(s, "congestion_s", r.runtime.congestion.as_secs_f64());
     field_num(s, "threads", r.runtime.threads as f64);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tdp_core::{Metrics, RuntimeBreakdown};
+    use tdp_core::{CongestionReport, Metrics, RuntimeBreakdown};
 
     fn report(job: usize, status: JobStatus, tns: f64) -> JobReport {
         JobReport {
@@ -268,6 +305,15 @@ mod tests {
                 hpwl: 1.5e5,
                 failing_endpoints: 3,
                 total_endpoints: 50,
+            }),
+            congestion: Some(CongestionReport {
+                bins_x: 32,
+                bins_y: 32,
+                peak: 1.25,
+                average: 0.5,
+                overflow: 2.75,
+                overflow_bins: 4,
+                map_hash: 0xfeed_f00d,
             }),
             placement_hash: 0xdead_beef,
             runtime: RuntimeBreakdown::default(),
@@ -308,9 +354,13 @@ mod tests {
         assert!(lines[0].contains("\"record\":\"job\""));
         assert!(lines[0].contains("\"tns\":-120"));
         assert!(lines[0].contains("\"placement_hash\":\"0x00000000deadbeef\""));
+        assert!(lines[0].contains("\"congestion_peak\":1.25"));
+        assert!(lines[0].contains("\"congestion_map_hash\":\"0x00000000feedf00d\""));
         assert!(lines[1].contains("\"status\":\"canceled\""));
         assert!(lines[2].contains("\"record\":\"fleet\""));
         assert!(lines[2].contains("\"workers\":2"));
+        assert!(lines[2].contains("\"congestion_peak_max\":1.25"));
+        assert!(lines[2].contains("\"congestion_overflow_sum\":5.5"));
     }
 
     #[test]
@@ -318,6 +368,7 @@ mod tests {
         let mut r = result();
         r.reports.push(JobReport {
             metrics: None,
+            congestion: None,
             legal: false,
             status: JobStatus::Failed("boom | with\npipe".into()),
             ..report(2, JobStatus::Done, 0.0)
@@ -335,6 +386,7 @@ mod tests {
         let mut r = result();
         r.reports.push(JobReport {
             metrics: None,
+            congestion: None,
             legal: false,
             status: JobStatus::Failed("flow panicked: die too full".into()),
             case: "hu1".into(),
@@ -342,6 +394,7 @@ mod tests {
         });
         r.reports.push(JobReport {
             metrics: None,
+            congestion: None,
             legal: false,
             status: JobStatus::Failed("objective failed to build".into()),
             case: "mx1".into(),

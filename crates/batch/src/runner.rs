@@ -30,7 +30,7 @@ use crate::progress::{BatchEvent, BatchSink, CancelSet, SinkObserver};
 use benchgen::CircuitParams;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use tdp_core::{Metrics, RuntimeBreakdown, Session};
+use tdp_core::{CongestionReport, Metrics, RuntimeBreakdown, Session};
 
 /// How one job ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +80,11 @@ pub struct JobReport {
     /// Evaluation-kit metrics of the legalized placement; `None` for
     /// failed jobs.
     pub metrics: Option<Metrics>,
+    /// Routability summary of the legalized placement (RUDY congestion
+    /// map statistics, including the bitwise
+    /// [`map_hash`](tdp_core::CongestionReport::map_hash)); `None` for
+    /// failed jobs.
+    pub congestion: Option<CongestionReport>,
     /// Bitwise fingerprint of the legalized placement
     /// ([`Placement::content_hash`](netlist::Placement::content_hash)),
     /// computed before the placement is dropped — the differential
@@ -276,6 +281,7 @@ pub(crate) fn failed_report(job_id: usize, job: &BatchJob, msg: String) -> JobRe
         iterations: 0,
         legal: false,
         metrics: None,
+        congestion: None,
         placement_hash: 0,
         runtime: RuntimeBreakdown::default(),
     }
@@ -352,6 +358,7 @@ pub fn execute_job(
         iterations: outcome.iterations,
         legal,
         metrics: Some(outcome.metrics),
+        congestion: Some(outcome.congestion),
         placement_hash: outcome.placement.content_hash(),
         runtime: outcome.runtime,
     }
@@ -441,7 +448,8 @@ mod tests {
         assert!(msg.contains("deliberate test panic"), "{msg}");
         // The bomb's group-mates after it fail cleanly on the poisoned
         // session (no half-updated state reuse)…
-        for r in &result.reports[2..=4] {
+        let group_a_end = BUILTIN_OBJECTIVES.len() + 1;
+        for r in &result.reports[2..group_a_end] {
             assert!(
                 matches!(&r.status, JobStatus::Failed(m) if m.contains("previous job")),
                 "job {}: {:?}",
@@ -450,7 +458,7 @@ mod tests {
             );
         }
         // …while the other design's jobs are untouched.
-        for r in &result.reports[5..] {
+        for r in &result.reports[group_a_end..] {
             assert_eq!(r.status, JobStatus::Done, "job {}", r.job);
             assert!(r.legal);
         }
@@ -508,6 +516,8 @@ mod tests {
             assert!(r.legal, "job {i} produced an illegal placement");
             let m = r.metrics.expect("done jobs carry metrics");
             assert!(m.hpwl.is_finite() && m.hpwl > 0.0);
+            let c = r.congestion.expect("done jobs carry a congestion report");
+            assert!(c.peak.is_finite() && c.peak > 0.0 && c.map_hash != 0);
             assert!(r.iterations > 0);
         }
         assert_eq!(result.workers, 2);

@@ -19,6 +19,7 @@ fn print_breakdown(label: &str, r: &RuntimeBreakdown, norm: f64) {
     println!("  Timing analysis   {:6.1}%", pct(r.timing_analysis));
     println!("  Weighting         {:6.1}%", pct(r.weighting));
     println!("  Legalization      {:6.1}%", pct(r.legalization));
+    println!("  Congestion        {:6.1}%", pct(r.congestion));
     println!("  Gradient + others {:6.1}%", pct(r.gradient_and_others));
 }
 

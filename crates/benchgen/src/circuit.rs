@@ -129,6 +129,31 @@ impl CircuitParams {
         }
     }
 
+    /// The **congestion-stress** family (`cg*`): a 3×3 grid of fixed
+    /// `MACRO_BLK` hard macros carves the core into narrow routing
+    /// channels, and an aggressive fanout distribution (wide nets, a
+    /// high share of high-fanout drivers) funnels many crossing nets
+    /// through them at elevated utilization. Wire demand concentrates in
+    /// the channels between macros, so the RUDY congestion map shows
+    /// genuine overflow — the workload the congestion-aware objective
+    /// exists to relieve, and a stress case for the routability
+    /// reporting path end to end.
+    pub fn congestion_stress(name: &str, seed: u64) -> Self {
+        Self {
+            num_comb: 1500,
+            num_ff: 180,
+            num_pi: 20,
+            num_po: 20,
+            levels: 10,
+            max_fanout: 24,
+            high_fanout_fraction: 0.10,
+            utilization: 0.55,
+            num_macros: 9,
+            clock_period: 2600.0,
+            ..Self::small(name, seed)
+        }
+    }
+
     /// The **deep-logic tight-clock** family (`dl*`): 26 combinational
     /// levels between registers (vs the suite's 9–15) under a clock
     /// period that leaves almost no slack per level. Long multi-gate

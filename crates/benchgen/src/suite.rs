@@ -7,10 +7,10 @@
 //! at a tight clock" regime are preserved. Clock periods were calibrated
 //! once so a wirelength-driven placement fails 5-30% of endpoints.
 //!
-//! The widened suite adds three structural families beyond the
+//! The widened suite adds four structural families beyond the
 //! `superblue`-like baseline — high-utilization (`hu*`), macro-heavy
-//! (`mx*`) and deep-logic tight-clock (`dl*`) — documented on their
-//! [`CircuitParams`] constructors.
+//! (`mx*`), deep-logic tight-clock (`dl*`) and congestion-stress
+//! (`cg*`) — documented on their [`CircuitParams`] constructors.
 
 use crate::circuit::CircuitParams;
 
@@ -75,11 +75,11 @@ fn family(name: &'static str, params: CircuitParams) -> SuiteCase {
     SuiteCase { name, params }
 }
 
-/// The widened 12-case suite: the paper's eight `superblue`-like cases
-/// plus the three structural families — two high-utilization cases
-/// (`hu1`, `hu2`), one macro-heavy (`mx1`) and one deep-logic
-/// tight-clock (`dl1`). This is the workload matrix the `tdp-batch`
-/// runner sweeps by default.
+/// The widened 14-case suite: the paper's eight `superblue`-like cases
+/// plus the four structural families — two high-utilization cases
+/// (`hu1`, `hu2`), one macro-heavy (`mx1`), one deep-logic tight-clock
+/// (`dl1`) and two congestion-stress cases (`cg1`, `cg2`). This is the
+/// workload matrix the `tdp-batch` runner sweeps by default.
 ///
 /// Deterministic like [`suite`]: same binary, identical designs.
 pub fn full_suite() -> Vec<SuiteCase> {
@@ -97,6 +97,18 @@ pub fn full_suite() -> Vec<SuiteCase> {
     ));
     cases.push(family("mx1", CircuitParams::macro_heavy("mx1", 211)));
     cases.push(family("dl1", CircuitParams::deep_logic("dl1", 221)));
+    cases.push(family("cg1", CircuitParams::congestion_stress("cg1", 231)));
+    cases.push(family(
+        "cg2",
+        CircuitParams {
+            num_comb: 2000,
+            num_ff: 230,
+            levels: 12,
+            utilization: 0.5,
+            clock_period: 3000.0,
+            ..CircuitParams::congestion_stress("cg2", 232)
+        },
+    ));
     cases
 }
 
@@ -137,8 +149,8 @@ mod tests {
         for (a, b) in suite().iter().zip(&full) {
             assert_eq!(a, b);
         }
-        // All three new families are represented.
-        for prefix in ["hu", "mx", "dl"] {
+        // All four new families are represented.
+        for prefix in ["hu", "mx", "dl", "cg"] {
             assert!(
                 full.iter().any(|c| c.name.starts_with(prefix)),
                 "family {prefix}* missing"
@@ -152,6 +164,28 @@ mod tests {
             let (d, _) = generate(&case.params);
             d.validate().unwrap();
             assert!(d.stats().num_sequential > 0, "{} has no FFs", case.name);
+        }
+    }
+
+    #[test]
+    fn congestion_stress_cases_have_a_macro_grid_and_wide_nets() {
+        for name in ["cg1", "cg2"] {
+            let case = full_suite().into_iter().find(|c| c.name == name).unwrap();
+            assert_eq!(case.params.num_macros, 9, "{name}: 3×3 macro grid");
+            let (d, _) = generate(&case.params);
+            d.validate().unwrap();
+            // The aggressive fanout distribution must actually produce
+            // wide nets (the crossing traffic the channels funnel) —
+            // wider than the cap the paper-suite cases ever fill.
+            assert!(
+                d.stats().max_net_degree >= 10,
+                "{name}: max net degree {}",
+                d.stats().max_net_degree
+            );
+            assert!(
+                case.params.utilization >= 0.5,
+                "{name}: channels must be tight"
+            );
         }
     }
 

@@ -5,6 +5,7 @@ use crate::extraction::ExtractionStrategy;
 use crate::loss::PinPairLoss;
 use placer::{OptimizerKind, PlacerConfig};
 use sta::{NetTopology, RcParams};
+use tdp_route::RouteConfig;
 
 /// Hyperparameters of the timing-driven placement flow.
 ///
@@ -40,6 +41,13 @@ pub struct FlowConfig {
     /// hardware thread, `1` = serial. Results are bit-identical for
     /// every value — this is a speed knob only.
     pub threads: usize,
+    /// Congestion-model knobs (bin grid, routing capacity, pin-density
+    /// overlay) — consumed by the evaluation-time
+    /// [`CongestionReport`](tdp_route::CongestionReport) on every run
+    /// and by the
+    /// [`ObjectiveSpec::CongestionAware`](crate::ObjectiveSpec)
+    /// objective's in-loop estimator.
+    pub route: RouteConfig,
 }
 
 impl Default for FlowConfig {
@@ -68,6 +76,7 @@ impl Default for FlowConfig {
             momentum_decay: 0.5,
             net_weight_alpha: 8.0,
             threads: 0,
+            route: RouteConfig::default(),
         }
     }
 }
@@ -178,6 +187,7 @@ impl FlowConfig {
                 p.stop_overflow
             )));
         }
+        self.route.validate().map_err(FlowError::Config)?;
         Ok(())
     }
 }

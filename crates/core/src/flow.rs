@@ -84,12 +84,17 @@ pub struct RuntimeBreakdown {
     pub weighting: Duration,
     /// Legalization.
     pub legalization: Duration,
+    /// Congestion-map construction: the RUDY rasterization/reduction
+    /// kernels — the in-loop updates a congestion-aware objective runs
+    /// plus the evaluation-time map every run computes.
+    pub congestion: Duration,
     /// Everything not explicitly timed by the other categories. Concretely
     /// this absorbs: the wirelength and density gradient kernels, the
     /// Nesterov optimizer updates and preconditioning, per-iteration
     /// trace/observer bookkeeping, objective construction, and the
     /// shared-kit evaluation at the end of the run. Computed as
-    /// `total − (io + timing_analysis + weighting + legalization)`.
+    /// `total − (io + timing_analysis + weighting + legalization +
+    /// congestion)`.
     pub gradient_and_others: Duration,
     /// Total flow time.
     pub total: Duration,
@@ -104,12 +109,13 @@ impl RuntimeBreakdown {
     /// disagree by scheduling noise but never by more than this.
     pub const CONSISTENCY_TOLERANCE: Duration = Duration::from_millis(5);
 
-    /// Sum of the five wall-clock categories.
+    /// Sum of the six wall-clock categories.
     pub fn accounted(&self) -> Duration {
         self.io
             + self.timing_analysis
             + self.weighting
             + self.legalization
+            + self.congestion
             + self.gradient_and_others
     }
 
@@ -163,6 +169,11 @@ pub struct FlowOutcome {
     /// Per-iteration trace, collected by the builtin
     /// [`TraceObserver`](crate::TraceObserver).
     pub trace: Vec<FlowTraceRow>,
+    /// Routability summary of the legalized placement: the RUDY
+    /// congestion map's statistics, computed by the shared evaluation
+    /// step with the run's [`FlowConfig::route`] knobs — present for
+    /// every objective, exactly like [`FlowOutcome::metrics`].
+    pub congestion: tdp_route::CongestionReport,
     /// Iterations executed by the global placer.
     pub iterations: usize,
     /// Whether an [`Observer`](crate::Observer) stopped the placement loop
@@ -539,7 +550,12 @@ mod tests {
         let cfg = quick_config();
         let out = run_cold(&design, &pads, Method::EfficientTdp, &cfg);
         let r = out.runtime;
-        let sum = r.io + r.timing_analysis + r.weighting + r.legalization + r.gradient_and_others;
+        let sum = r.io
+            + r.timing_analysis
+            + r.weighting
+            + r.legalization
+            + r.congestion
+            + r.gradient_and_others;
         let diff = r.total.abs_diff(sum);
         assert!(diff < Duration::from_millis(5), "breakdown off by {diff:?}");
         assert!(r.timing_analysis > Duration::ZERO);

@@ -26,6 +26,9 @@
 //!   [`ObjectiveFactory`] objective surface.
 //! * [`observer`] — streaming [`Observer`] callbacks with early-stop, and
 //!   the builtin [`TraceObserver`] behind `FlowOutcome::trace`.
+//! * [`congestion`] — the congestion-aware objective: the paper's method
+//!   plus a differentiable RUDY overflow penalty (`tdp-route`), exposed
+//!   as [`ObjectiveSpec::CongestionAware`].
 //! * [`error`] — [`FlowError`], the error surface of everything above.
 //!
 //! # Example
@@ -52,6 +55,7 @@
 //! ```
 
 pub mod config;
+pub mod congestion;
 pub mod error;
 pub mod extraction;
 pub mod flow;
@@ -63,6 +67,7 @@ pub mod session;
 pub mod weighting;
 
 pub use config::FlowConfig;
+pub use congestion::{CongestionAwareObjective, DEFAULT_CONGESTION_WEIGHT};
 pub use error::FlowError;
 pub use extraction::{extract_pin_pairs, ExtractionStats, ExtractionStrategy};
 #[allow(deprecated)]
@@ -77,3 +82,8 @@ pub use session::{
     SessionBuilder, SessionObjective,
 };
 pub use weighting::{DifferentiableTdpWeighting, MomentumNetWeighting};
+
+// The routability layer's vocabulary types, re-exported so front ends
+// that already depend on `tdp-core` (batch, serve) speak congestion
+// without a direct `tdp-route` dependency.
+pub use tdp_route::{CongestionMap, CongestionReport, RouteConfig};

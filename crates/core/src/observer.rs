@@ -63,6 +63,18 @@ pub trait Observer {
     fn on_timing_analysis(&mut self, _iter: usize, _tns: f64, _wns: f64) -> ObserverAction {
         ObserverAction::Continue
     }
+
+    /// The objective refreshed its congestion map at iteration `iter`
+    /// (congestion-aware objectives do this on the timing schedule;
+    /// other objectives never call it). `report` is the refreshed map's
+    /// summary.
+    fn on_congestion_update(
+        &mut self,
+        _iter: usize,
+        _report: &tdp_route::CongestionReport,
+    ) -> ObserverAction {
+        ObserverAction::Continue
+    }
 }
 
 /// The builtin observer behind `FlowOutcome::trace`: collects every

@@ -31,6 +31,7 @@
 //! ```
 
 use crate::config::FlowConfig;
+use crate::congestion::{CongestionAwareObjective, DEFAULT_CONGESTION_WEIGHT};
 use crate::error::FlowError;
 use crate::extraction::ExtractionStrategy;
 use crate::flow::{EfficientTdpObjective, FlowOutcome, FlowTraceRow, Method, RuntimeBreakdown};
@@ -67,9 +68,38 @@ pub trait SessionObjective: TimingObjective {
     fn runtimes(&self) -> (Duration, Duration) {
         (Duration::ZERO, Duration::ZERO)
     }
+
+    /// `(iteration, summary)` entries recorded at each congestion-map
+    /// refresh, in iteration order, appended as they happen — streamed
+    /// to [`Observer::on_congestion_update`]. Empty for objectives that
+    /// never estimate congestion (the default).
+    fn congestion_trace(&self) -> &[(usize, tdp_route::CongestionReport)] {
+        &[]
+    }
+
+    /// Accumulated wall-clock of the objective's congestion kernels,
+    /// folded into [`RuntimeBreakdown::congestion`].
+    fn congestion_time(&self) -> Duration {
+        Duration::ZERO
+    }
 }
 
 impl SessionObjective for NoTimingObjective {}
+
+impl SessionObjective for CongestionAwareObjective {
+    fn timing_trace(&self) -> &[(usize, f64, f64)] {
+        self.timing().timing_trace()
+    }
+    fn runtimes(&self) -> (Duration, Duration) {
+        self.timing().runtimes()
+    }
+    fn congestion_trace(&self) -> &[(usize, tdp_route::CongestionReport)] {
+        CongestionAwareObjective::congestion_trace(self)
+    }
+    fn congestion_time(&self) -> Duration {
+        CongestionAwareObjective::congestion_time(self)
+    }
+}
 
 impl SessionObjective for EfficientTdpObjective {
     fn timing_trace(&self) -> &[(usize, f64, f64)] {
@@ -169,7 +199,9 @@ pub trait ObjectiveFactory {
 /// Which placement objective a run uses — the open replacement for the
 /// closed [`Method`] enum.
 ///
-/// The four builtin variants reproduce the paper's comparison matrix;
+/// The first four builtin variants reproduce the paper's comparison
+/// matrix and [`ObjectiveSpec::CongestionAware`] extends it with
+/// routability;
 /// [`ObjectiveSpec::Custom`] admits any user objective through the same
 /// front door. Factories must be `Send + Sync`: a spec is a *description*
 /// of a run, and batch executors ship descriptions across worker threads
@@ -192,6 +224,19 @@ pub enum ObjectiveSpec {
     DifferentiableTdp,
     /// The paper's pin-to-pin attraction on extracted critical paths.
     EfficientTdp,
+    /// [`ObjectiveSpec::EfficientTdp`] plus a differentiable congestion
+    /// penalty: a RUDY congestion map is maintained on the timing
+    /// schedule (incrementally, from the engine's move tracker) and
+    /// every net overlapping overflowed bins is pulled inward by
+    /// `weight · exposure` on its bounding-box extremes. See
+    /// [`CongestionAwareObjective`].
+    CongestionAware {
+        /// Congestion penalty multiplier (validated finite and
+        /// non-negative by [`FlowSpec::new`]);
+        /// [`DEFAULT_CONGESTION_WEIGHT`]
+        /// is the calibrated default.
+        weight: f64,
+    },
     /// A user-supplied objective factory.
     Custom(Arc<dyn ObjectiveFactory + Send + Sync>),
 }
@@ -202,6 +247,14 @@ impl ObjectiveSpec {
         ObjectiveSpec::Custom(Arc::new(factory))
     }
 
+    /// The congestion-aware objective with the calibrated default
+    /// weight.
+    pub fn congestion_aware() -> Self {
+        ObjectiveSpec::CongestionAware {
+            weight: DEFAULT_CONGESTION_WEIGHT,
+        }
+    }
+
     /// The method label recorded in [`FlowOutcome::method`](crate::FlowOutcome).
     pub fn label(&self) -> String {
         match self {
@@ -209,6 +262,7 @@ impl ObjectiveSpec {
             ObjectiveSpec::DreamPlace4 => Method::DreamPlace4.label().to_string(),
             ObjectiveSpec::DifferentiableTdp => Method::DifferentiableTdp.label().to_string(),
             ObjectiveSpec::EfficientTdp => Method::EfficientTdp.label().to_string(),
+            ObjectiveSpec::CongestionAware { .. } => "Congestion-Aware TDP".to_string(),
             ObjectiveSpec::Custom(f) => f.label(),
         }
     }
@@ -248,6 +302,14 @@ impl ObjectiveSpec {
                 ctx.fresh_sta(),
                 cfg.clone(),
             )),
+            ObjectiveSpec::CongestionAware { weight } => {
+                Box::new(CongestionAwareObjective::with_sta(
+                    ctx.fresh_sta(),
+                    ctx.design(),
+                    cfg.clone(),
+                    *weight,
+                ))
+            }
             ObjectiveSpec::Custom(f) => return f.build(ctx),
         })
     }
@@ -292,6 +354,13 @@ impl FlowSpec {
     /// iteration budget).
     pub fn new(objective: ObjectiveSpec, config: FlowConfig) -> Result<Self, FlowError> {
         config.validate()?;
+        if let ObjectiveSpec::CongestionAware { weight } = &objective {
+            if !weight.is_finite() || *weight < 0.0 {
+                return Err(FlowError::Config(format!(
+                    "congestion weight must be finite and non-negative (got {weight})"
+                )));
+            }
+        }
         if objective.is_timing_driven() {
             // The session raises min_iterations to this floor so timing
             // optimization gets at least 6 intervals; if the hard cap is
@@ -430,6 +499,27 @@ impl FlowBuilder {
         self
     }
 
+    /// Congestion-model knobs: bin grid, routing capacity per unit
+    /// area, pin-density overlay (see [`tdp_route::RouteConfig`]).
+    /// Consumed by every run's evaluation-time congestion report and by
+    /// the [`ObjectiveSpec::CongestionAware`] in-loop estimator.
+    pub fn route(mut self, route: tdp_route::RouteConfig) -> Self {
+        self.config.route = route;
+        self
+    }
+
+    /// Sets the congestion penalty weight **of an already-selected**
+    /// [`ObjectiveSpec::CongestionAware`] objective. A no-op for every
+    /// other objective (like `beta` on the wirelength baseline), so an
+    /// `all` sweep can carry a `congestion_weight=` override that tunes
+    /// only its congestion-aware member without hijacking the rest.
+    pub fn congestion_weight(mut self, weight: f64) -> Self {
+        if matches!(self.objective, ObjectiveSpec::CongestionAware { .. }) {
+            self.objective = ObjectiveSpec::CongestionAware { weight };
+        }
+        self
+    }
+
     /// Momentum net-weighting decay (DREAMPlace 4.0 baseline).
     pub fn momentum_decay(mut self, decay: f64) -> Self {
         self.config.momentum_decay = decay;
@@ -481,6 +571,18 @@ struct EvalCache {
     pristine: StaCheckpoint,
 }
 
+/// Cached evaluation-time congestion analyzer: the cell→nets index it
+/// builds depends only on the design, so — like the STA graph and RC
+/// skeleton — it is constructed once per session and reused by every
+/// run (rebuilt only when a run asks for different route knobs). A full
+/// [`CongestionAnalyzer::analyze`] recomputes every raster, bin and
+/// exposure from the placement alone, so reuse never leaks state
+/// between runs.
+struct RouteEvalCache {
+    config: tdp_route::RouteConfig,
+    analyzer: tdp_route::CongestionAnalyzer,
+}
+
 /// A validated design ready to run flows: owns the netlist, pad
 /// placement, timing graph and placement-independent RC data, and
 /// amortizes their construction across every [`Session::run`].
@@ -509,6 +611,7 @@ pub struct Session {
     graph: Arc<TimingGraph>,
     skeleton: Arc<RcSkeleton>,
     eval: Option<EvalCache>,
+    route_eval: Option<RouteEvalCache>,
 }
 
 impl fmt::Debug for Session {
@@ -557,6 +660,7 @@ impl SessionBuilder {
             graph,
             skeleton,
             eval: None,
+            route_eval: None,
         })
     }
 }
@@ -626,7 +730,7 @@ impl Session {
         // Everything that needs the observer hub lives in this block so
         // the borrows on `tracer` and `observer` end before we assemble
         // the outcome.
-        let (result, io, sta_time, weighting_time, canceled) = {
+        let (result, io, sta_time, weighting_time, objective_congestion, canceled) = {
             let hub = Rc::new(RefCell::new(Hub {
                 observers: vec![&mut tracer, observer],
                 last_tns: f64::NAN,
@@ -673,6 +777,7 @@ impl Session {
                 inner,
                 hub: Rc::clone(&hub),
                 reported: 0,
+                reported_congestion: 0,
             };
 
             hub.borrow_mut().phase(FlowPhase::GlobalPlacement);
@@ -690,8 +795,16 @@ impl Session {
             };
             let result = engine.run_observed(&self.design, &mut wrapped, &mut on_iteration);
             let (sta_time, weighting_time) = wrapped.inner.runtimes();
+            let objective_congestion = wrapped.inner.congestion_time();
             let canceled = hub.borrow().canceled;
-            (result, io, sta_time, weighting_time, canceled)
+            (
+                result,
+                io,
+                sta_time,
+                weighting_time,
+                objective_congestion,
+                canceled,
+            )
         };
 
         let _ = observer.on_phase_change(FlowPhase::Legalization);
@@ -703,14 +816,38 @@ impl Session {
 
         let _ = observer.on_phase_change(FlowPhase::Evaluation);
         let metrics = self.evaluate_metrics(cfg.rc, &placement);
+        // Routability is part of the shared evaluation kit: every run —
+        // congestion-aware or not — reports the RUDY summary of its
+        // legalized placement. The analyzer (and its design-only
+        // cell→nets index) is cached on the session like the STA
+        // evaluation analyzer; a full analysis depends only on the
+        // placement, so reuse is state-free.
+        let t_route = Instant::now();
+        let congestion = {
+            let Session {
+                design, route_eval, ..
+            } = self;
+            if route_eval.as_ref().is_none_or(|c| c.config != cfg.route) {
+                *route_eval = Some(RouteEvalCache {
+                    config: cfg.route,
+                    analyzer: tdp_route::CongestionAnalyzer::new(design, cfg.route),
+                });
+            }
+            let cache = route_eval.as_mut().expect("cache populated above");
+            cache.analyzer.set_threads(cfg.threads);
+            cache.analyzer.analyze(design, &placement);
+            cache.analyzer.summary()
+        };
+        let congestion_time = objective_congestion + t_route.elapsed();
 
         let total = t_total.elapsed();
-        let accounted = io + sta_time + weighting_time + legalization;
+        let accounted = io + sta_time + weighting_time + legalization + congestion_time;
         let runtime = RuntimeBreakdown {
             io,
             timing_analysis: sta_time,
             weighting: weighting_time,
             legalization,
+            congestion: congestion_time,
             gradient_and_others: total.saturating_sub(accounted),
             total,
             threads: parx::resolve_threads(cfg.threads),
@@ -723,6 +860,7 @@ impl Session {
             metrics,
             runtime,
             trace: tracer.take_rows(),
+            congestion,
             iterations,
             canceled,
         })
@@ -788,6 +926,14 @@ impl Hub<'_> {
         }
     }
 
+    fn congestion(&mut self, iter: usize, report: &tdp_route::CongestionReport) {
+        for obs in self.observers.iter_mut() {
+            if obs.on_congestion_update(iter, report) == ObserverAction::Stop {
+                self.canceled = true;
+            }
+        }
+    }
+
     /// Emits one iteration row; returns whether the engine should keep
     /// going.
     fn iteration(&mut self, row: &FlowTraceRow) -> bool {
@@ -806,6 +952,7 @@ struct Instrumented<'a> {
     inner: Box<dyn SessionObjective>,
     hub: Rc<RefCell<Hub<'a>>>,
     reported: usize,
+    reported_congestion: usize,
 }
 
 impl TimingObjective for Instrumented<'_> {
@@ -825,6 +972,14 @@ impl TimingObjective for Instrumented<'_> {
             }
         }
         self.reported = self.inner.timing_trace().len();
+        let congestion = self.inner.congestion_trace();
+        if congestion.len() > self.reported_congestion {
+            let mut hub = self.hub.borrow_mut();
+            for (i, report) in &congestion[self.reported_congestion..] {
+                hub.congestion(*i, report);
+            }
+        }
+        self.reported_congestion = self.inner.congestion_trace().len();
     }
 
     fn net_weights(&mut self, design: &Design) -> Option<&[f64]> {
@@ -1004,6 +1159,82 @@ mod tests {
             ]
         );
         assert!(!out.canceled);
+    }
+
+    #[test]
+    fn observer_streams_congestion_updates_for_congestion_aware_runs() {
+        #[derive(Default)]
+        struct CongWatcher {
+            updates: Vec<(usize, f64)>,
+        }
+        impl Observer for CongWatcher {
+            fn on_congestion_update(
+                &mut self,
+                iter: usize,
+                report: &tdp_route::CongestionReport,
+            ) -> ObserverAction {
+                self.updates.push((iter, report.peak));
+                ObserverAction::Continue
+            }
+        }
+        let (design, pads) = generate(&CircuitParams::small("congobs", 44));
+        let mut session = Session::builder(design, pads).build().unwrap();
+        let spec = quick_builder()
+            .objective(ObjectiveSpec::congestion_aware())
+            .build()
+            .unwrap();
+        let mut watcher = CongWatcher::default();
+        let out = session.run_with_observer(&spec, &mut watcher).unwrap();
+        assert!(
+            !watcher.updates.is_empty(),
+            "congestion refreshes must stream"
+        );
+        assert!(
+            watcher.updates.windows(2).all(|w| w[0].0 < w[1].0),
+            "updates arrive in iteration order"
+        );
+        assert!(watcher
+            .updates
+            .iter()
+            .all(|&(_, p)| p.is_finite() && p >= 0.0));
+        // The outcome's evaluation-time report exists alongside.
+        assert!(out.congestion.peak > 0.0);
+        assert!(out.runtime.congestion > Duration::ZERO);
+
+        // Objectives without a congestion estimator never call the hook
+        // but still get an evaluation-time report.
+        let spec = quick_builder().build().unwrap();
+        let mut watcher = CongWatcher::default();
+        let out = session.run_with_observer(&spec, &mut watcher).unwrap();
+        assert!(watcher.updates.is_empty());
+        assert!(out.congestion.peak > 0.0);
+    }
+
+    #[test]
+    fn congestion_weight_is_validated() {
+        let err = quick_builder()
+            .objective(ObjectiveSpec::CongestionAware { weight: f64::NAN })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("congestion weight"), "{err}");
+        assert!(quick_builder()
+            .objective(ObjectiveSpec::CongestionAware { weight: -1.0 })
+            .build()
+            .is_err());
+        // The weight setter adjusts a congestion-aware objective in
+        // place…
+        let spec = quick_builder()
+            .objective(ObjectiveSpec::congestion_aware())
+            .congestion_weight(0.5)
+            .build()
+            .unwrap();
+        assert!(
+            matches!(spec.objective(), ObjectiveSpec::CongestionAware { weight } if *weight == 0.5)
+        );
+        // …and never hijacks another objective (so an `all` sweep can
+        // carry the override harmlessly).
+        let spec = quick_builder().congestion_weight(0.5).build().unwrap();
+        assert!(matches!(spec.objective(), ObjectiveSpec::EfficientTdp));
     }
 
     #[test]

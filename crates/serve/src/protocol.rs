@@ -42,7 +42,7 @@ use tdp_jsonio::{parse, push_escaped, push_num, JsonError, JsonValue};
 /// How a submit names its design.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DesignRef {
-    /// A named case from the widened 12-case suite.
+    /// A named case from the widened 14-case suite.
     Case(String),
     /// Inline generator parameters.
     Inline(CircuitParams),

@@ -401,6 +401,16 @@ impl BatchSink for LogSink<'_> {
                 tdp_jsonio::field_num(s, "tns", *tns);
                 tdp_jsonio::field_num(s, "wns", *wns);
             }),
+            BatchEvent::Congestion {
+                job,
+                iter,
+                peak,
+                overflow,
+            } => event_line("congestion", *job, |s| {
+                tdp_jsonio::field_num(s, "iter", *iter as f64);
+                tdp_jsonio::field_num(s, "peak", *peak);
+                tdp_jsonio::field_num(s, "overflow", *overflow);
+            }),
             // The terminal line is pushed by `JobState::finish` (which
             // also closes the log), not by the sink.
             BatchEvent::JobFinished { .. } => return,
@@ -429,6 +439,7 @@ fn failed_report(job: &JobState, msg: String) -> JobReport {
         iterations: 0,
         legal: false,
         metrics: None,
+        congestion: None,
         placement_hash: 0,
         runtime: Default::default(),
     }
@@ -610,18 +621,28 @@ fn dispatch(shared: &Shared, request: Request, writer: &mut TcpStream) -> std::i
             }
         },
         Request::Metrics => {
-            let (total, queued, running) = {
+            // One pass over the job table: scheduler gauges plus the
+            // congestion aggregates of every finished report (the
+            // routability counterpart of done/canceled/failed).
+            let (total, queued, running, congestion) = {
                 let jobs = shared.jobs.lock().expect("jobs lock");
                 let mut queued = 0usize;
                 let mut running = 0usize;
+                let mut congestion = (0usize, 0.0f64, 0.0f64); // (jobs, Σ overflow, peak max)
                 for j in jobs.iter() {
-                    match *j.phase.lock().expect("job phase lock") {
+                    match &*j.phase.lock().expect("job phase lock") {
                         JobPhase::Queued => queued += 1,
                         JobPhase::Running => running += 1,
-                        JobPhase::Finished(_) => {}
+                        JobPhase::Finished(report) => {
+                            if let Some(c) = report.congestion {
+                                congestion.0 += 1;
+                                congestion.1 += c.overflow;
+                                congestion.2 = congestion.2.max(c.peak);
+                            }
+                        }
                     }
                 }
-                (jobs.len(), queued, running)
+                (jobs.len(), queued, running, congestion)
             };
             let mut s = ok_prefix("metrics");
             shared.metrics.render(
@@ -635,6 +656,9 @@ fn dispatch(shared: &Shared, request: Request, writer: &mut TcpStream) -> std::i
                     cache_capacity: shared.cache.capacity(),
                 },
             );
+            tdp_jsonio::field_num(&mut s, "congestion_jobs", congestion.0 as f64);
+            tdp_jsonio::field_num(&mut s, "congestion_overflow_sum", congestion.1);
+            tdp_jsonio::field_num(&mut s, "congestion_peak_max", congestion.2);
             s.push('}');
             write_line(writer, &s)
         }

@@ -7,3 +7,4 @@ pub use serve;
 pub use sta;
 pub use tdp_core;
 pub use tdp_jsonio;
+pub use tdp_route;

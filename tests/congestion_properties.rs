@@ -1,0 +1,236 @@
+//! Property-based verification of the congestion subsystem, over
+//! randomized generator parameters and placements:
+//!
+//! * **conservation** — the wire demand summed over every bin equals the
+//!   sum of per-net (extent-floored) half-perimeters, and the pin
+//!   overlay equals `pin_weight · num_pins`;
+//! * **thread invariance** — the map and the per-net exposures are
+//!   bit-identical for every worker count;
+//! * **full == incremental** — updating an analyzer with a moved-cell
+//!   set produces the bit-identical map a cold full analysis of the new
+//!   placement computes (the same contract the incremental STA honors);
+//! * **objective invariants** — `ObjectiveSpec::CongestionAware` ends in
+//!   a legal placement with a well-formed congestion report, bit-
+//!   reproducibly.
+//!
+//! The `proptest` shim draws from a deterministic SplitMix64 stream
+//! (seeded by test name + case index), so every CI run explores the
+//! identical sweep and failures reproduce exactly.
+
+use efficient_tdp::benchgen::{generate, CircuitParams};
+use efficient_tdp::netlist::{CellId, Design, Placement};
+use efficient_tdp::placer::legalize::check_legal;
+use efficient_tdp::tdp_core::{FlowBuilder, ObjectiveSpec, Session};
+use proptest::prelude::*;
+use tdp_route::{CongestionAnalyzer, RouteConfig};
+
+/// Randomized, always-generatable circuit parameters (tiny designs —
+/// the analyzer runs many times per case).
+fn params_from((seed, num_comb, levels, num_macros): (u64, usize, usize, usize)) -> CircuitParams {
+    CircuitParams {
+        num_comb,
+        num_ff: 10 + num_comb / 12,
+        num_pi: 6,
+        num_po: 6,
+        levels,
+        num_macros,
+        clock_period: 1100.0 + 90.0 * levels as f64,
+        ..CircuitParams::small("congprop", seed)
+    }
+}
+
+fn route_cfg(bins: usize) -> RouteConfig {
+    RouteConfig {
+        bins_x: bins,
+        bins_y: bins,
+        capacity: 1.0,
+        ..RouteConfig::default()
+    }
+}
+
+/// A deterministic pseudo-random spread of the movable cells (the
+/// analyzer must handle arbitrary, not just optimized, placements).
+fn scatter(design: &Design, placement: &mut Placement, salt: u64) {
+    let die = design.die();
+    let mut state = salt.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for c in design.cell_ids() {
+        if design.cell(c).fixed {
+            continue;
+        }
+        let x = die.lx + next() * die.width();
+        let y = die.ly + next() * die.height();
+        placement.set(c, x, y);
+        placement.clamp_to_die(design);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Demand conservation plus bitwise thread invariance of the map,
+    /// the summary and the exposures.
+    #[test]
+    fn demand_is_conserved_and_thread_invariant(
+        raw in (1u64..10_000, 60usize..200, 3usize..9, 0usize..4),
+        bins in 4usize..48,
+    ) {
+        let params = params_from(raw);
+        let (design, mut placement) = generate(&params);
+        scatter(&design, &mut placement, raw.0 ^ 0xabcdef);
+        let cfg = route_cfg(bins);
+
+        let mut serial = CongestionAnalyzer::new(&design, cfg).with_threads(1);
+        serial.analyze(&design, &placement);
+
+        // Conservation: wire demand only (blockage affects capacity,
+        // never demand), pin overlay exactly pins × weight.
+        let map = serial.map();
+        let mut wire_total = 0.0;
+        let mut demand_total = 0.0;
+        for iy in 0..map.bins_y() {
+            for ix in 0..map.bins_x() {
+                demand_total += map.demand(ix, iy);
+            }
+        }
+        let mut perimeters = 0.0;
+        for net in design.net_ids() {
+            let pins = &design.net(net).pins;
+            if pins.len() < 2 {
+                continue;
+            }
+            // Recompute the extent-floored half-perimeter the analyzer
+            // models (clamped into the die, each extent >= min_extent).
+            let die = design.die();
+            let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &p in pins {
+                let (px, py) = placement.pin_position(&design, p);
+                x0 = x0.min(px);
+                x1 = x1.max(px);
+                y0 = y0.min(py);
+                y1 = y1.max(py);
+            }
+            let w = (x1.clamp(die.lx, die.ux) - x0.clamp(die.lx, die.ux))
+                .max(cfg.min_extent.min(die.width()));
+            let h = (y1.clamp(die.ly, die.uy) - y0.clamp(die.ly, die.uy))
+                .max(cfg.min_extent.min(die.height()));
+            perimeters += w + h;
+        }
+        wire_total += perimeters;
+        let pin_total = design.num_pins() as f64 * cfg.pin_weight;
+        let expected = wire_total + pin_total;
+        prop_assert!(
+            (demand_total - expected).abs() <= 1e-6 * expected.max(1.0),
+            "total demand {demand_total} vs Σ perimeters + pins {expected}"
+        );
+
+        // Thread invariance, bit for bit.
+        let h1 = serial.map().content_hash();
+        let s1 = serial.summary();
+        for threads in [2, 5] {
+            let mut par = CongestionAnalyzer::new(&design, cfg).with_threads(threads);
+            par.analyze(&design, &placement);
+            prop_assert_eq!(h1, par.map().content_hash(), "threads={}", threads);
+            let sp = par.summary();
+            prop_assert_eq!(s1.peak.to_bits(), sp.peak.to_bits());
+            prop_assert_eq!(s1.average.to_bits(), sp.average.to_bits());
+            prop_assert_eq!(s1.overflow.to_bits(), sp.overflow.to_bits());
+            prop_assert_eq!(s1.overflow_bins, sp.overflow_bins);
+            for (a, b) in serial.exposures().iter().zip(par.exposures()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// The incremental path is bitwise equivalent to a cold full
+    /// analysis after every batch of moves, across several rounds.
+    #[test]
+    fn incremental_updates_match_full_analyses_bitwise(
+        raw in (1u64..10_000, 60usize..160, 3usize..8, 0usize..3),
+        bins in 4usize..32,
+        rounds in 1usize..4,
+    ) {
+        let params = params_from(raw);
+        let (design, mut placement) = generate(&params);
+        scatter(&design, &mut placement, raw.0 ^ 0x5eed);
+        let cfg = route_cfg(bins);
+        let mut inc = CongestionAnalyzer::new(&design, cfg).with_threads(2);
+        inc.analyze(&design, &placement);
+
+        let movable: Vec<CellId> = design
+            .cell_ids()
+            .filter(|&c| !design.cell(c).fixed)
+            .collect();
+        let mut state = raw.0 ^ 0xfeed;
+        for round in 0..rounds {
+            // Move a deterministic subset of cells.
+            let mut moved = Vec::new();
+            for (k, &c) in movable.iter().enumerate() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if state >> 60 < 3 {
+                    let (x, y) = placement.get(c);
+                    let die = design.die();
+                    let nx = (x + ((state >> 13) % 97) as f64 - 48.0).clamp(die.lx, die.ux - 4.0);
+                    let ny = (y + ((state >> 31) % 71) as f64 - 35.0).clamp(die.ly, die.uy - 10.0);
+                    placement.set(c, nx, ny);
+                    moved.push(c);
+                } else if k == 0 {
+                    // Always move at least one cell per round.
+                    moved.push(c);
+                }
+            }
+            inc.analyze_incremental(&design, &placement, &moved);
+            let mut full = CongestionAnalyzer::new(&design, cfg).with_threads(1);
+            full.analyze(&design, &placement);
+            prop_assert_eq!(
+                inc.map().content_hash(),
+                full.map().content_hash(),
+                "round {} diverged",
+                round
+            );
+            for (a, b) in inc.exposures().iter().zip(full.exposures()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// The congestion-aware objective produces legal placements with a
+    /// well-formed congestion report on randomized designs, and two
+    /// identical runs agree bit for bit.
+    #[test]
+    fn congestion_aware_is_legal_and_deterministic(
+        raw in (1u64..10_000, 60usize..140, 3usize..8, 0usize..3),
+    ) {
+        let params = params_from(raw);
+        let (design, pads) = generate(&params);
+        let mut session = Session::builder(design, pads)
+            .build()
+            .expect("generated designs are acyclic");
+        let spec = FlowBuilder::new()
+            .objective(ObjectiveSpec::congestion_aware())
+            .iterations(24, 60)
+            .timing_start(16)
+            .timing_interval(4)
+            .threads(1)
+            .build()
+            .expect("quick schedule is valid");
+        let a = session.run(&spec).expect("builtin objective builds");
+        check_legal(session.design(), &a.placement)
+            .unwrap_or_else(|e| panic!("{raw:?}: {e}"));
+        prop_assert!(a.congestion.peak.is_finite() && a.congestion.peak >= 0.0);
+        prop_assert!(a.congestion.average <= a.congestion.peak);
+        prop_assert!(a.congestion.map_hash != 0);
+        let b = session.run(&spec).expect("builtin objective builds");
+        prop_assert_eq!(a.placement.content_hash(), b.placement.content_hash());
+        prop_assert_eq!(a.congestion.map_hash, b.congestion.map_hash);
+        prop_assert_eq!(a.congestion.peak.to_bits(), b.congestion.peak.to_bits());
+    }
+}

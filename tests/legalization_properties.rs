@@ -132,6 +132,7 @@ proptest! {
             ObjectiveSpec::DreamPlace4,
             ObjectiveSpec::DifferentiableTdp,
             ObjectiveSpec::EfficientTdp,
+            ObjectiveSpec::congestion_aware(),
         ] {
             let label = objective.label();
             let out = run_quick(&mut session, objective);

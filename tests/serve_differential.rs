@@ -34,12 +34,16 @@ fn usize_field(doc: &JsonValue, key: &str) -> usize {
 }
 
 fn hash_field(doc: &JsonValue) -> u64 {
+    hex_field(doc, "placement_hash")
+}
+
+fn hex_field(doc: &JsonValue, key: &str) -> u64 {
     let hex = doc
         .get("report")
-        .and_then(|r| r.get("placement_hash"))
+        .and_then(|r| r.get(key))
         .and_then(JsonValue::as_str)
-        .expect("placement_hash present");
-    u64::from_str_radix(hex.trim_start_matches("0x"), 16).expect("hex placement hash")
+        .unwrap_or_else(|| panic!("hex field {key} missing in {}", doc.encode()));
+    u64::from_str_radix(hex.trim_start_matches("0x"), 16).expect("hex hash field")
 }
 
 #[test]
@@ -47,11 +51,12 @@ fn daemon_results_match_local_sessions_bitwise() {
     let handle = Server::start(ServerConfig::default()).expect("server starts");
     let mut client = connect(&handle);
 
-    // Two objectives on one design, submitted over the wire with an
-    // explicit seed override to exercise the override path too.
+    // Three objectives on one design — the paper's method, a baseline,
+    // and the congestion-aware extension — submitted over the wire with
+    // an explicit seed override to exercise the override path too.
     let case = case_by_name("sb18").expect("catalog case");
     let overrides = vec![("seed".to_string(), "9".to_string())];
-    for objective in ["efficient-tdp", "dreamplace4"] {
+    for objective in ["efficient-tdp", "dreamplace4", "congestion-aware"] {
         let mut req = SubmitRequest::case("sb18", objective);
         req.overrides = overrides.clone();
         req.stride = Some(4);
@@ -142,6 +147,27 @@ fn daemon_results_match_local_sessions_bitwise() {
             "{objective}: the daemon's legalized placement must be \
              bit-identical to the local one"
         );
+        // The routability report travels the wire bit-exactly too: the
+        // congestion map the daemon computed is the local map.
+        assert_eq!(
+            hex_field(&remote, "congestion_map_hash"),
+            outcome.congestion.map_hash,
+            "{objective}: congestion map diverged"
+        );
+        assert_eq!(
+            f64_field(&remote, "congestion_peak").to_bits(),
+            outcome.congestion.peak.to_bits(),
+            "{objective}: congestion peak"
+        );
+        assert_eq!(
+            f64_field(&remote, "congestion_overflow").to_bits(),
+            outcome.congestion.overflow.to_bits(),
+            "{objective}: congestion overflow"
+        );
+        assert_eq!(
+            usize_field(&remote, "congestion_overflow_bins"),
+            outcome.congestion.overflow_bins
+        );
     }
 
     // Quick profile submits must also match with no overrides at all:
@@ -197,6 +223,19 @@ fn inline_params_share_design_key_and_bits_with_the_catalog_case() {
         metrics.get("cache_misses").and_then(JsonValue::as_usize),
         Some(1)
     );
+    // The metrics reply aggregates routability over finished jobs: both
+    // jobs carried a congestion report, with identical (hence equal-
+    // peak) maps.
+    assert_eq!(
+        metrics.get("congestion_jobs").and_then(JsonValue::as_usize),
+        Some(2)
+    );
+    let peak_max = metrics
+        .get("congestion_peak_max")
+        .and_then(JsonValue::as_f64)
+        .expect("congestion_peak_max present");
+    assert!(peak_max.is_finite() && peak_max > 0.0);
+    assert!(metrics.get("congestion_overflow_sum").is_some());
 
     client.shutdown().expect("shutdown ack");
     handle.join();

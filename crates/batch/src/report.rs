@@ -43,6 +43,9 @@ pub struct FleetTotals {
     /// Sum of per-job flow runtimes (CPU-ish time; compare against
     /// `wall` for the concurrency win).
     pub runtime_sum: Duration,
+    /// Nets refreshed by RC work summed over all jobs — the fleet's
+    /// "how much RC arithmetic ran" figure.
+    pub rc_nets_refreshed_sum: u64,
 }
 
 impl BatchResult {
@@ -61,6 +64,7 @@ impl BatchResult {
             congestion_peak_max: 0.0,
             congestion_overflow_sum: 0.0,
             runtime_sum: Duration::ZERO,
+            rc_nets_refreshed_sum: 0,
         };
         for r in &self.reports {
             match r.status {
@@ -80,6 +84,7 @@ impl BatchResult {
                 t.congestion_overflow_sum += c.overflow;
             }
             t.runtime_sum += r.runtime.total;
+            t.rc_nets_refreshed_sum += r.runtime.rc.nets_refreshed;
         }
         t
     }
@@ -123,6 +128,11 @@ impl BatchResult {
             f.congestion_overflow_sum,
         );
         field_num(&mut line, "runtime_sum_s", f.runtime_sum.as_secs_f64());
+        field_num(
+            &mut line,
+            "rc_nets_refreshed_sum",
+            f.rc_nets_refreshed_sum as f64,
+        );
         field_num(&mut line, "wall_s", self.wall.as_secs_f64());
         field_num(&mut line, "workers", self.workers as f64);
         line.push('}');
@@ -282,6 +292,13 @@ pub fn job_fields(s: &mut String, r: &JobReport) {
     field_num(s, "legalization_s", r.runtime.legalization.as_secs_f64());
     field_num(s, "congestion_s", r.runtime.congestion.as_secs_f64());
     field_num(s, "threads", r.runtime.threads as f64);
+    // RC allocation/op counters (RuntimeBreakdown::rc). Exact for a fixed
+    // workload except `rc_scratch_reuses`, which — like the `*_s` wall
+    // clocks — depends on scheduling when the refresh runs parallel.
+    field_num(s, "rc_refreshes", r.runtime.rc.refreshes as f64);
+    field_num(s, "rc_nets_refreshed", r.runtime.rc.nets_refreshed as f64);
+    field_num(s, "rc_scratch_reuses", r.runtime.rc.scratch_reuses as f64);
+    field_num(s, "rc_slab_bytes", r.runtime.rc.slab_bytes as f64);
 }
 
 #[cfg(test)]

@@ -1,0 +1,48 @@
+//! RC refresh micro-benchmark: the pre-arena per-net `RcTree` loop
+//! (five allocations per net per pass) against the slab-backed
+//! `RcForest` refresh the analyzer actually runs, serial and at two
+//! workers.
+//!
+//! `cargo bench -p bench --bench rc_refresh`
+//!
+//! The recorded, gated version of this comparison lives in `tdp-perf`
+//! (`rc_refresh_legacy` vs `rc_refresh_full`); this target is the
+//! interactive loupe for working on the kernels.
+
+use bench::{load_case, micro, suite_config};
+use sta::{RcSkeleton, RcTree, Sta};
+use std::hint::black_box;
+
+fn main() {
+    for name in ["sb18", "sb1", "hu1"] {
+        let case = benchgen::case_by_name(name).expect("suite case");
+        let (design, pads) = load_case(&case);
+        let placer = placer::GlobalPlacer::new(&design, pads, placer::PlacerConfig::default());
+        let placement = placer.placement().clone();
+        let rc = suite_config(&case).rc;
+        let skeleton = RcSkeleton::build(&design);
+
+        let legacy = micro::bench(&format!("{name}/rc_refresh_legacy"), || {
+            let mut sum = 0.0;
+            for net in design.net_ids() {
+                let tree = RcTree::build_with(&design, &placement, net, &rc, &skeleton);
+                sum += tree.total_load();
+                black_box(tree.elmore_delays());
+            }
+            sum
+        });
+
+        let mut sta = Sta::new(&design, rc).expect("acyclic");
+        let arena = micro::bench(&format!("{name}/rc_refresh_forest_1t"), || {
+            sta.refresh_rc(&design, &placement);
+        });
+        micro::report_speedup(&format!("{name}/forest_vs_legacy"), legacy, arena);
+
+        sta.set_threads(2);
+        let arena2 = micro::bench(&format!("{name}/rc_refresh_forest_2t"), || {
+            sta.refresh_rc(&design, &placement);
+        });
+        micro::report_speedup(&format!("{name}/forest_2t_vs_legacy"), legacy, arena2);
+        println!();
+    }
+}

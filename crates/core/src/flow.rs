@@ -101,6 +101,11 @@ pub struct RuntimeBreakdown {
     /// Resolved worker count the run used (`FlowConfig::threads` after
     /// 0-means-auto resolution).
     pub threads: usize,
+    /// Allocation/op counters from the run's RC work (objective plus
+    /// evaluation analyzers): refresh passes, nets refreshed, scratch
+    /// reuses and resident slab bytes. Not a wall-clock category — it
+    /// does not participate in [`RuntimeBreakdown::accounted`].
+    pub rc: sta::RcOpStats,
 }
 
 impl RuntimeBreakdown {
@@ -250,6 +255,11 @@ impl EfficientTdpObjective {
     /// first, unless analyses never ran).
     pub fn incremental_analyses(&self) -> usize {
         self.incremental_analyses
+    }
+
+    /// Allocation/op counters from this objective's analyzer.
+    pub fn rc_stats(&self) -> sta::RcOpStats {
+        self.sta.rc_stats()
     }
 }
 

@@ -82,6 +82,13 @@ pub trait SessionObjective: TimingObjective {
     fn congestion_time(&self) -> Duration {
         Duration::ZERO
     }
+
+    /// Allocation/op counters of the objective's RC work, folded into
+    /// [`RuntimeBreakdown::rc`]. Zero for objectives without an analyzer
+    /// (the default).
+    fn rc_stats(&self) -> sta::RcOpStats {
+        sta::RcOpStats::default()
+    }
 }
 
 impl SessionObjective for NoTimingObjective {}
@@ -99,6 +106,9 @@ impl SessionObjective for CongestionAwareObjective {
     fn congestion_time(&self) -> Duration {
         CongestionAwareObjective::congestion_time(self)
     }
+    fn rc_stats(&self) -> sta::RcOpStats {
+        self.timing().rc_stats()
+    }
 }
 
 impl SessionObjective for EfficientTdpObjective {
@@ -107,6 +117,9 @@ impl SessionObjective for EfficientTdpObjective {
     }
     fn runtimes(&self) -> (Duration, Duration) {
         EfficientTdpObjective::runtimes(self)
+    }
+    fn rc_stats(&self) -> sta::RcOpStats {
+        EfficientTdpObjective::rc_stats(self)
     }
 }
 
@@ -117,6 +130,9 @@ impl SessionObjective for MomentumNetWeighting {
     fn runtimes(&self) -> (Duration, Duration) {
         MomentumNetWeighting::runtimes(self)
     }
+    fn rc_stats(&self) -> sta::RcOpStats {
+        MomentumNetWeighting::rc_stats(self)
+    }
 }
 
 impl SessionObjective for DifferentiableTdpWeighting {
@@ -125,6 +141,9 @@ impl SessionObjective for DifferentiableTdpWeighting {
     }
     fn runtimes(&self) -> (Duration, Duration) {
         DifferentiableTdpWeighting::runtimes(self)
+    }
+    fn rc_stats(&self) -> sta::RcOpStats {
+        DifferentiableTdpWeighting::rc_stats(self)
     }
 }
 
@@ -730,7 +749,7 @@ impl Session {
         // Everything that needs the observer hub lives in this block so
         // the borrows on `tracer` and `observer` end before we assemble
         // the outcome.
-        let (result, io, sta_time, weighting_time, objective_congestion, canceled) = {
+        let (result, io, sta_time, weighting_time, objective_congestion, objective_rc, canceled) = {
             let hub = Rc::new(RefCell::new(Hub {
                 observers: vec![&mut tracer, observer],
                 last_tns: f64::NAN,
@@ -796,6 +815,7 @@ impl Session {
             let result = engine.run_observed(&self.design, &mut wrapped, &mut on_iteration);
             let (sta_time, weighting_time) = wrapped.inner.runtimes();
             let objective_congestion = wrapped.inner.congestion_time();
+            let objective_rc = wrapped.inner.rc_stats();
             let canceled = hub.borrow().canceled;
             (
                 result,
@@ -803,6 +823,7 @@ impl Session {
                 sta_time,
                 weighting_time,
                 objective_congestion,
+                objective_rc,
                 canceled,
             )
         };
@@ -815,7 +836,7 @@ impl Session {
         let legalization = t_leg.elapsed();
 
         let _ = observer.on_phase_change(FlowPhase::Evaluation);
-        let metrics = self.evaluate_metrics(cfg.rc, &placement);
+        let (metrics, eval_rc) = self.evaluate_metrics(cfg.rc, &placement);
         // Routability is part of the shared evaluation kit: every run —
         // congestion-aware or not — reports the RUDY summary of its
         // legalized placement. The analyzer (and its design-only
@@ -851,6 +872,7 @@ impl Session {
             gradient_and_others: total.saturating_sub(accounted),
             total,
             threads: parx::resolve_threads(cfg.threads),
+            rc: objective_rc.merged(eval_rc),
         };
         runtime.debug_assert_consistent();
 
@@ -869,7 +891,13 @@ impl Session {
     /// Evaluates a legalized placement with the shared kit, reusing the
     /// cached evaluation analyzer. The analyzer is rolled back to its
     /// pristine checkpoint first, so no state survives from run to run.
-    fn evaluate_metrics(&mut self, rc: RcParams, placement: &Placement) -> Metrics {
+    /// Also returns the RC op stats this evaluation accumulated on the
+    /// cached analyzer (for [`RuntimeBreakdown::rc`]).
+    fn evaluate_metrics(
+        &mut self,
+        rc: RcParams,
+        placement: &Placement,
+    ) -> (Metrics, sta::RcOpStats) {
         let Session {
             design,
             graph,
@@ -893,7 +921,9 @@ impl Session {
         // checkpoint makes run isolation structural — true by
         // construction, not by auditing what analyze() overwrites.
         cache.sta.restore(&cache.pristine);
-        evaluate_with(&mut cache.sta, design, placement)
+        let before = cache.sta.rc_stats();
+        let metrics = evaluate_with(&mut cache.sta, design, placement);
+        (metrics, cache.sta.rc_stats().since(before))
     }
 }
 

@@ -127,6 +127,11 @@ impl MomentumNetWeighting {
         (self.base.sta_time, self.base.weighting_time)
     }
 
+    /// Allocation/op counters from this objective's analyzer.
+    pub fn rc_stats(&self) -> sta::RcOpStats {
+        self.base.sta.rc_stats()
+    }
+
     /// Current per-net weights (diagnostics).
     pub fn weights(&self) -> &[f64] {
         &self.base.weights
@@ -229,6 +234,11 @@ impl DifferentiableTdpWeighting {
     /// Accumulated STA and weighting runtimes.
     pub fn runtimes(&self) -> (Duration, Duration) {
         (self.base.sta_time, self.base.weighting_time)
+    }
+
+    /// Allocation/op counters from this objective's analyzer.
+    pub fn rc_stats(&self) -> sta::RcOpStats {
+        self.base.sta.rc_stats()
     }
 
     /// Current per-net weights (diagnostics).

@@ -359,6 +359,24 @@ impl<'a, T> UnsafeSlice<'a, T> {
         // SAFETY: bounds checked above; no concurrent writer per contract.
         unsafe { *self.ptr.add(index) }
     }
+
+    /// Reborrows `start..start + len` as a mutable subslice — the
+    /// arena-refresh escape hatch: a kernel that owns a contiguous,
+    /// CSR-delimited segment of a shared slab (one net's nodes, one
+    /// row's bins) gets an ordinary `&mut [T]` for it instead of
+    /// element-wise [`UnsafeSlice::write`] calls.
+    ///
+    /// # Safety
+    ///
+    /// The range must be in bounds, and within one parallel phase no two
+    /// subslices handed out may overlap, nor may any overlapping index be
+    /// touched through [`UnsafeSlice::read`] / [`UnsafeSlice::write`].
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &'a mut [T] {
+        debug_assert!(start.checked_add(len).is_some_and(|end| end <= self.len));
+        // SAFETY: bounds checked above; disjointness per the contract.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
 }
 
 #[cfg(test)]
@@ -475,6 +493,34 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         queue.push(42usize);
         assert_eq!(popper.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn slice_mut_hands_out_disjoint_csr_segments() {
+        // CSR-style refresh: chunk i owns slab[starts[i]..starts[i+1]].
+        let starts = [0usize, 3, 7, 8, 12];
+        let mut slab = vec![0u32; 12];
+        for threads in [1, 4] {
+            slab.fill(0);
+            {
+                let view = UnsafeSlice::new(&mut slab);
+                par_for(threads, starts.len() - 1, 1, |range| {
+                    for i in range {
+                        let lo = starts[i];
+                        // SAFETY: CSR segments are disjoint by construction.
+                        let seg = unsafe { view.slice_mut(lo, starts[i + 1] - lo) };
+                        for v in seg {
+                            *v += i as u32 + 1;
+                        }
+                    }
+                });
+            }
+            assert_eq!(
+                slab,
+                [1, 1, 1, 2, 2, 2, 2, 3, 4, 4, 4, 4],
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -162,6 +162,26 @@ pub struct PlaceResult {
     pub trace: Vec<IterationStats>,
 }
 
+/// Reusable buffers for the iteration loop: the two gradient fields, the
+/// flattened optimizer gradient, the λ-init fields, the lookahead
+/// placement and the wirelength workspace. Taken out of the engine at the
+/// start of [`GlobalPlacer::run_observed`] and put back at the end, so
+/// the loop body — and repeated runs on one engine — allocate nothing
+/// per iteration.
+#[derive(Debug, Default)]
+struct EngineScratch {
+    grad_x: Vec<f64>,
+    grad_y: Vec<f64>,
+    flat_grad: Vec<f64>,
+    dx: Vec<f64>,
+    dy: Vec<f64>,
+    /// Gradient-query-point placement. Movable cells are fully rewritten
+    /// by `fill_placement` each iteration and fixed cells never move, so
+    /// reusing it across iterations (and runs) is exact.
+    lookahead: Option<Placement>,
+    wl: crate::wirelength::WaScratch,
+}
+
 /// The nonlinear global placement engine.
 #[derive(Debug)]
 pub struct GlobalPlacer {
@@ -173,6 +193,7 @@ pub struct GlobalPlacer {
     /// Per-cell pin counts (wirelength preconditioner).
     pin_counts: Vec<f64>,
     lambda: f64,
+    scratch: EngineScratch,
 }
 
 impl GlobalPlacer {
@@ -213,6 +234,7 @@ impl GlobalPlacer {
             density,
             pin_counts,
             lambda: 0.0,
+            scratch: EngineScratch::default(),
         }
     }
 
@@ -262,18 +284,28 @@ impl GlobalPlacer {
         // Trust region: never move a cell more than one bin per iteration.
         opt.set_max_move(bin.max(1.0));
 
-        let mut grad_x = vec![0.0; design.num_cells()];
-        let mut grad_y = vec![0.0; design.num_cells()];
-        let mut flat_grad = vec![0.0; 2 * n];
+        let mut bufs = std::mem::take(&mut self.scratch);
+        bufs.grad_x.clear();
+        bufs.grad_x.resize(design.num_cells(), 0.0);
+        bufs.grad_y.clear();
+        bufs.grad_y.resize(design.num_cells(), 0.0);
+        bufs.flat_grad.clear();
+        bufs.flat_grad.resize(2 * n, 0.0);
+        let grad_x = &mut bufs.grad_x;
+        let grad_y = &mut bufs.grad_y;
+        let flat_grad = &mut bufs.flat_grad;
         let mut trace = Vec::new();
-        let mut scratch = self.placement.clone();
+        let mut scratch = bufs
+            .lookahead
+            .take()
+            .unwrap_or_else(|| self.placement.clone());
         let mut iterations = 0;
         let threads = self.config.threads;
         // Seeded from the initial solution; the timing objective rebases
         // it whenever it consumes the moved-cell set.
         self.write_solution(design, opt.solution());
         let mut moves = MoveTracker::new(&self.placement, self.config.move_threshold);
-        let mut wl_scratch = crate::wirelength::WaScratch::default();
+        let wl_scratch = &mut bufs.wl;
 
         for iter in 0..self.config.max_iterations {
             iterations = iter + 1;
@@ -296,16 +328,11 @@ impl GlobalPlacer {
 
             grad_x.iter_mut().for_each(|g| *g = 0.0);
             grad_y.iter_mut().for_each(|g| *g = 0.0);
-            let weights = timing.net_weights(design).map(|w| w.to_vec());
-            let weights_slice: &[f64] = weights.as_deref().unwrap_or(&[]);
+            // Borrow the objective's weights in place; an empty slice
+            // means all-ones to the wirelength kernel.
+            let weights: &[f64] = timing.net_weights(design).unwrap_or(&[]);
             wl.accumulate_gradient_threads(
-                design,
-                &scratch,
-                weights_slice,
-                &mut grad_x,
-                &mut grad_y,
-                threads,
-                &mut wl_scratch,
+                design, &scratch, weights, grad_x, grad_y, threads, wl_scratch,
             );
 
             if self.lambda == 0.0 {
@@ -315,14 +342,22 @@ impl GlobalPlacer {
                     .iter()
                     .map(|&c| grad_x[c.index()].abs() + grad_y[c.index()].abs())
                     .sum();
-                let mut dx = vec![0.0; design.num_cells()];
-                let mut dy = vec![0.0; design.num_cells()];
-                self.density
-                    .accumulate_gradient_threads(design, &scratch, 1.0, &mut dx, &mut dy, threads);
+                bufs.dx.clear();
+                bufs.dx.resize(design.num_cells(), 0.0);
+                bufs.dy.clear();
+                bufs.dy.resize(design.num_cells(), 0.0);
+                self.density.accumulate_gradient_threads(
+                    design,
+                    &scratch,
+                    1.0,
+                    &mut bufs.dx,
+                    &mut bufs.dy,
+                    threads,
+                );
                 let d_norm: f64 = self
                     .movable
                     .iter()
-                    .map(|&c| dx[c.index()].abs() + dy[c.index()].abs())
+                    .map(|&c| bufs.dx[c.index()].abs() + bufs.dy[c.index()].abs())
                     .sum();
                 self.lambda = if d_norm > 0.0 {
                     self.config.lambda_init_factor * wl_norm / d_norm
@@ -334,12 +369,11 @@ impl GlobalPlacer {
                 design,
                 &scratch,
                 self.lambda,
-                &mut grad_x,
-                &mut grad_y,
+                grad_x,
+                grad_y,
                 threads,
             );
-            let timing_loss =
-                timing.accumulate_gradient(design, &scratch, &mut grad_x, &mut grad_y);
+            let timing_loss = timing.accumulate_gradient(design, &scratch, grad_x, grad_y);
 
             // Jacobi preconditioning: normalize by pin count + λ·area.
             for (k, &c) in self.movable.iter().enumerate() {
@@ -349,7 +383,7 @@ impl GlobalPlacer {
                 flat_grad[k] = grad_x[i] / h;
                 flat_grad[n + k] = grad_y[i] / h;
             }
-            opt.step(&flat_grad);
+            opt.step(flat_grad);
 
             // Clamp the major solution into the die.
             {
@@ -388,6 +422,8 @@ impl GlobalPlacer {
 
         self.write_solution(design, opt.solution());
         self.density.update(design, &self.placement);
+        bufs.lookahead = Some(scratch);
+        self.scratch = bufs;
         PlaceResult {
             placement: self.placement.clone(),
             hpwl: self.placement.total_hpwl(design),

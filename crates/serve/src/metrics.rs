@@ -35,6 +35,16 @@ pub struct ServeMetrics {
     pub graph_builds_at_start: u64,
     /// `sta::rc_skeleton_build_count()` at server start.
     pub rc_builds_at_start: u64,
+    /// `sta::rc_tree_build_count()` at server start. The delta stays 0
+    /// on a healthy server: analyzers refresh through the slab-backed
+    /// forest, never by constructing per-net trees.
+    pub rc_tree_builds_at_start: u64,
+    /// `sta::rc_refresh_count()` at server start.
+    pub rc_refreshes_at_start: u64,
+    /// `sta::rc_nets_refreshed_count()` at server start.
+    pub rc_nets_refreshed_at_start: u64,
+    /// `sta::rc_scratch_reuse_count()` at server start.
+    pub rc_scratch_reuses_at_start: u64,
 }
 
 impl ServeMetrics {
@@ -53,6 +63,10 @@ impl ServeMetrics {
             event_streams: AtomicU64::new(0),
             graph_builds_at_start: sta::graph_build_count() as u64,
             rc_builds_at_start: sta::rc_skeleton_build_count() as u64,
+            rc_tree_builds_at_start: sta::rc_tree_build_count() as u64,
+            rc_refreshes_at_start: sta::rc_refresh_count(),
+            rc_nets_refreshed_at_start: sta::rc_nets_refreshed_count(),
+            rc_scratch_reuses_at_start: sta::rc_scratch_reuse_count(),
         }
     }
 
@@ -91,6 +105,26 @@ impl ServeMetrics {
             out,
             "rc_builds",
             (sta::rc_skeleton_build_count() as u64).saturating_sub(self.rc_builds_at_start) as f64,
+        );
+        tdp_jsonio::field_num(
+            out,
+            "rc_tree_builds",
+            (sta::rc_tree_build_count() as u64).saturating_sub(self.rc_tree_builds_at_start) as f64,
+        );
+        tdp_jsonio::field_num(
+            out,
+            "rc_refreshes",
+            sta::rc_refresh_count().saturating_sub(self.rc_refreshes_at_start) as f64,
+        );
+        tdp_jsonio::field_num(
+            out,
+            "rc_nets_refreshed",
+            sta::rc_nets_refreshed_count().saturating_sub(self.rc_nets_refreshed_at_start) as f64,
+        );
+        tdp_jsonio::field_num(
+            out,
+            "rc_scratch_reuses",
+            sta::rc_scratch_reuse_count().saturating_sub(self.rc_scratch_reuses_at_start) as f64,
         );
     }
 }

@@ -13,9 +13,9 @@
 //! is bit-identical for every thread count — [`Sta::set_threads`] is a
 //! pure speed knob, never a semantics knob.
 
-use crate::graph::{ArcId, BuildGraphError, EndpointKind, SourceKind, TimingGraph};
-use crate::rctree::{RcParams, RcSkeleton};
-use netlist::{Design, PinId, Placement};
+use crate::graph::{ArcId, ArcKind, BuildGraphError, EndpointKind, SourceKind, TimingGraph};
+use crate::rctree::{RcForest, RcOpStats, RcParams, RcSkeleton};
+use netlist::{Design, NetId, PinId, Placement};
 use parx::UnsafeSlice;
 use std::sync::{Arc, Barrier};
 
@@ -67,6 +67,12 @@ pub struct Sta {
     graph: Arc<TimingGraph>,
     /// Placement-independent RC data, shared the same way.
     skeleton: Arc<RcSkeleton>,
+    /// Slab-backed RC trees, refreshed in place — pure scratch whose
+    /// results land in `arc_delay`/`net_load` (so checkpoints don't
+    /// carry it).
+    forest: RcForest,
+    /// Every net id, cached so a full refresh doesn't re-collect it.
+    all_nets: Vec<NetId>,
     params: RcParams,
     arc_delay: Vec<f64>,
     /// Cached total downstream capacitance per net.
@@ -80,6 +86,10 @@ pub struct Sta {
     /// Worker count for RC refresh and propagation (0 = auto). Results
     /// are bit-identical for every value; see the module docs.
     threads: usize,
+    /// RC refresh passes this analyzer has run (see [`Sta::rc_stats`]).
+    rc_refreshes: u64,
+    /// Nets refreshed across all passes.
+    rc_nets_refreshed: u64,
 }
 
 /// Below this pin count the barrier overhead of parallel propagation
@@ -135,6 +145,8 @@ impl Sta {
         Self {
             graph,
             skeleton,
+            forest: RcForest::new(design),
+            all_nets: design.net_ids().collect(),
             params,
             arc_delay,
             net_load: vec![0.0; design.num_nets()],
@@ -144,6 +156,8 @@ impl Sta {
             endpoint_slacks: Vec::new(),
             analyzed: false,
             threads: 1,
+            rc_refreshes: 0,
+            rc_nets_refreshed: 0,
         }
     }
 
@@ -234,9 +248,76 @@ impl Sta {
     /// propagation passes. Deterministic for identical inputs and for
     /// any thread count.
     pub fn analyze(&mut self, design: &Design, placement: &Placement) {
-        let all: Vec<netlist::NetId> = design.net_ids().collect();
-        self.refresh_nets(design, placement, &all);
+        self.refresh_rc(design, placement);
         self.repropagate(design);
+    }
+
+    /// Refreshes every net's RC tree and arc delays from `placement`
+    /// **without** rerunning the propagation passes — the RC half of a
+    /// full [`Sta::analyze`], exposed on its own so `tdp-perf` can time
+    /// the refresh kernel in isolation.
+    pub fn refresh_rc(&mut self, design: &Design, placement: &Placement) {
+        let all = std::mem::take(&mut self.all_nets);
+        self.refresh_nets(design, placement, &all);
+        self.all_nets = all;
+    }
+
+    /// Recomputes the RC trees, wire-arc delays, load cache and dependent
+    /// gate-arc delays for the given nets (sorted and deduplicated by the
+    /// caller).
+    ///
+    /// The trees are rebuilt **in place** inside the slab-backed
+    /// [`RcForest`] — each net owns a disjoint CSR segment, so the
+    /// expensive construction and Elmore solve run in parallel with zero
+    /// per-net allocations. The cheap application onto the shared
+    /// arc-delay table then runs serially in `nets` order, keeping the
+    /// state update deterministic for any thread count.
+    pub(crate) fn refresh_nets(&mut self, design: &Design, placement: &Placement, nets: &[NetId]) {
+        let params = self.params;
+        let workers = self.refresh_workers(nets.len());
+        self.rc_refreshes += 1;
+        self.rc_nets_refreshed += nets.len() as u64;
+        crate::rctree::count_refresh(nets.len());
+        let skeleton = Arc::clone(&self.skeleton);
+        self.forest
+            .refresh(design, placement, nets, &params, &skeleton, workers);
+        let graph = Arc::clone(&self.graph);
+        let forest = &self.forest;
+        for &net in nets {
+            let load = forest.net_load(net);
+            let delays = forest.sink_delays(net);
+            self.net_load[net.index()] = load;
+            let driver = design.net(net).driver();
+            // Wire arcs of this net.
+            for arc in graph.out_arcs(driver) {
+                if let ArcKind::Net { net: n, sink_index } = graph.arc(arc).kind {
+                    if n == net {
+                        self.arc_delay[arc.index()] = delays[sink_index];
+                    }
+                }
+            }
+            // The gate arc(s) driving this net see a new load.
+            for arc in graph.in_arcs(driver) {
+                if let ArcKind::Cell {
+                    intrinsic,
+                    drive_resistance,
+                } = graph.arc(arc).kind
+                {
+                    self.arc_delay[arc.index()] = intrinsic + drive_resistance * load;
+                }
+            }
+        }
+    }
+
+    /// Allocation/op counters for this analyzer's RC work: refresh passes,
+    /// nets refreshed, scratch-pool hits and resident slab bytes.
+    pub fn rc_stats(&self) -> RcOpStats {
+        RcOpStats {
+            refreshes: self.rc_refreshes,
+            nets_refreshed: self.rc_nets_refreshed,
+            scratch_reuses: self.forest.scratch_reuses(),
+            slab_bytes: self.forest.slab_bytes(),
+        }
     }
 
     /// Reruns both propagation passes and the endpoint-slack collection
@@ -246,16 +327,6 @@ impl Sta {
         self.propagate_required(design);
         self.collect_endpoint_slacks();
         self.analyzed = true;
-    }
-
-    /// Overwrites one arc's delay (incremental updates).
-    pub(crate) fn set_arc_delay(&mut self, arc: ArcId, delay: f64) {
-        self.arc_delay[arc.index()] = delay;
-    }
-
-    /// Overwrites one net's cached load (incremental updates).
-    pub(crate) fn set_net_load(&mut self, net: netlist::NetId, load: f64) {
-        self.net_load[net.index()] = load;
     }
 
     /// Total downstream capacitance the driver of `net` sees, as of the

@@ -12,10 +12,7 @@
 //! rebuild — never depend on hash-map iteration order.
 
 use crate::analysis::Sta;
-use crate::graph::ArcKind;
-use crate::rctree::RcTree;
 use netlist::{CellId, Design, NetId, Placement};
-use parx::UnsafeSlice;
 
 impl Sta {
     /// Re-analyzes after moving only `moved_cells`, reusing every other
@@ -50,59 +47,6 @@ impl Sta {
         dirty.dedup();
         self.refresh_nets(design, placement, &dirty);
         self.repropagate(design);
-    }
-
-    /// Recomputes the RC tree, wire-arc delays, load cache and dependent
-    /// gate-arc delays for the given nets.
-    ///
-    /// Every net's RC tree is independent of every other's, so the tree
-    /// construction and Elmore solve — the expensive part — run in
-    /// parallel, each net writing its `(load, sink delays)` into its own
-    /// slot. The cheap application onto the shared arc-delay table then
-    /// runs serially in `nets` order, keeping the state update
-    /// deterministic for any thread count.
-    pub(crate) fn refresh_nets(&mut self, design: &Design, placement: &Placement, nets: &[NetId]) {
-        let params = self.params();
-        let skeleton = self.skeleton_handle();
-        let workers = self.refresh_workers(nets.len());
-        let mut results: Vec<Option<(f64, Vec<f64>)>> = Vec::with_capacity(nets.len());
-        results.resize_with(nets.len(), || None);
-        {
-            let skeleton = &*skeleton;
-            let slots = UnsafeSlice::new(&mut results);
-            parx::par_for(workers, nets.len(), 32, |range| {
-                for i in range {
-                    let tree = RcTree::build_with(design, placement, nets[i], &params, skeleton);
-                    // SAFETY: slot `i` belongs to this chunk alone.
-                    unsafe { slots.write(i, Some((tree.total_load(), tree.elmore_delays()))) };
-                }
-            });
-        }
-        for (i, &net) in nets.iter().enumerate() {
-            let (load, delays) = results[i].take().expect("net was refreshed");
-            self.set_net_load(net, load);
-            let driver = design.net(net).driver();
-            // Wire arcs of this net.
-            let arcs: Vec<_> = self.graph().out_arcs(driver).collect();
-            for arc in arcs {
-                if let ArcKind::Net { net: n, sink_index } = self.graph().arc(arc).kind {
-                    if n == net {
-                        self.set_arc_delay(arc, delays[sink_index]);
-                    }
-                }
-            }
-            // The gate arc(s) driving this net see a new load.
-            let in_arcs: Vec<_> = self.graph().in_arcs(driver).collect();
-            for arc in in_arcs {
-                if let ArcKind::Cell {
-                    intrinsic,
-                    drive_resistance,
-                } = self.graph().arc(arc).kind
-                {
-                    self.set_arc_delay(arc, intrinsic + drive_resistance * load);
-                }
-            }
-        }
     }
 }
 

@@ -54,5 +54,8 @@ pub mod report;
 
 pub use analysis::{EndpointSlack, Sta, StaCheckpoint, TimingSummary};
 pub use graph::{graph_build_count, ArcId, ArcKind, BuildGraphError, TimingArc, TimingGraph};
-pub use rctree::{rc_skeleton_build_count, NetTopology, RcParams, RcSkeleton, RcTree};
+pub use rctree::{
+    rc_nets_refreshed_count, rc_refresh_count, rc_scratch_reuse_count, rc_skeleton_build_count,
+    rc_tree_build_count, NetTopology, RcForest, RcOpStats, RcParams, RcSkeleton, RcTree,
+};
 pub use report::{PathElement, TimingPath};

@@ -14,13 +14,39 @@
 //! * [`NetTopology::SteinerMst`] — Prim's minimum spanning tree under the
 //!   Manhattan metric, a closer match to routed topology; used by the
 //!   evaluation kit.
+//!
+//! Two storage layouts share the same construction kernels:
+//!
+//! * [`RcTree`] — one heap-allocated tree per call; the convenience and
+//!   diagnostics path, and the baseline `tdp-perf`'s legacy kernel times.
+//! * [`RcForest`] — every net's tree in flat SoA slabs (`parent` /
+//!   `edge_res` / `node_cap` / `topo`) with per-net CSR offsets, refreshed
+//!   in place. A full refresh performs **zero** per-net allocations; this
+//!   is what [`Sta`](crate::Sta) drives. Because both layouts run the
+//!   identical kernel over the identical inputs, their results are
+//!   bitwise equal — the `rcforest_equivalence` test pins this.
 
 use netlist::{Design, NetId, Placement};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use parx::UnsafeSlice;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Process-wide count of [`RcSkeleton::build`] calls (see
 /// [`rc_skeleton_build_count`]).
 static SKELETON_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide count of [`RcTree`] constructions (see
+/// [`rc_tree_build_count`]).
+static RC_TREE_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide count of RC refresh passes (see [`rc_refresh_count`]).
+static RC_REFRESHES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of nets refreshed (see [`rc_nets_refreshed_count`]).
+static RC_NETS_REFRESHED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of scratch-pool hits (see [`rc_scratch_reuse_count`]).
+static RC_SCRATCH_REUSES: AtomicU64 = AtomicU64::new(0);
 
 /// Number of RC skeletons built by this process so far.
 ///
@@ -29,6 +55,86 @@ static SKELETON_BUILDS: AtomicUsize = AtomicUsize::new(0);
 /// exactly once per design rather than once per run.
 pub fn rc_skeleton_build_count() -> usize {
     SKELETON_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Number of individual [`RcTree`]s built by this process so far — every
+/// construction through [`RcTree::build`] or [`RcTree::build_with`].
+///
+/// Analyzer refreshes run through the in-place [`RcForest`] and never
+/// construct an `RcTree`, so a session/serve workload keeps this counter
+/// flat; a nonzero delta across a flow run means some path regressed to
+/// per-net tree allocation (and, for [`RcTree::build`], to re-reading
+/// sink caps from the design). Tests assert the delta is zero.
+pub fn rc_tree_build_count() -> usize {
+    RC_TREE_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Number of RC refresh passes (full or incremental) run by this process.
+pub fn rc_refresh_count() -> u64 {
+    RC_REFRESHES.load(Ordering::Relaxed)
+}
+
+/// Total nets refreshed across all RC refresh passes in this process.
+pub fn rc_nets_refreshed_count() -> u64 {
+    RC_NETS_REFRESHED.load(Ordering::Relaxed)
+}
+
+/// Total MST/Elmore scratch buffers served from a [`RcForest`] pool
+/// instead of freshly allocated, process-wide.
+pub fn rc_scratch_reuse_count() -> u64 {
+    RC_SCRATCH_REUSES.load(Ordering::Relaxed)
+}
+
+/// Allocation/op counters for one analyzer's RC work — the "how much did
+/// the arena save" view that [`tdp-perf`] and the batch/serve reports
+/// surface. Counters are exact and deterministic for a fixed workload;
+/// `scratch_reuses` additionally depends on thread scheduling (like a
+/// wall-clock field) because pool hits race under a parallel refresh.
+///
+/// [`tdp-perf`]: index.html
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RcOpStats {
+    /// RC refresh passes run (one per full or incremental analysis).
+    pub refreshes: u64,
+    /// Nets refreshed, summed over all passes.
+    pub nets_refreshed: u64,
+    /// Scratch buffers reused from the forest pool instead of allocated.
+    pub scratch_reuses: u64,
+    /// Resident bytes of forest slab capacity (a gauge, not a counter).
+    pub slab_bytes: u64,
+}
+
+impl RcOpStats {
+    /// Counters accumulated since `baseline` (same analyzer, earlier
+    /// snapshot); the `slab_bytes` gauge keeps its current value.
+    #[must_use]
+    pub fn since(self, baseline: RcOpStats) -> RcOpStats {
+        RcOpStats {
+            refreshes: self.refreshes.saturating_sub(baseline.refreshes),
+            nets_refreshed: self.nets_refreshed.saturating_sub(baseline.nets_refreshed),
+            scratch_reuses: self.scratch_reuses.saturating_sub(baseline.scratch_reuses),
+            slab_bytes: self.slab_bytes,
+        }
+    }
+
+    /// Combines two analyzers' stats: counters add, and so do the slab
+    /// gauges (total resident arena bytes).
+    #[must_use]
+    pub fn merged(self, other: RcOpStats) -> RcOpStats {
+        RcOpStats {
+            refreshes: self.refreshes + other.refreshes,
+            nets_refreshed: self.nets_refreshed + other.nets_refreshed,
+            scratch_reuses: self.scratch_reuses + other.scratch_reuses,
+            slab_bytes: self.slab_bytes + other.slab_bytes,
+        }
+    }
+}
+
+/// Bumps the process-wide refresh counters (called once per
+/// [`Sta::refresh_nets`](crate::Sta) pass).
+pub(crate) fn count_refresh(nets: usize) {
+    RC_REFRESHES.fetch_add(1, Ordering::Relaxed);
+    RC_NETS_REFRESHED.fetch_add(nets as u64, Ordering::Relaxed);
 }
 
 /// The placement-independent part of every net's RC tree: per-net sink
@@ -108,26 +214,198 @@ pub enum NetTopology {
     SteinerMst,
 }
 
+// ---------------------------------------------------------------------------
+// Shared construction kernels.
+//
+// Both storage layouts call these over caller-provided slices, so a tree
+// in a forest slab and a standalone `RcTree` for the same net run the
+// identical floating-point sequence — bitwise equality by construction,
+// not by auditing two copies of the arithmetic.
+// ---------------------------------------------------------------------------
+
+/// Sentinel parent of the root node.
+const NO_PARENT: u32 = u32::MAX;
+
+/// Star topology: node 0 = driver, node i = sink i-1. All slices have
+/// `positions.len()` elements.
+fn star_into(
+    positions: &[(f64, f64)],
+    sink_caps: &[f64],
+    params: &RcParams,
+    parent: &mut [u32],
+    edge_res: &mut [f64],
+    node_cap: &mut [f64],
+    topo: &mut [u32],
+) {
+    let num_nodes = positions.len();
+    parent.fill(NO_PARENT);
+    edge_res.fill(0.0);
+    node_cap.fill(0.0);
+    if num_nodes == 0 {
+        return;
+    }
+    let (dx, dy) = positions[0];
+    topo[0] = 0;
+    for i in 1..num_nodes {
+        let (sx, sy) = positions[i];
+        let len = (sx - dx).abs() + (sy - dy).abs();
+        parent[i] = 0;
+        edge_res[i] = params.res_per_unit * len;
+        let wire_cap = params.cap_per_unit * len;
+        node_cap[0] += wire_cap / 2.0;
+        node_cap[i] += wire_cap / 2.0 + sink_caps[i - 1];
+        topo[i] = i as u32;
+    }
+}
+
+/// Prim MST under the Manhattan metric, rooted at the driver (node 0).
+/// O(p²) per net, acceptable because real net degrees are small. The
+/// `in_tree`/`best_dist`/`best_from` slices are scratch (fully
+/// reinitialized here); all slices have `positions.len()` elements.
+#[allow(clippy::too_many_arguments)]
+fn mst_into(
+    positions: &[(f64, f64)],
+    sink_caps: &[f64],
+    params: &RcParams,
+    parent: &mut [u32],
+    edge_res: &mut [f64],
+    node_cap: &mut [f64],
+    topo: &mut [u32],
+    in_tree: &mut [bool],
+    best_dist: &mut [f64],
+    best_from: &mut [u32],
+) {
+    let num_nodes = positions.len();
+    parent.fill(NO_PARENT);
+    edge_res.fill(0.0);
+    node_cap.fill(0.0);
+    if num_nodes == 0 {
+        return;
+    }
+    for (i, &cap) in sink_caps.iter().enumerate() {
+        node_cap[i + 1] += cap;
+    }
+    let manhattan = |a: usize, b: usize| {
+        let (ax, ay) = positions[a];
+        let (bx, by) = positions[b];
+        (ax - bx).abs() + (ay - by).abs()
+    };
+
+    in_tree.fill(false);
+    best_dist.fill(f64::INFINITY);
+    best_from.fill(0);
+    topo[0] = 0;
+    in_tree[0] = true;
+    for (v, d) in best_dist.iter_mut().enumerate().skip(1) {
+        *d = manhattan(0, v);
+    }
+    let mut placed = 1;
+    for _ in 1..num_nodes {
+        let mut pick = usize::MAX;
+        let mut pick_dist = f64::INFINITY;
+        for v in 1..num_nodes {
+            if !in_tree[v] && best_dist[v] < pick_dist {
+                pick = v;
+                pick_dist = best_dist[v];
+            }
+        }
+        if pick == usize::MAX {
+            break;
+        }
+        in_tree[pick] = true;
+        topo[placed] = pick as u32;
+        placed += 1;
+        let from = best_from[pick];
+        parent[pick] = from;
+        let len = pick_dist;
+        edge_res[pick] = params.res_per_unit * len;
+        let wire_cap = params.cap_per_unit * len;
+        node_cap[from as usize] += wire_cap / 2.0;
+        node_cap[pick] += wire_cap / 2.0;
+        for v in 1..num_nodes {
+            if !in_tree[v] {
+                let d = manhattan(pick, v);
+                if d < best_dist[v] {
+                    best_dist[v] = d;
+                    best_from[v] = pick as u32;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(placed, num_nodes, "disconnected MST (non-finite position?)");
+}
+
+/// Elmore solve over an already-built tree: for each tree edge `e`, the
+/// delay contribution is `R_e × C_downstream(e)`; the delay to a sink is
+/// the sum over edges on the root→sink path. Sink `i` is node `i + 1`
+/// in both topologies, so `sink_delay` (length `n − 1`) comes straight
+/// off the node delays. `downstream`/`delay` are scratch.
+fn elmore_into(
+    parent: &[u32],
+    edge_res: &[f64],
+    node_cap: &[f64],
+    topo: &[u32],
+    downstream: &mut Vec<f64>,
+    delay: &mut Vec<f64>,
+    sink_delay: &mut [f64],
+) {
+    let n = parent.len();
+    // `topo` lists parents before children; iterating it in reverse is a
+    // valid post-order for downstream-cap accumulation.
+    downstream.clear();
+    downstream.extend_from_slice(node_cap);
+    for i in (1..n).rev() {
+        let v = topo[i] as usize;
+        let p = parent[v] as usize;
+        downstream[p] += downstream[v];
+    }
+    delay.clear();
+    delay.resize(n, 0.0);
+    for &node in &topo[1..n] {
+        let v = node as usize;
+        let p = parent[v] as usize;
+        delay[v] = delay[p] + edge_res[v] * downstream[v];
+    }
+    sink_delay.copy_from_slice(&delay[1..n.max(1)]);
+}
+
+/// Collects a net's pin positions in `net.pins` order into `out`.
+fn collect_positions(
+    design: &Design,
+    placement: &Placement,
+    net: NetId,
+    out: &mut Vec<(f64, f64)>,
+) {
+    out.clear();
+    for &p in &design.net(net).pins {
+        out.push(placement.pin_position(design, p));
+    }
+}
+
 /// An RC tree for one net.
 ///
 /// Node 0 is always the driver. Each non-root node stores its parent, the
 /// resistance of the edge to the parent, and its node capacitance (half the
 /// wire capacitance of each incident segment plus the sink pin cap).
+///
+/// This is the one-allocation-per-call layout; analyzer refreshes use the
+/// slab-backed [`RcForest`] instead and never construct one of these (see
+/// [`rc_tree_build_count`]).
 #[derive(Debug, Clone)]
 pub struct RcTree {
-    parent: Vec<usize>,
+    parent: Vec<u32>,
     edge_res: Vec<f64>,
     node_cap: Vec<f64>,
-    /// Map from sink index (position in `net.sinks()`) to tree node.
-    sink_node: Vec<usize>,
     /// Node indices with every parent before its children (root first).
-    topo: Vec<usize>,
+    topo: Vec<u32>,
 }
 
 impl RcTree {
-    /// Builds the RC tree for `net` from the current placement.
-    ///
-    /// `sink_caps[i]` is the input capacitance of the i-th sink pin.
+    /// Builds the RC tree for `net` from the current placement, re-reading
+    /// the sink input capacitances from the design — the convenience path
+    /// for one-off diagnostics. Counted by [`rc_tree_build_count`]; hot
+    /// paths go through a prebuilt [`RcSkeleton`] ([`RcTree::build_with`])
+    /// or, inside an analyzer, the allocation-free [`RcForest`].
     pub fn build(design: &Design, placement: &Placement, net: NetId, params: &RcParams) -> Self {
         let sink_caps: Vec<f64> = design
             .net(net)
@@ -158,118 +436,58 @@ impl RcTree {
         params: &RcParams,
         sink_caps: &[f64],
     ) -> Self {
-        let n = design.net(net);
-        let mut positions: Vec<(f64, f64)> = Vec::with_capacity(n.pins.len());
-        for &p in &n.pins {
-            positions.push(placement.pin_position(design, p));
-        }
+        RC_TREE_BUILDS.fetch_add(1, Ordering::Relaxed);
+        let mut positions: Vec<(f64, f64)> = Vec::with_capacity(design.net(net).pins.len());
+        collect_positions(design, placement, net, &mut positions);
+        let n = positions.len();
+        let mut parent = vec![NO_PARENT; n];
+        let mut edge_res = vec![0.0; n];
+        let mut node_cap = vec![0.0; n];
+        let mut topo = vec![0u32; n];
         match params.topology {
-            NetTopology::Star => Self::build_star(&positions, sink_caps, params),
-            NetTopology::SteinerMst => Self::build_mst(&positions, sink_caps, params),
-        }
-    }
-
-    /// Star topology: node 0 = driver, node i = sink i-1.
-    fn build_star(positions: &[(f64, f64)], sink_caps: &[f64], params: &RcParams) -> Self {
-        let num_nodes = positions.len();
-        let mut parent = vec![usize::MAX; num_nodes];
-        let mut edge_res = vec![0.0; num_nodes];
-        let mut node_cap = vec![0.0; num_nodes];
-        let mut sink_node = Vec::with_capacity(sink_caps.len());
-        let (dx, dy) = positions[0];
-        for i in 1..num_nodes {
-            let (sx, sy) = positions[i];
-            let len = (sx - dx).abs() + (sy - dy).abs();
-            parent[i] = 0;
-            edge_res[i] = params.res_per_unit * len;
-            let wire_cap = params.cap_per_unit * len;
-            node_cap[0] += wire_cap / 2.0;
-            node_cap[i] += wire_cap / 2.0 + sink_caps[i - 1];
-            sink_node.push(i);
+            NetTopology::Star => star_into(
+                &positions,
+                sink_caps,
+                params,
+                &mut parent,
+                &mut edge_res,
+                &mut node_cap,
+                &mut topo,
+            ),
+            NetTopology::SteinerMst => {
+                let mut in_tree = vec![false; n];
+                let mut best_dist = vec![f64::INFINITY; n];
+                let mut best_from = vec![0u32; n];
+                mst_into(
+                    &positions,
+                    sink_caps,
+                    params,
+                    &mut parent,
+                    &mut edge_res,
+                    &mut node_cap,
+                    &mut topo,
+                    &mut in_tree,
+                    &mut best_dist,
+                    &mut best_from,
+                );
+            }
         }
         Self {
             parent,
             edge_res,
             node_cap,
-            sink_node,
-            topo: (0..num_nodes).collect(),
-        }
-    }
-
-    /// Prim MST under the Manhattan metric, rooted at the driver (node 0).
-    /// O(p²) per net, acceptable because real net degrees are small.
-    fn build_mst(positions: &[(f64, f64)], sink_caps: &[f64], params: &RcParams) -> Self {
-        let num_nodes = positions.len();
-        let mut parent = vec![usize::MAX; num_nodes];
-        let mut edge_res = vec![0.0; num_nodes];
-        let mut node_cap = vec![0.0; num_nodes];
-        for (i, &cap) in sink_caps.iter().enumerate() {
-            node_cap[i + 1] += cap;
-        }
-        let manhattan = |a: usize, b: usize| {
-            let (ax, ay) = positions[a];
-            let (bx, by) = positions[b];
-            (ax - bx).abs() + (ay - by).abs()
-        };
-
-        let mut in_tree = vec![false; num_nodes];
-        let mut best_dist = vec![f64::INFINITY; num_nodes];
-        let mut best_from = vec![0usize; num_nodes];
-        let mut topo = Vec::with_capacity(num_nodes);
-        topo.push(0);
-        in_tree[0] = true;
-        for (v, d) in best_dist.iter_mut().enumerate().skip(1) {
-            *d = manhattan(0, v);
-        }
-        for _ in 1..num_nodes {
-            let mut pick = usize::MAX;
-            let mut pick_dist = f64::INFINITY;
-            for v in 1..num_nodes {
-                if !in_tree[v] && best_dist[v] < pick_dist {
-                    pick = v;
-                    pick_dist = best_dist[v];
-                }
-            }
-            if pick == usize::MAX {
-                break;
-            }
-            in_tree[pick] = true;
-            topo.push(pick);
-            let from = best_from[pick];
-            parent[pick] = from;
-            let len = pick_dist;
-            edge_res[pick] = params.res_per_unit * len;
-            let wire_cap = params.cap_per_unit * len;
-            node_cap[from] += wire_cap / 2.0;
-            node_cap[pick] += wire_cap / 2.0;
-            for v in 1..num_nodes {
-                if !in_tree[v] {
-                    let d = manhattan(pick, v);
-                    if d < best_dist[v] {
-                        best_dist[v] = d;
-                        best_from[v] = pick;
-                    }
-                }
-            }
-        }
-        let sink_node = (1..num_nodes).collect();
-        Self {
-            parent,
-            edge_res,
-            node_cap,
-            sink_node,
             topo,
         }
     }
 
-    /// Number of tree nodes (driver + sinks + Steiner points).
+    /// Number of tree nodes (driver + sinks).
     pub fn len(&self) -> usize {
         self.parent.len()
     }
 
     /// Whether the tree has no sinks.
     pub fn is_empty(&self) -> bool {
-        self.sink_node.is_empty()
+        self.parent.len() <= 1
     }
 
     /// Total capacitance seen by the driver: the load used in the gate
@@ -279,27 +497,21 @@ impl RcTree {
     }
 
     /// Elmore delay from the driver to every sink, in `net.sinks()` order.
-    ///
-    /// For each tree edge `e`, the delay contribution is
-    /// `R_e × C_downstream(e)`; the delay to a sink is the sum over edges on
-    /// the root→sink path.
     pub fn elmore_delays(&self) -> Vec<f64> {
         let n = self.len();
-        // `topo` lists parents before children; iterating it in reverse is a
-        // valid post-order for downstream-cap accumulation.
-        let mut downstream = self.node_cap.clone();
-        for i in (1..n).rev() {
-            let v = self.topo[i];
-            let p = self.parent[v];
-            downstream[p] += downstream[v];
-        }
-        let mut delay = vec![0.0; n];
-        for i in 1..n {
-            let v = self.topo[i];
-            let p = self.parent[v];
-            delay[v] = delay[p] + self.edge_res[v] * downstream[v];
-        }
-        self.sink_node.iter().map(|&v| delay[v]).collect()
+        let mut downstream = Vec::with_capacity(n);
+        let mut delay = Vec::with_capacity(n);
+        let mut sink_delay = vec![0.0; n.saturating_sub(1)];
+        elmore_into(
+            &self.parent,
+            &self.edge_res,
+            &self.node_cap,
+            &self.topo,
+            &mut downstream,
+            &mut delay,
+            &mut sink_delay,
+        );
+        sink_delay
     }
 
     /// Total wirelength implied by the tree (sum of edge lengths), derived
@@ -310,6 +522,267 @@ impl RcTree {
         }
         self.edge_res.iter().sum::<f64>() / params.res_per_unit
     }
+}
+
+/// Reusable per-worker buffers for one net's tree construction and Elmore
+/// solve: pin positions, the Prim frontier and the two solve arrays. The
+/// contents never influence results — every field is fully reinitialized
+/// per net — so pooling them across refreshes is a pure allocation saver.
+#[derive(Debug, Default)]
+struct RcScratch {
+    positions: Vec<(f64, f64)>,
+    in_tree: Vec<bool>,
+    best_dist: Vec<f64>,
+    best_from: Vec<u32>,
+    downstream: Vec<f64>,
+    delay: Vec<f64>,
+}
+
+/// Every net's RC tree in flat SoA slabs with per-net CSR offsets.
+///
+/// The node count of a net's tree equals its pin count for both
+/// topologies and never depends on the placement, so the layout is
+/// computed once per design ([`RcForest::new`]) and a refresh —
+/// [`RcForest::refresh`] — rewrites the slabs in place: O(1) allocations
+/// per pass (scratch-pool misses only) instead of the O(nets·5) the
+/// per-net [`RcTree`] layout costs. Per-net slab segments are disjoint,
+/// so the refresh parallelizes with the same chunking as every other
+/// deterministic kernel in the workspace; results are bit-identical to
+/// per-net [`RcTree`] construction and to every thread count.
+#[derive(Debug)]
+pub struct RcForest {
+    /// CSR offsets into the node slabs, one entry per net plus a sentinel.
+    node_start: Vec<u32>,
+    /// CSR offsets into `sink_delay` (per net: nodes − 1 sinks).
+    sink_start: Vec<u32>,
+    /// Parent node per node, local to the net (root: `u32::MAX`).
+    parent: Vec<u32>,
+    /// Resistance of the edge to the parent, per node.
+    edge_res: Vec<f64>,
+    /// Node capacitance, per node.
+    node_cap: Vec<f64>,
+    /// Parents-before-children node order, local to the net.
+    topo: Vec<u32>,
+    /// Elmore delay per sink, in `net.sinks()` order per net.
+    sink_delay: Vec<f64>,
+    /// Total downstream capacitance per net.
+    net_load: Vec<f64>,
+    /// Reusable construction scratch, popped by refresh workers.
+    pool: Mutex<Vec<RcScratch>>,
+    /// Scratch buffers served from the pool (vs freshly allocated).
+    scratch_reuses: AtomicU64,
+}
+
+impl Clone for RcForest {
+    /// Clones the slabs; the scratch pool starts empty (it refills on the
+    /// clone's first refresh) and the reuse counter restarts at zero.
+    fn clone(&self) -> Self {
+        Self {
+            node_start: self.node_start.clone(),
+            sink_start: self.sink_start.clone(),
+            parent: self.parent.clone(),
+            edge_res: self.edge_res.clone(),
+            node_cap: self.node_cap.clone(),
+            topo: self.topo.clone(),
+            sink_delay: self.sink_delay.clone(),
+            net_load: self.net_load.clone(),
+            pool: Mutex::new(Vec::new()),
+            scratch_reuses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl RcForest {
+    /// Lays out the slabs for `design`: one tree node per pin of every
+    /// net. Cheap (no RC math happens here); the slabs hold zeros until
+    /// the first [`RcForest::refresh`].
+    pub fn new(design: &Design) -> Self {
+        let num_nets = design.num_nets();
+        let mut node_start = Vec::with_capacity(num_nets + 1);
+        let mut sink_start = Vec::with_capacity(num_nets + 1);
+        node_start.push(0u32);
+        sink_start.push(0u32);
+        let mut nodes = 0u32;
+        let mut sinks = 0u32;
+        for net in design.net_ids() {
+            let pins = design.net(net).pins.len() as u32;
+            nodes += pins;
+            sinks += pins.saturating_sub(1);
+            node_start.push(nodes);
+            sink_start.push(sinks);
+        }
+        Self {
+            node_start,
+            sink_start,
+            parent: vec![NO_PARENT; nodes as usize],
+            edge_res: vec![0.0; nodes as usize],
+            node_cap: vec![0.0; nodes as usize],
+            topo: vec![0; nodes as usize],
+            sink_delay: vec![0.0; sinks as usize],
+            net_load: vec![0.0; num_nets],
+            pool: Mutex::new(Vec::new()),
+            scratch_reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// Rebuilds the trees of `nets` in place from `placement` and solves
+    /// their Elmore delays, on up to `workers` threads. Nets not listed
+    /// keep their previous slabs — the incremental path. Bit-identical
+    /// for every worker count (disjoint per-net slab segments, no
+    /// cross-net arithmetic).
+    pub fn refresh(
+        &mut self,
+        design: &Design,
+        placement: &Placement,
+        nets: &[NetId],
+        params: &RcParams,
+        skeleton: &RcSkeleton,
+        workers: usize,
+    ) {
+        let node_start = &self.node_start;
+        let sink_start = &self.sink_start;
+        let parent = UnsafeSlice::new(&mut self.parent);
+        let edge_res = UnsafeSlice::new(&mut self.edge_res);
+        let node_cap = UnsafeSlice::new(&mut self.node_cap);
+        let topo = UnsafeSlice::new(&mut self.topo);
+        let sink_delay = UnsafeSlice::new(&mut self.sink_delay);
+        let net_load = UnsafeSlice::new(&mut self.net_load);
+        let pool = &self.pool;
+        let reuses = &self.scratch_reuses;
+        parx::par_for(workers, nets.len(), 32, |range| {
+            let mut scratch = pool.lock().expect("rc scratch pool").pop();
+            if scratch.is_some() {
+                reuses.fetch_add(1, Ordering::Relaxed);
+                RC_SCRATCH_REUSES.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut scratch = scratch.take().unwrap_or_default();
+            for i in range {
+                let net = nets[i];
+                let lo = node_start[net.index()] as usize;
+                let n = node_start[net.index() + 1] as usize - lo;
+                let slo = sink_start[net.index()] as usize;
+                let n_sinks = sink_start[net.index() + 1] as usize - slo;
+                // SAFETY: each net's CSR segment belongs to exactly one
+                // chunk (nets are deduplicated by the caller), and chunks
+                // never overlap — all writes are disjoint.
+                let load = unsafe {
+                    refresh_net_into(
+                        design,
+                        placement,
+                        net,
+                        params,
+                        skeleton.sink_caps(net),
+                        parent.slice_mut(lo, n),
+                        edge_res.slice_mut(lo, n),
+                        node_cap.slice_mut(lo, n),
+                        topo.slice_mut(lo, n),
+                        sink_delay.slice_mut(slo, n_sinks),
+                        &mut scratch,
+                    )
+                };
+                // SAFETY: net slot written by this chunk alone.
+                unsafe { net_load.write(net.index(), load) };
+            }
+            pool.lock().expect("rc scratch pool").push(scratch);
+        });
+    }
+
+    /// Total downstream capacitance of `net`, as of the last refresh that
+    /// listed it.
+    pub fn net_load(&self, net: NetId) -> f64 {
+        self.net_load[net.index()]
+    }
+
+    /// Elmore delays of `net`'s sinks in `net.sinks()` order, as of the
+    /// last refresh that listed it.
+    pub fn sink_delays(&self, net: NetId) -> &[f64] {
+        let lo = self.sink_start[net.index()] as usize;
+        let hi = self.sink_start[net.index() + 1] as usize;
+        &self.sink_delay[lo..hi]
+    }
+
+    /// Number of nets the forest covers.
+    pub fn num_nets(&self) -> usize {
+        self.net_load.len()
+    }
+
+    /// Resident slab capacity in bytes (CSR offsets + node slabs + per-net
+    /// results) — the arena's whole footprint, visible in reports so the
+    /// allocation trade is observable.
+    pub fn slab_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        ((self.node_start.capacity() + self.sink_start.capacity()) * size_of::<u32>()
+            + (self.parent.capacity() + self.topo.capacity()) * size_of::<u32>()
+            + (self.edge_res.capacity()
+                + self.node_cap.capacity()
+                + self.sink_delay.capacity()
+                + self.net_load.capacity())
+                * size_of::<f64>()) as u64
+    }
+
+    /// Scratch buffers this forest served from its pool instead of
+    /// allocating fresh.
+    pub fn scratch_reuses(&self) -> u64 {
+        self.scratch_reuses.load(Ordering::Relaxed)
+    }
+}
+
+/// Rebuilds one net's tree into its slab segment and solves its Elmore
+/// delays; returns the driver load. The shared kernels guarantee the
+/// bits match a standalone [`RcTree`] for the same inputs.
+#[allow(clippy::too_many_arguments)]
+fn refresh_net_into(
+    design: &Design,
+    placement: &Placement,
+    net: NetId,
+    params: &RcParams,
+    sink_caps: &[f64],
+    parent: &mut [u32],
+    edge_res: &mut [f64],
+    node_cap: &mut [f64],
+    topo: &mut [u32],
+    sink_delay: &mut [f64],
+    scratch: &mut RcScratch,
+) -> f64 {
+    collect_positions(design, placement, net, &mut scratch.positions);
+    let positions = &scratch.positions[..];
+    match params.topology {
+        NetTopology::Star => star_into(
+            positions, sink_caps, params, parent, edge_res, node_cap, topo,
+        ),
+        NetTopology::SteinerMst => {
+            let n = positions.len();
+            scratch.in_tree.clear();
+            scratch.in_tree.resize(n, false);
+            scratch.best_dist.clear();
+            scratch.best_dist.resize(n, f64::INFINITY);
+            scratch.best_from.clear();
+            scratch.best_from.resize(n, 0);
+            mst_into(
+                positions,
+                sink_caps,
+                params,
+                parent,
+                edge_res,
+                node_cap,
+                topo,
+                &mut scratch.in_tree,
+                &mut scratch.best_dist,
+                &mut scratch.best_from,
+            );
+        }
+    }
+    let load = node_cap.iter().sum();
+    elmore_into(
+        parent,
+        edge_res,
+        node_cap,
+        topo,
+        &mut scratch.downstream,
+        &mut scratch.delay,
+        sink_delay,
+    );
+    load
 }
 
 #[cfg(test)]
@@ -425,5 +898,64 @@ mod tests {
         let tree = RcTree::build(&d, &p, net, &RcParams::default());
         assert_eq!(tree.elmore_delays()[0], 0.0);
         assert!((tree.total_load() - sink_cap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forest_matches_per_net_trees_bitwise() {
+        let sinks = [(100.0, 0.0), (110.0, 10.0), (120.0, -5.0), (-50.0, 30.0)];
+        let (d, p, _, _) = fanout_net(&sinks);
+        let skeleton = RcSkeleton::build(&d);
+        let all: Vec<NetId> = d.net_ids().collect();
+        for topology in [NetTopology::Star, NetTopology::SteinerMst] {
+            let params = RcParams::default().with_topology(topology);
+            for workers in [1, 4] {
+                let mut forest = RcForest::new(&d);
+                forest.refresh(&d, &p, &all, &params, &skeleton, workers);
+                for &net in &all {
+                    let tree = RcTree::build_with(&d, &p, net, &params, &skeleton);
+                    assert_eq!(
+                        forest.net_load(net).to_bits(),
+                        tree.total_load().to_bits(),
+                        "load of net {net:?} ({topology:?}, {workers} workers)"
+                    );
+                    let tree_delays = tree.elmore_delays();
+                    let forest_delays = forest.sink_delays(net);
+                    assert_eq!(tree_delays.len(), forest_delays.len());
+                    for (a, b) in tree_delays.iter().zip(forest_delays) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{topology:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forest_refresh_reuses_pooled_scratch() {
+        let (d, p, _, _) = fanout_net(&[(10.0, 0.0), (20.0, 5.0)]);
+        let skeleton = RcSkeleton::build(&d);
+        let all: Vec<NetId> = d.net_ids().collect();
+        let params = RcParams::default();
+        let mut forest = RcForest::new(&d);
+        forest.refresh(&d, &p, &all, &params, &skeleton, 1);
+        assert_eq!(forest.scratch_reuses(), 0, "first pass allocates");
+        forest.refresh(&d, &p, &all, &params, &skeleton, 1);
+        assert_eq!(forest.scratch_reuses(), 1, "second pass hits the pool");
+        assert!(forest.slab_bytes() > 0);
+    }
+
+    #[test]
+    fn rc_tree_build_counter_counts_both_construction_paths() {
+        let (d, p, net, _) = fanout_net(&[(10.0, 0.0)]);
+        let skeleton = RcSkeleton::build(&d);
+        let before = rc_tree_build_count();
+        let _ = RcTree::build(&d, &p, net, &RcParams::default());
+        let _ = RcTree::build_with(&d, &p, net, &RcParams::default(), &skeleton);
+        assert_eq!(rc_tree_build_count() - before, 2);
+        // A forest refresh constructs no trees.
+        let all: Vec<NetId> = d.net_ids().collect();
+        let mut forest = RcForest::new(&d);
+        let before = rc_tree_build_count();
+        forest.refresh(&d, &p, &all, &RcParams::default(), &skeleton, 1);
+        assert_eq!(rc_tree_build_count(), before);
     }
 }

@@ -1,0 +1,100 @@
+//! The recorded perf trajectory is a contract, not a side file: the
+//! checked-in `BENCH_0.json` seed must stay parseable, fixpoint-stable
+//! and internally consistent, and it must actually record the speedup
+//! the arena refactor claims — an at-least-1.5× arena-over-legacy RC
+//! refresh on every measured case.
+
+use perf::{compare, encode, parse_run, thread_consistency, BenchRun};
+
+fn seed() -> (String, BenchRun) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_0.json is checked in");
+    let run = parse_run(&text).expect("BENCH_0.json parses");
+    (text, run)
+}
+
+#[test]
+fn bench_seed_is_an_encode_fixpoint() {
+    let (text, run) = seed();
+    assert_eq!(format!("{}\n", encode(&run)), text);
+    // And the round trip is idempotent, not just value-preserving.
+    let again = parse_run(&encode(&run)).unwrap();
+    assert_eq!(again, run);
+}
+
+#[test]
+fn bench_seed_records_the_arena_speedup() {
+    let (_, run) = seed();
+    assert_eq!(run.profile, "quick");
+    let legacies: Vec<_> = run
+        .results
+        .iter()
+        .filter(|r| r.kernel == "rc_refresh_legacy")
+        .collect();
+    assert!(!legacies.is_empty(), "seed must measure the legacy kernel");
+    for legacy in legacies {
+        let arena = run
+            .results
+            .iter()
+            .find(|r| r.case == legacy.case && r.kernel == "rc_refresh_full" && r.threads == 1)
+            .expect("every legacy measurement has an arena counterpart");
+        // The perf pass's headline number, gated here on the recorded
+        // trajectory itself.
+        let speedup = legacy.ns_per_op / arena.ns_per_op;
+        assert!(
+            speedup >= 1.5,
+            "{}: arena refresh only {speedup:.2}x over legacy",
+            legacy.case
+        );
+        // The speedup is only meaningful because both computed the
+        // same bits.
+        assert_eq!(
+            legacy.checksum, arena.checksum,
+            "{}: legacy and arena refresh disagree",
+            legacy.case
+        );
+    }
+}
+
+#[test]
+fn bench_seed_checksums_are_thread_consistent() {
+    let (_, run) = seed();
+    let violations = thread_consistency(&run);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn baseline_gate_passes_against_itself_and_catches_slowdowns() {
+    let (_, run) = seed();
+    // Self-comparison: zero delta everywhere, no mismatches, no
+    // missing keys.
+    let cmp = compare(&run, &run, 0.0);
+    assert!(cmp.ok());
+    assert!(cmp.missing.is_empty());
+    assert_eq!(cmp.lines.len(), run.results.len());
+
+    // A uniform 10x slowdown trips the gate on every key...
+    let mut slow = run.clone();
+    for r in &mut slow.results {
+        r.ns_per_op *= 10.0;
+    }
+    let cmp = compare(&run, &slow, 50.0);
+    assert!(!cmp.ok());
+    assert_eq!(cmp.regressions.len(), run.results.len());
+
+    // ...and checksums still matched, so the failures are all perf.
+    assert!(cmp.mismatches.is_empty());
+
+    // A corrupted portable checksum is caught even across machines.
+    let mut wrong = run.clone();
+    wrong.machine = "other-arch-1cpu".to_string();
+    let victim = wrong
+        .results
+        .iter_mut()
+        .find(|r| r.kernel.starts_with("rc_"))
+        .expect("seed has rc kernels");
+    victim.checksum ^= 1;
+    let cmp = compare(&run, &wrong, 1e9);
+    assert_eq!(cmp.mismatches.len(), 1);
+    assert!(!cmp.ok());
+}

@@ -1,0 +1,54 @@
+//! The slab-backed [`sta::RcForest`] must be a pure layout change: on
+//! every suite case, both interconnect topologies, the analyzer's
+//! refreshed state (net loads and per-sink wire delays) must be bitwise
+//! identical to what per-net [`sta::RcTree`] construction computes.
+//! The shared kernels make this true by construction; this test pins it
+//! against regressions in either path.
+
+use placer::{GlobalPlacer, PlacerConfig};
+use sta::{ArcKind, NetTopology, RcParams, RcSkeleton, RcTree, Sta};
+
+#[test]
+fn forest_refresh_matches_per_net_trees_on_every_suite_case() {
+    for case in benchgen::full_suite() {
+        let (design, pads) = benchgen::generate(&case.params);
+        // The deterministic seeded-jitter start: every cell placed.
+        let placer = GlobalPlacer::new(&design, pads, PlacerConfig::default());
+        let placement = placer.placement().clone();
+        let skeleton = RcSkeleton::build(&design);
+
+        for topology in [NetTopology::Star, NetTopology::SteinerMst] {
+            let params = RcParams {
+                res_per_unit: case.params.res_per_unit,
+                cap_per_unit: case.params.cap_per_unit,
+                topology,
+            };
+            let mut sta = Sta::new(&design, params).expect("suite designs are acyclic");
+            sta.refresh_rc(&design, &placement);
+
+            for net in design.net_ids() {
+                let tree = RcTree::build_with(&design, &placement, net, &params, &skeleton);
+                assert_eq!(
+                    sta.net_load(net).to_bits(),
+                    tree.total_load().to_bits(),
+                    "{} {topology:?}: net {net:?} load diverged",
+                    case.name
+                );
+                let delays = tree.elmore_delays();
+                let driver = design.net(net).driver();
+                for arc in sta.graph().out_arcs(driver) {
+                    if let ArcKind::Net { net: n, sink_index } = sta.graph().arc(arc).kind {
+                        if n == net {
+                            assert_eq!(
+                                sta.arc_delay(arc).to_bits(),
+                                delays[sink_index].to_bits(),
+                                "{} {topology:?}: net {net:?} sink {sink_index} delay diverged",
+                                case.name
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`circuit`] — the generator itself ([`CircuitParams`], [`generate`]).
 //! * [`mod@suite`] — the eight named benchmark cases (`sb1` … `sb18`) used by
 //!   every table and figure harness.
+//! * [`mod@eco_stress`] — deterministic ECO delta streams (seeded
+//!   move/resize sequences at pinned churn levels), shared by the
+//!   differential tests, the perf kernels and the CI smoke job.
 //!
 //! # Example
 //!
@@ -28,9 +31,11 @@
 //! ```
 
 pub mod circuit;
+pub mod eco_stress;
 pub mod suite;
 
 pub use circuit::{generate, CircuitParams};
+pub use eco_stress::{eco_stress, next_drive_variant, EcoStep, EcoStressParams, CHURN_LEVELS};
 pub use suite::{case_by_name, full_suite, suite, SuiteCase};
 
 use netlist::{Design, Placement};

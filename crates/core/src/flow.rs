@@ -106,6 +106,47 @@ pub struct RuntimeBreakdown {
     /// reuses and resident slab bytes. Not a wall-clock category — it
     /// does not participate in [`RuntimeBreakdown::accounted`].
     pub rc: sta::RcOpStats,
+    /// ECO delta-query counters, populated only by interactive sessions
+    /// (`crates/eco`); zero for batch flow runs. Like `rc`, not a
+    /// wall-clock category and excluded from
+    /// [`RuntimeBreakdown::accounted`].
+    pub eco: EcoStats,
+}
+
+/// Counters for ECO delta-query work against a resident design.
+///
+/// Accumulated by an `EcoSession` (`crates/eco`) and threaded through
+/// [`RuntimeBreakdown`], the serve daemon's `metrics` verb, and JSONL
+/// reports, so the interactive workload is observable with the same
+/// plumbing as the batch flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EcoStats {
+    /// Delta queries answered (one per applied batch or revert).
+    pub queries: u64,
+    /// Cells moved across all applied deltas (resizes and retargets not
+    /// included).
+    pub cells_moved: u64,
+    /// Dirty nets handed to the incremental analyses, summed over queries.
+    pub dirty_nets: u64,
+    /// Wall-clock nanoseconds spent answering queries incrementally.
+    pub incremental_ns: u64,
+    /// Wall-clock nanoseconds spent in full (from-scratch) reanalyses —
+    /// the comparison runs an `EcoSession` is asked to perform.
+    pub full_ns: u64,
+}
+
+impl EcoStats {
+    /// Combines two counter sets (field-wise sums).
+    #[must_use]
+    pub fn merged(self, other: EcoStats) -> EcoStats {
+        EcoStats {
+            queries: self.queries + other.queries,
+            cells_moved: self.cells_moved + other.cells_moved,
+            dirty_nets: self.dirty_nets + other.dirty_nets,
+            incremental_ns: self.incremental_ns + other.incremental_ns,
+            full_ns: self.full_ns + other.full_ns,
+        }
+    }
 }
 
 impl RuntimeBreakdown {

@@ -39,7 +39,7 @@ use crate::loss::PinPairLoss;
 use crate::metrics::{evaluate_with, Metrics};
 use crate::observer::{FlowPhase, NullObserver, Observer, ObserverAction, TraceObserver};
 use crate::weighting::{DifferentiableTdpWeighting, MomentumNetWeighting};
-use netlist::{io, Design, Placement};
+use netlist::{io, CellMove, Design, DirtySummary, Placement};
 use placer::{
     abacus_legalize, GlobalPlacer, IterationStats, NoTimingObjective, PlacerConfig, TimingObjective,
 };
@@ -718,6 +718,23 @@ impl Session {
         Arc::clone(&self.skeleton)
     }
 
+    /// Applies a batch of cell moves to `placement` and reports exactly
+    /// what was dirtied — the single shared path between the optimizer's
+    /// `MoveTracker` plumbing and external ECO callers.
+    ///
+    /// Moves are applied in batch order (a later move of the same cell
+    /// wins); the returned [`DirtySummary`] lists the moved cells and
+    /// their incident nets, both sorted by index and deduplicated — the
+    /// exact shape `Sta::analyze_incremental` and
+    /// `CongestionAnalyzer::analyze_incremental` expect.
+    pub fn apply_moves(&self, placement: &mut Placement, moves: &[CellMove]) -> DirtySummary {
+        let cells: Vec<netlist::CellId> = moves.iter().map(|m| m.cell).collect();
+        for m in moves {
+            placement.set(m.cell, m.x, m.y);
+        }
+        DirtySummary::from_moved_cells(&self.design, &cells)
+    }
+
     /// Runs one flow. Callable any number of times; runs never observe
     /// each other's state.
     ///
@@ -873,6 +890,7 @@ impl Session {
             total,
             threads: parx::resolve_threads(cfg.threads),
             rc: objective_rc.merged(eval_rc),
+            eco: crate::flow::EcoStats::default(),
         };
         runtime.debug_assert_consistent();
 
@@ -1314,6 +1332,67 @@ mod tests {
         // The initial placement is still legalized and evaluated.
         placer::legalize::check_legal(session.design(), &out.placement).unwrap();
         assert!(out.metrics.hpwl.is_finite() && out.metrics.hpwl > 0.0);
+    }
+
+    #[test]
+    fn apply_moves_reports_sorted_deduped_dirty_state() {
+        let (design, pads) = generate(&CircuitParams::small("ecomoves", 11));
+        let session = Session::builder(design, pads).build().unwrap();
+        let mut placement = session.pads().clone();
+        // Pick three movable cells out of index order, with a repeat, so
+        // both dedup and sort are exercised.
+        let movable: Vec<netlist::CellId> = session
+            .design()
+            .cell_ids()
+            .filter(|&c| !session.design().cell(c).fixed)
+            .collect();
+        assert!(movable.len() >= 3);
+        let (a, b, c) = (movable[2], movable[0], movable[1]);
+        let moves = [
+            CellMove {
+                cell: a,
+                x: 10.0,
+                y: 20.0,
+            },
+            CellMove {
+                cell: b,
+                x: 30.0,
+                y: 40.0,
+            },
+            CellMove {
+                cell: a,
+                x: 12.0,
+                y: 22.0,
+            },
+            CellMove {
+                cell: c,
+                x: 50.0,
+                y: 60.0,
+            },
+        ];
+        let dirty = session.apply_moves(&mut placement, &moves);
+        // The later duplicate move wins.
+        assert_eq!(placement.get(a), (12.0, 22.0));
+        assert_eq!(placement.get(b), (30.0, 40.0));
+        // Cells: sorted by index, deduplicated.
+        assert_eq!(dirty.moved_cells, {
+            let mut v = vec![a, b, c];
+            v.sort_unstable();
+            v
+        });
+        // Nets: sorted, deduplicated, and exactly the incident set.
+        let mut expect = Vec::new();
+        for &cell in &dirty.moved_cells {
+            for &pin in &session.design().cell(cell).pins {
+                if let Some(net) = session.design().pin(pin).net {
+                    expect.push(net);
+                }
+            }
+        }
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(dirty.dirty_nets, expect);
+        assert!(dirty.dirty_nets.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -340,6 +340,62 @@ impl Design {
             .map(CellId::new)
     }
 
+    /// Retypes a cell to a different master — the netlist half of an ECO
+    /// resize. Connectivity (pins, nets) is untouched; only the master
+    /// changes, which moves pin offsets, input capacitances and timing-arc
+    /// parameters to the new variant's values.
+    ///
+    /// The new master must be pin-compatible with the old one: the same
+    /// number of pins, with matching names and directions in the same
+    /// order, and the same sequential/clock-pin shape. Geometry (width,
+    /// offsets) and electrical parameters (caps, arcs) may differ — that
+    /// is the point of a resize.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Invalid`] if the masters are not
+    /// pin-compatible. The design is unchanged on error.
+    pub fn set_cell_type(
+        &mut self,
+        cell: CellId,
+        new_type: crate::ids::CellTypeId,
+    ) -> Result<(), NetlistError> {
+        let old = self.library.get(self.cells[cell.index()].type_id);
+        let new = self.library.get(new_type);
+        if old.pins.len() != new.pins.len() {
+            return Err(NetlistError::Invalid(format!(
+                "resize {}: {} has {} pins, {} has {}",
+                self.cells[cell.index()].name,
+                old.name,
+                old.pins.len(),
+                new.name,
+                new.pins.len()
+            )));
+        }
+        for (a, b) in old.pins.iter().zip(&new.pins) {
+            if a.name != b.name || a.direction != b.direction {
+                return Err(NetlistError::Invalid(format!(
+                    "resize {}: pin {}/{} incompatible with {}/{}",
+                    self.cells[cell.index()].name,
+                    old.name,
+                    a.name,
+                    new.name,
+                    b.name
+                )));
+            }
+        }
+        if old.is_sequential != new.is_sequential || old.clock_pin != new.clock_pin {
+            return Err(NetlistError::Invalid(format!(
+                "resize {}: {} and {} differ in sequential shape",
+                self.cells[cell.index()].name,
+                old.name,
+                new.name
+            )));
+        }
+        self.cells[cell.index()].type_id = new_type;
+        Ok(())
+    }
+
     /// Computes aggregate structural statistics.
     pub fn stats(&self) -> DesignStats {
         let num_fixed = self.cells.iter().filter(|c| c.fixed).count();

@@ -55,5 +55,5 @@ pub use design::{Cell, Design, DesignBuilder, DesignStats, Net, NetlistError, Pi
 pub use ids::{CellId, CellTypeId, NetId, PinId};
 pub use io::ParseError;
 pub use library::{CellLibrary, CellType, PinDirection, PinSpec, TimingArcSpec};
-pub use placement::{MoveTracker, Placement};
+pub use placement::{CellMove, DirtySummary, MoveTracker, Placement};
 pub use sdc::Sdc;

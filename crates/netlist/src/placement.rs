@@ -246,6 +246,58 @@ impl MoveTracker {
     }
 }
 
+/// One requested cell relocation: the unit of ECO move batches.
+///
+/// Coordinates are absolute lower-left positions, like [`Placement::set`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMove {
+    /// The cell to move.
+    pub cell: CellId,
+    /// New lower-left x.
+    pub x: f64,
+    /// New lower-left y.
+    pub y: f64,
+}
+
+/// What a batch of applied moves dirtied: the input contract of the
+/// incremental analyses.
+///
+/// Both lists are sorted by index and deduplicated, matching the order
+/// [`MoveTracker::moved_cells`] reports and the order incremental STA
+/// expects, so a `DirtySummary` can be fed straight into
+/// `Sta::analyze_incremental` / `CongestionAnalyzer::analyze_incremental`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirtySummary {
+    /// Cells whose coordinates changed, sorted by cell index, deduplicated.
+    pub moved_cells: Vec<CellId>,
+    /// Nets with at least one pin on a moved cell, sorted, deduplicated.
+    pub dirty_nets: Vec<NetId>,
+}
+
+impl DirtySummary {
+    /// Builds the summary for a set of moved cells: sorts and dedups the
+    /// cells, then collects every net incident to them, sorted and deduped.
+    pub fn from_moved_cells(design: &Design, moved: &[CellId]) -> Self {
+        let mut moved_cells = moved.to_vec();
+        moved_cells.sort_unstable();
+        moved_cells.dedup();
+        let mut dirty_nets = Vec::new();
+        for &cell in &moved_cells {
+            for &pin in &design.cell(cell).pins {
+                if let Some(net) = design.pin(pin).net {
+                    dirty_nets.push(net);
+                }
+            }
+        }
+        dirty_nets.sort_unstable();
+        dirty_nets.dedup();
+        Self {
+            moved_cells,
+            dirty_nets,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

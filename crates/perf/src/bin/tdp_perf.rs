@@ -228,6 +228,32 @@ fn run() -> Result<i32, String> {
         }
     }
 
+    // The incremental ECO query must answer with the same bits as a
+    // full rebuild — only then is its speedup a result rather than an
+    // approximation. The headline pair the trajectory records.
+    for name in &args.cases {
+        let find = |kernel: &str| {
+            run.results
+                .iter()
+                .find(|r| &r.case == name && r.kernel == kernel && r.threads == 1)
+        };
+        if let (Some(inc), Some(full)) = (find("eco_query_incremental"), find("eco_query_full")) {
+            if inc.checksum != full.checksum {
+                failures.push(format!(
+                    "{name}: eco_query_incremental checksum {:#018x} != full {:#018x}",
+                    inc.checksum, full.checksum
+                ));
+            } else if inc.ns_per_op > 0.0 {
+                eprintln!(
+                    "{name}: eco query speedup {:.2}x (full {:.0} ns -> incremental {:.0} ns, 1 thread)",
+                    full.ns_per_op / inc.ns_per_op,
+                    full.ns_per_op,
+                    inc.ns_per_op
+                );
+            }
+        }
+    }
+
     // Serial==parallel, re-proved from the recorded results alone.
     failures.extend(perf::thread_consistency(&run));
 

@@ -33,6 +33,8 @@ pub const MICRO_KERNELS: &[&str] = &[
     "wl_grad",
     "density_grad",
     "rudy",
+    "eco_query_incremental",
+    "eco_query_full",
 ];
 
 /// End-to-end kernels (full profile only): a warm session re-run and a
@@ -165,6 +167,10 @@ pub fn run_kernel(
         "wl_grad" => wl_grad(case, threads, warmup, reps),
         "density_grad" => density_grad(case, threads, warmup, reps),
         "rudy" => rudy(case, threads, warmup, reps),
+        "eco_query_incremental" => {
+            eco_query(case, eco::EcoMode::Incremental, threads, warmup, reps)?
+        }
+        "eco_query_full" => eco_query(case, eco::EcoMode::Full, threads, warmup, reps)?,
         "session_warm" => session_warm(case, warmup, reps)?,
         "batch_throughput" => batch_throughput(case, warmup, reps)?,
         other => return Err(format!("unknown kernel {other:?}")),
@@ -384,6 +390,48 @@ fn rudy(case: &Case, threads: usize, warmup: usize, reps: usize) -> Sample {
     })
 }
 
+/// Churn level of the pinned ECO kernel batch: 0.5% of movable cells
+/// per step — the smallest pinned [`benchgen::CHURN_LEVELS`] entry,
+/// matching the interactive workload (a handful of cells per edit).
+const ECO_CHURN: f64 = 0.005;
+/// Seed of the pinned delta stream.
+const ECO_SEED: u64 = 7;
+/// Worst paths per query.
+const ECO_PATHS: usize = 4;
+
+/// One interactive ECO round-trip: apply a pinned [`ECO_CHURN`] delta batch
+/// (moves + resizes from [`benchgen::eco_stress`]), answer the query,
+/// revert. `mode` selects the analysis path and is the *only*
+/// difference between `eco_query_incremental` and `eco_query_full`, so
+/// the two kernels' checksums must be bitwise equal — the incremental
+/// == rebuild contract, re-proved by every perf run — and their ns/op
+/// ratio is the speedup the `BENCH` trajectory records.
+fn eco_query(
+    case: &Case,
+    mode: eco::EcoMode,
+    threads: usize,
+    warmup: usize,
+    reps: usize,
+) -> Result<Sample, String> {
+    let session = Session::builder(case.design.clone(), case.pads.clone())
+        .build()
+        .map_err(|e| format!("{}: session: {e}", case.name))?;
+    let mut eco = eco::EcoSession::open(&session, case.rc, threads);
+    eco.set_mode(mode);
+    let stress = benchgen::eco_stress(
+        eco.design(),
+        eco.placement(),
+        &benchgen::EcoStressParams::at_churn(ECO_SEED, ECO_CHURN, 1),
+    );
+    let batch = eco::DeltaBatch::from_step(&stress[0]);
+    Ok(measure(warmup, reps, || {
+        eco.apply(&batch).expect("generated deltas are valid");
+        let h = eco.query(ECO_PATHS).content_hash();
+        eco.revert().expect("journal is non-empty after an apply");
+        h
+    }))
+}
+
 /// The flow spec the session/batch kernels run: the paper objective on
 /// a short schedule — long enough to cross a timing analysis and a net
 /// reweighting, short enough to benchmark.
@@ -507,5 +555,27 @@ mod tests {
             let t2 = run_kernel(&case, kernel, 2, 0, 2).unwrap().unwrap();
             assert_eq!(t1.checksum, t2.checksum, "{kernel} diverged across threads");
         }
+    }
+
+    #[test]
+    fn eco_kernels_agree_bitwise_across_modes_and_threads() {
+        let case = load_case("sb18").unwrap();
+        let inc_1t = run_kernel(&case, "eco_query_incremental", 1, 0, 2)
+            .unwrap()
+            .unwrap();
+        let inc_2t = run_kernel(&case, "eco_query_incremental", 2, 0, 2)
+            .unwrap()
+            .unwrap();
+        let full_1t = run_kernel(&case, "eco_query_full", 1, 0, 2)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            inc_1t.checksum, full_1t.checksum,
+            "incremental query diverged from the full rebuild"
+        );
+        assert_eq!(
+            inc_1t.checksum, inc_2t.checksum,
+            "eco query diverged across threads"
+        );
     }
 }

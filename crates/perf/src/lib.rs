@@ -248,7 +248,10 @@ pub fn parse_run(text: &str) -> Result<BenchRun, String> {
 /// FFT) may differ between libm builds, so their checksums are only
 /// compared when the machine ids match.
 pub fn portable_kernel(kernel: &str) -> bool {
-    kernel.starts_with("rc_") || kernel.starts_with("sta_") || kernel == "rudy"
+    kernel.starts_with("rc_")
+        || kernel.starts_with("sta_")
+        || kernel.starts_with("eco_")
+        || kernel == "rudy"
 }
 
 /// The verdict of a baseline comparison.

@@ -667,6 +667,21 @@ pub struct CongestionAnalyzer {
     pins: Vec<f64>,
     map: CongestionMap,
     exposure: Vec<f64>,
+    /// The exposure vector is refreshed lazily: analyses mark it stale
+    /// and [`CongestionAnalyzer::exposures`] recomputes it on demand, so
+    /// callers that only read the map (the ECO query path) never pay the
+    /// all-nets fold.
+    exposure_stale: bool,
+    /// Bins re-reduced by the last incremental pass (sorted, deduped);
+    /// empty after a full analysis. See
+    /// [`CongestionAnalyzer::last_dirty_bins`].
+    last_dirty_bins: Vec<u32>,
+    /// Splice scratch: per-net / per-cell dirty flags and a merge
+    /// buffer, retained so steady-state incremental passes allocate
+    /// nothing.
+    net_mark: Vec<bool>,
+    cell_mark: Vec<bool>,
+    merge_scratch: Vec<(u32, f64)>,
     analyzed: bool,
 }
 
@@ -714,6 +729,11 @@ impl CongestionAnalyzer {
             pins: vec![0.0; num_bins],
             map: CongestionMap::empty(&geom, cfg.capacity),
             exposure: vec![0.0; num_nets],
+            exposure_stale: false,
+            last_dirty_bins: Vec::new(),
+            net_mark: vec![false; num_nets],
+            cell_mark: vec![false; num_cells],
+            merge_scratch: Vec::new(),
             analyzed: false,
             cfg,
         }
@@ -765,14 +785,21 @@ impl CongestionAnalyzer {
 
     /// Per-net congestion exposure: for net `e`,
     /// `Σ_b max(0, utilization_b − 1) · overlap_frac(e, b)` over the bins
-    /// its bounding box covers. Zero for nets clear of overflow. Updated
-    /// by every analysis.
+    /// its bounding box covers. Zero for nets clear of overflow.
+    ///
+    /// Recomputed lazily from the current map on first read after an
+    /// analysis — a pure fold over per-net state, so the values are
+    /// bitwise identical to an eager refresh for any thread count.
     ///
     /// # Panics
     ///
     /// Panics if no analysis has run yet.
-    pub fn exposures(&self) -> &[f64] {
+    pub fn exposures(&mut self) -> &[f64] {
         assert!(self.analyzed, "no congestion analysis has run");
+        if self.exposure_stale {
+            self.refresh_exposure(parx::resolve_threads(self.threads));
+            self.exposure_stale = false;
+        }
         &self.exposure
     }
 
@@ -845,11 +872,20 @@ impl CongestionAnalyzer {
         }
 
         // Phase 3: macro blockage, then the per-bin reduction (each bin
-        // summed in list order).
+        // summed in list order). Exposure refreshes lazily on read.
         self.refresh_blockage(design, placement);
         self.reduce_bins(None);
-        self.refresh_exposure(workers);
+        self.exposure_stale = true;
+        self.last_dirty_bins.clear();
         self.analyzed = true;
+    }
+
+    /// Bin indices (row-major) the last [`CongestionAnalyzer::analyze_incremental`]
+    /// re-reduced, sorted ascending and deduplicated — the "touched bins"
+    /// of an ECO delta. Empty after a full [`CongestionAnalyzer::analyze`]
+    /// (which touches every bin) and after a no-op incremental pass.
+    pub fn last_dirty_bins(&self) -> &[u32] {
+        &self.last_dirty_bins
     }
 
     /// Recomputes the effective per-bin capacity from the fixed-cell
@@ -919,6 +955,7 @@ impl CongestionAnalyzer {
             return self.analyze(design, placement);
         }
         if moved.is_empty() {
+            self.last_dirty_bins.clear();
             return;
         }
         let workers = parx::resolve_threads(self.threads);
@@ -978,39 +1015,73 @@ impl CongestionAnalyzer {
             });
         }
 
-        // Phase 2: splice the per-bin lists. Removal (`retain`) and
-        // id-ordered insertion both preserve ascending id order, so a
-        // respliced bin sums in exactly the order a full scatter would.
-        let mut dirty_bins: Vec<u32> = Vec::new();
+        // Phase 2: splice the per-bin lists — one rebuild per affected
+        // bin. Each touched bin merges its surviving entries (ids not
+        // marked dirty) with the incoming re-rasterized ones, both
+        // sorted by id, so the canonical ascending-id order — and
+        // therefore the summation order — is preserved while every list
+        // is scanned exactly once (the old per-entry `retain`/`insert`
+        // splice rescanned a bin's list for every dirty entry in it).
+        let mut wire_bins: Vec<u32> = Vec::new();
+        let mut wire_ins: Vec<(u32, u32, f64)> = Vec::new();
         for (k, &e) in dirty_nets.iter().enumerate() {
+            self.net_mark[e as usize] = true;
             for &(bin, _) in &self.net_entries[e as usize] {
-                dirty_bins.push(bin);
-                self.bin_wire[bin as usize].retain(|&(ne, _)| ne != e);
+                wire_bins.push(bin);
             }
             let (raster, perimeter) = std::mem::take(&mut net_rasters[k]);
             for &(bin, amount) in &raster {
-                dirty_bins.push(bin);
-                let list = &mut self.bin_wire[bin as usize];
-                let pos = list.partition_point(|&(ne, _)| ne < e);
-                list.insert(pos, (e, amount));
+                wire_bins.push(bin);
+                wire_ins.push((bin, e, amount));
             }
             self.net_entries[e as usize] = raster;
             self.net_perimeter[e as usize] = perimeter;
         }
+        wire_bins.sort_unstable();
+        wire_bins.dedup();
+        wire_ins.sort_unstable_by_key(|&(bin, id, _)| (bin, id));
+        splice_bins(
+            &mut self.bin_wire,
+            &self.net_mark,
+            &wire_bins,
+            &wire_ins,
+            &mut self.merge_scratch,
+        );
+        for &e in &dirty_nets {
+            self.net_mark[e as usize] = false;
+        }
+
+        let mut pin_bins: Vec<u32> = Vec::new();
+        let mut pin_ins: Vec<(u32, u32, f64)> = Vec::new();
         for (k, &c) in dirty_cells.iter().enumerate() {
+            self.cell_mark[c as usize] = true;
             for &(bin, _) in &self.cell_entries[c as usize] {
-                dirty_bins.push(bin);
-                self.bin_pins[bin as usize].retain(|&(ce, _)| ce != c);
+                pin_bins.push(bin);
             }
             let raster = std::mem::take(&mut cell_rasters[k]);
             for &(bin, amount) in &raster {
-                dirty_bins.push(bin);
-                let list = &mut self.bin_pins[bin as usize];
-                let pos = list.partition_point(|&(ce, _)| ce < c);
-                list.insert(pos, (c, amount));
+                pin_bins.push(bin);
+                pin_ins.push((bin, c, amount));
             }
             self.cell_entries[c as usize] = raster;
         }
+        pin_bins.sort_unstable();
+        pin_bins.dedup();
+        pin_ins.sort_unstable_by_key(|&(bin, id, _)| (bin, id));
+        splice_bins(
+            &mut self.bin_pins,
+            &self.cell_mark,
+            &pin_bins,
+            &pin_ins,
+            &mut self.merge_scratch,
+        );
+        for &c in &dirty_cells {
+            self.cell_mark[c as usize] = false;
+        }
+
+        let mut dirty_bins: Vec<u32> = Vec::with_capacity(wire_bins.len() + pin_bins.len());
+        dirty_bins.extend_from_slice(&wire_bins);
+        dirty_bins.extend_from_slice(&pin_bins);
         dirty_bins.sort_unstable();
         dirty_bins.dedup();
 
@@ -1024,9 +1095,11 @@ impl CongestionAnalyzer {
             self.refresh_blockage(design, placement);
         }
 
-        // Phase 3: re-reduce only the affected bins.
+        // Phase 3: re-reduce only the affected bins; exposure refreshes
+        // lazily on read.
         self.reduce_bins(Some(&dirty_bins));
-        self.refresh_exposure(workers);
+        self.exposure_stale = true;
+        self.last_dirty_bins = dirty_bins;
     }
 
     /// Per-bin reduction: sums each bin's wire and pin lists in list
@@ -1098,6 +1171,53 @@ impl CongestionAnalyzer {
             }
         });
     }
+}
+
+/// Rebuilds each listed bin once for the incremental splice: entries
+/// whose id is `marked` (a dirty net or cell — its surviving coverage
+/// arrives through `incoming`) are dropped, and `incoming` — `(bin, id,
+/// amount)` sorted by `(bin, id)`, covering only bins present in `bins`
+/// — is merged in, preserving the ascending-id order the full scatter
+/// produces. Incoming ids are always marked and surviving ids never
+/// are, so the merge never sees equal ids.
+fn splice_bins(
+    lists: &mut [Vec<(u32, f64)>],
+    marked: &[bool],
+    bins: &[u32],
+    incoming: &[(u32, u32, f64)],
+    scratch: &mut Vec<(u32, f64)>,
+) {
+    let mut cur = 0usize;
+    for &b in bins {
+        let start = cur;
+        while cur < incoming.len() && incoming[cur].0 == b {
+            cur += 1;
+        }
+        let ins = &incoming[start..cur];
+        let list = &mut lists[b as usize];
+        if ins.is_empty() {
+            list.retain(|&(id, _)| !marked[id as usize]);
+            continue;
+        }
+        scratch.clear();
+        let mut next = 0usize;
+        for &(id, amount) in list.iter() {
+            if marked[id as usize] {
+                continue;
+            }
+            while next < ins.len() && ins[next].1 < id {
+                scratch.push((ins[next].1, ins[next].2));
+                next += 1;
+            }
+            scratch.push((id, amount));
+        }
+        for &(_, id, amount) in &ins[next..] {
+            scratch.push((id, amount));
+        }
+        list.clear();
+        list.extend_from_slice(scratch);
+    }
+    debug_assert_eq!(cur, incoming.len(), "incoming bins outside the bin list");
 }
 
 /// One-shot convenience: builds an analyzer, runs a full analysis and

@@ -10,7 +10,17 @@
 //!   submit --jobs FILE [--profile paper|quick] [--await]
 //!   status JOB | wait JOB | events JOB | cancel JOB
 //!   metrics | shutdown
+//!   eco --case NAME [--paths K] [--script FILE|-]
 //! ```
+//!
+//! `eco` holds one connection open for an interactive ECO exchange:
+//! it pins the case resident with `eco_open`, replays JSONL commands
+//! from the script (`{"apply":[<deltas>]}`, `{"query":K}` or
+//! `{"query":{"mode":"full","paths":K}}`, `{"revert":N|null}` — the
+//! same grammar `tdp-eco --script` uses locally), prints each response
+//! line, and closes with `eco_close` (whose ack carries the session's
+//! cumulative stats). Without `--script` it opens, queries once and
+//! closes — a readout ping.
 //!
 //! Every response prints as one raw JSON line, so the output composes
 //! with `grep`/`jq`-style tooling (the CI smoke job greps it). With
@@ -38,7 +48,10 @@ const USAGE: &str = "usage: tdp-client [--addr HOST:PORT] [--retry SECS] <comman
   events JOB       stream progress events until the job finishes
   cancel JOB       request cancellation
   metrics          server counters
-  shutdown         stop the server";
+  shutdown         stop the server
+  eco --case NAME [--paths K] [--script FILE|-]
+                   interactive ECO exchange (JSONL apply/query/revert
+                   script; omit --script for a single open/query/close)";
 
 fn usage_err(msg: impl Into<String>) -> String {
     format!("{}\n{USAGE}", msg.into())
@@ -287,8 +300,101 @@ fn run() -> Result<i32, String> {
         "cancel" => report(client.cancel(job_arg(&args)?)),
         "metrics" => report(client.metrics()),
         "shutdown" => report(client.shutdown()),
+        "eco" => run_eco(&mut client, args),
         other => Err(usage_err(format!("unknown command {other:?}"))),
     }
+}
+
+/// The `eco` subcommand: one connection-long interactive exchange.
+fn run_eco(client: &mut Client, args: Vec<String>) -> Result<i32, String> {
+    let mut case: Option<String> = None;
+    let mut paths = 4usize;
+    let mut script: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| usage_err(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--case" => case = Some(value("--case")?),
+            "--paths" => {
+                paths = value("--paths")?
+                    .parse()
+                    .map_err(|_| usage_err("--paths expects a non-negative integer"))?
+            }
+            "--script" => script = Some(value("--script")?),
+            other => return Err(usage_err(format!("unknown eco flag {other:?}"))),
+        }
+    }
+    let case = case.ok_or_else(|| usage_err("eco needs --case"))?;
+
+    let print_doc = |doc: &JsonValue| println!("{}", doc.encode());
+    // Server-side rejections print and count as failures; the exchange
+    // continues (a bad delta batch must not strand the open session).
+    let mut failures = 0usize;
+    let mut step = |r: Result<JsonValue, ClientError>| -> Result<(), String> {
+        match r {
+            Ok(doc) => {
+                print_doc(&doc);
+                Ok(())
+            }
+            Err(ClientError::Server(msg)) => {
+                eprintln!("tdp-client: server error: {msg}");
+                failures += 1;
+                Ok(())
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    };
+
+    match client.eco_open(&case) {
+        Ok(doc) => print_doc(&doc),
+        Err(ClientError::Server(msg)) => {
+            eprintln!("tdp-client: eco_open failed: {msg}");
+            return Ok(1);
+        }
+        Err(e) => return Err(e.to_string()),
+    }
+    if let Some(path) = script {
+        let text = if path == "-" {
+            let mut buf = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut buf)
+                .map_err(|e| format!("stdin: {e}"))?;
+            buf
+        } else {
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?
+        };
+        for (i, line) in text
+            .lines()
+            .map(str::trim)
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+        {
+            let cmd = tdp_jsonio::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            if let Some(deltas) = cmd.get("apply") {
+                step(client.eco_apply(&deltas.encode()))?;
+            } else if let Some(q) = cmd.get("query") {
+                let mode = q.get("mode").and_then(JsonValue::as_str).map(String::from);
+                let k = q
+                    .as_usize()
+                    .or_else(|| q.get("paths").and_then(JsonValue::as_usize))
+                    .unwrap_or(paths);
+                step(client.eco_query(mode.as_deref(), k))?;
+            } else if let Some(to) = cmd.get("revert") {
+                step(client.eco_revert(to.as_usize()))?;
+            } else {
+                return Err(format!(
+                    "line {}: unknown command (expected apply, query or revert)",
+                    i + 1
+                ));
+            }
+        }
+    } else {
+        step(client.eco_query(None, paths))?;
+    }
+    step(client.eco_close())?;
+    Ok(if failures > 0 { 1 } else { 0 })
 }
 
 fn main() {

@@ -65,6 +65,10 @@ struct Entry {
     slot: Arc<SessionSlot>,
     /// Last-touched stamp; smallest = least recently used.
     stamp: u64,
+    /// Open ECO sessions holding this design resident. A pinned entry
+    /// is never an eviction candidate: an interactive client's
+    /// sub-millisecond queries must not race a cold rebuild.
+    pins: u64,
 }
 
 /// LRU map from design key to session slot.
@@ -102,23 +106,58 @@ impl SessionCache {
 
     /// Returns the slot for `key`, recording whether it was already
     /// present (`true` = hit). On a miss beyond capacity the
-    /// least-recently-used entry is evicted (second return: evictions
-    /// performed, 0 or 1).
-    pub fn checkout(&self, key: u64) -> (Arc<SessionSlot>, bool, usize) {
+    /// least-recently-used **unpinned** entry is evicted (second
+    /// return: evictions performed, 0 or 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the cache is at capacity and every entry
+    /// is pinned by an open ECO session — eviction is denied rather
+    /// than yanking a resident design out from under a live editor.
+    pub fn checkout(&self, key: u64) -> Result<(Arc<SessionSlot>, bool, usize), String> {
+        self.checkout_impl(key, false)
+    }
+
+    /// Like [`SessionCache::checkout`], but additionally pins the entry
+    /// for the lifetime of an ECO session. Balance with
+    /// [`SessionCache::unpin`].
+    ///
+    /// # Errors
+    ///
+    /// Same eviction denial as [`SessionCache::checkout`].
+    pub fn checkout_pinned(&self, key: u64) -> Result<(Arc<SessionSlot>, bool, usize), String> {
+        self.checkout_impl(key, true)
+    }
+
+    fn checkout_impl(
+        &self,
+        key: u64,
+        pin: bool,
+    ) -> Result<(Arc<SessionSlot>, bool, usize), String> {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut entries = self.entries.lock().expect("cache lock");
         if let Some(e) = entries.iter_mut().find(|e| e.key == key) {
             e.stamp = stamp;
-            return (Arc::clone(&e.slot), true, 0);
+            if pin {
+                e.pins += 1;
+            }
+            return Ok((Arc::clone(&e.slot), true, 0));
         }
         let mut evicted = 0;
         if entries.len() >= self.capacity {
             let lru = entries
                 .iter()
                 .enumerate()
+                .filter(|(_, e)| e.pins == 0)
                 .min_by_key(|(_, e)| e.stamp)
-                .map(|(i, _)| i)
-                .expect("non-empty at capacity");
+                .map(|(i, _)| i);
+            let Some(lru) = lru else {
+                return Err(format!(
+                    "session cache is full ({} sessions) and every session is pinned by an \
+                     open eco session",
+                    self.capacity
+                ));
+            };
             entries.swap_remove(lru);
             evicted = 1;
         }
@@ -127,8 +166,29 @@ impl SessionCache {
             key,
             slot: Arc::clone(&slot),
             stamp,
+            pins: u64::from(pin),
         });
-        (slot, false, evicted)
+        Ok((slot, false, evicted))
+    }
+
+    /// Releases one pin on `key` (no-op for unknown keys — a pinned
+    /// entry cannot have been evicted, so an unknown key means the pin
+    /// was already released).
+    pub fn unpin(&self, key: u64) {
+        let mut entries = self.entries.lock().expect("cache lock");
+        if let Some(e) = entries.iter_mut().find(|e| e.key == key) {
+            e.pins = e.pins.saturating_sub(1);
+        }
+    }
+
+    /// Open pins on `key` (0 for unknown keys).
+    pub fn pins(&self, key: u64) -> u64 {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .iter()
+            .find(|e| e.key == key)
+            .map_or(0, |e| e.pins)
     }
 }
 
@@ -148,25 +208,52 @@ mod tests {
     #[test]
     fn checkout_hits_misses_and_evicts_lru() {
         let cache = SessionCache::new(2);
-        let (a1, hit, ev) = cache.checkout(1);
+        let (a1, hit, ev) = cache.checkout(1).unwrap();
         assert!(!hit);
         assert_eq!(ev, 0);
-        let (_b, hit, ev) = cache.checkout(2);
+        let (_b, hit, ev) = cache.checkout(2).unwrap();
         assert!(!hit);
         assert_eq!(ev, 0);
         // Touch 1 so 2 becomes the LRU.
-        let (a2, hit, _) = cache.checkout(1);
+        let (a2, hit, _) = cache.checkout(1).unwrap();
         assert!(hit);
         assert!(Arc::ptr_eq(&a1, &a2), "hits return the same slot");
         // A third key evicts key 2 (the LRU), not key 1.
-        let (_c, hit, ev) = cache.checkout(3);
+        let (_c, hit, ev) = cache.checkout(3).unwrap();
         assert!(!hit);
         assert_eq!(ev, 1);
-        let (_a3, hit, _) = cache.checkout(1);
+        let (_a3, hit, _) = cache.checkout(1).unwrap();
         assert!(hit, "recently used key must survive eviction");
-        let (_b2, hit, _) = cache.checkout(2);
+        let (_b2, hit, _) = cache.checkout(2).unwrap();
         assert!(!hit, "evicted key is a miss again");
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn pinned_entries_are_never_evicted() {
+        let cache = SessionCache::new(2);
+        cache.checkout_pinned(1).unwrap();
+        let (_b, _, _) = cache.checkout(2).unwrap();
+        assert_eq!(cache.pins(1), 1);
+        assert_eq!(cache.pins(2), 0);
+        // Key 1 is the LRU but pinned: key 2 is evicted instead.
+        let (_c, hit, ev) = cache.checkout(3).unwrap();
+        assert!(!hit);
+        assert_eq!(ev, 1);
+        let (_a, hit, _) = cache.checkout(1).unwrap();
+        assert!(hit, "pinned entry survives eviction pressure");
+        // Pin the whole cache: a miss at capacity is now denied.
+        cache.checkout_pinned(3).unwrap();
+        let err = cache.checkout(4).expect_err("all entries pinned");
+        assert!(err.contains("pinned"), "error explains the denial: {err}");
+        // Releasing a pin re-enables eviction.
+        cache.unpin(3);
+        assert_eq!(cache.pins(3), 0);
+        cache.checkout(4).expect("unpinned entry can be evicted");
+        // Double-unpin saturates instead of underflowing.
+        cache.unpin(3);
+        cache.unpin(99);
+        assert_eq!(cache.pins(1), 1);
     }
 
     #[test]

@@ -163,6 +163,79 @@ impl Client {
         self.roundtrip("{\"cmd\":\"shutdown\"}")
     }
 
+    /// Opens an ECO session on this connection, pinning the named
+    /// case's session resident.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; notably [`ClientError::Server`] when the
+    /// cache is fully pinned or another ECO session is already open
+    /// here.
+    pub fn eco_open(&mut self, case: &str) -> Result<JsonValue, ClientError> {
+        let mut s = String::from("{\"cmd\":\"eco_open\"");
+        tdp_jsonio::field_str(&mut s, "case", case);
+        s.push('}');
+        self.roundtrip(&s)
+    }
+
+    /// Applies a delta batch (raw JSON array in the `eco` wire grammar)
+    /// to the connection's ECO session.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn eco_apply(&mut self, deltas: &str) -> Result<JsonValue, ClientError> {
+        let mut s = String::from("{\"cmd\":\"eco_apply\"");
+        tdp_jsonio::field_raw(&mut s, "deltas", deltas);
+        s.push('}');
+        self.roundtrip(&s)
+    }
+
+    /// Queries the ECO session; `mode` (`"incremental"`/`"full"`)
+    /// forces a re-analysis before the readout, `None` reads the
+    /// current state.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn eco_query(
+        &mut self,
+        mode: Option<&str>,
+        paths: usize,
+    ) -> Result<JsonValue, ClientError> {
+        let mut s = String::from("{\"cmd\":\"eco_query\"");
+        if let Some(mode) = mode {
+            tdp_jsonio::field_str(&mut s, "mode", mode);
+        }
+        tdp_jsonio::field_num(&mut s, "paths", paths as f64);
+        s.push('}');
+        self.roundtrip(&s)
+    }
+
+    /// Rolls the ECO session back to checkpoint `to` (or one batch).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn eco_revert(&mut self, to: Option<usize>) -> Result<JsonValue, ClientError> {
+        let mut s = String::from("{\"cmd\":\"eco_revert\"");
+        if let Some(to) = to {
+            tdp_jsonio::field_num(&mut s, "to", to as f64);
+        }
+        s.push('}');
+        self.roundtrip(&s)
+    }
+
+    /// Closes the ECO session, releasing its cache pin; the response
+    /// carries the session's cumulative stats.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn eco_close(&mut self) -> Result<JsonValue, ClientError> {
+        self.roundtrip("{\"cmd\":\"eco_close\"}")
+    }
+
     /// Streams the job's events from index `from`, invoking `on_event`
     /// per event object, until a terminal line (returned): `finished`
     /// (full replay/live stream) or `end` (when `from` already points

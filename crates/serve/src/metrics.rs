@@ -30,6 +30,23 @@ pub struct ServeMetrics {
     pub cache_evictions: AtomicU64,
     /// `events` streams served.
     pub event_streams: AtomicU64,
+    /// ECO sessions opened (`eco_open` accepted).
+    pub eco_opens: AtomicU64,
+    /// Delta batches applied (`eco_apply` accepted).
+    pub eco_applies: AtomicU64,
+    /// ECO queries answered.
+    pub eco_queries: AtomicU64,
+    /// ECO reverts performed.
+    pub eco_reverts: AtomicU64,
+    /// Cells moved across all closed ECO sessions (folded from
+    /// [`tdp_core::EcoStats`] when a session closes).
+    pub eco_cells_moved: AtomicU64,
+    /// Dirty nets re-analyzed across all closed ECO sessions.
+    pub eco_dirty_nets: AtomicU64,
+    /// Nanoseconds spent in incremental ECO analysis (closed sessions).
+    pub eco_incremental_ns: AtomicU64,
+    /// Nanoseconds spent in full ECO analysis (closed sessions).
+    pub eco_full_ns: AtomicU64,
     /// `sta::graph_build_count()` at server start — the baseline for
     /// the `graph_builds` metric (builds attributable to this server).
     pub graph_builds_at_start: u64,
@@ -61,6 +78,14 @@ impl ServeMetrics {
             cache_misses: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
             event_streams: AtomicU64::new(0),
+            eco_opens: AtomicU64::new(0),
+            eco_applies: AtomicU64::new(0),
+            eco_queries: AtomicU64::new(0),
+            eco_reverts: AtomicU64::new(0),
+            eco_cells_moved: AtomicU64::new(0),
+            eco_dirty_nets: AtomicU64::new(0),
+            eco_incremental_ns: AtomicU64::new(0),
+            eco_full_ns: AtomicU64::new(0),
             graph_builds_at_start: sta::graph_build_count() as u64,
             rc_builds_at_start: sta::rc_skeleton_build_count() as u64,
             rc_tree_builds_at_start: sta::rc_tree_build_count() as u64,
@@ -73,6 +98,19 @@ impl ServeMetrics {
     /// Bumps a counter by one.
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds a closing ECO session's cumulative stats into the
+    /// server-lifetime accumulators. `queries` is deliberately not
+    /// folded: `eco_queries` counts answered requests live, at dispatch.
+    pub fn fold_eco(&self, stats: &tdp_core::EcoStats) {
+        self.eco_cells_moved
+            .fetch_add(stats.cells_moved, Ordering::Relaxed);
+        self.eco_dirty_nets
+            .fetch_add(stats.dirty_nets, Ordering::Relaxed);
+        self.eco_incremental_ns
+            .fetch_add(stats.incremental_ns, Ordering::Relaxed);
+        self.eco_full_ns.fetch_add(stats.full_ns, Ordering::Relaxed);
     }
 
     /// Renders the counters (plus the caller-supplied [`Gauges`]
@@ -126,6 +164,14 @@ impl ServeMetrics {
             "rc_scratch_reuses",
             sta::rc_scratch_reuse_count().saturating_sub(self.rc_scratch_reuses_at_start) as f64,
         );
+        tdp_jsonio::field_num(out, "eco_opens", get(&self.eco_opens));
+        tdp_jsonio::field_num(out, "eco_applies", get(&self.eco_applies));
+        tdp_jsonio::field_num(out, "eco_queries", get(&self.eco_queries));
+        tdp_jsonio::field_num(out, "eco_reverts", get(&self.eco_reverts));
+        tdp_jsonio::field_num(out, "eco_cells_moved", get(&self.eco_cells_moved));
+        tdp_jsonio::field_num(out, "eco_dirty_nets", get(&self.eco_dirty_nets));
+        tdp_jsonio::field_num(out, "eco_incremental_ns", get(&self.eco_incremental_ns));
+        tdp_jsonio::field_num(out, "eco_full_ns", get(&self.eco_full_ns));
     }
 }
 

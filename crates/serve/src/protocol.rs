@@ -13,7 +13,22 @@
 //! {"cmd":"cancel","job":0}
 //! {"cmd":"metrics"}
 //! {"cmd":"shutdown"}
+//! {"cmd":"eco_open","case":"cg1"}
+//! {"cmd":"eco_apply","deltas":[{"op":"move","cells":[[3,10.5,20.0]]}]}
+//! {"cmd":"eco_query","mode":"full","paths":4}
+//! {"cmd":"eco_revert","to":0}
+//! {"cmd":"eco_close"}
 //! ```
+//!
+//! The five `eco_*` verbs drive an interactive ECO session bound to the
+//! connection: `eco_open` pins a cached design resident (one per
+//! connection; the LRU cache will not evict it while pinned),
+//! `eco_apply` applies a delta batch in the [`eco`] wire grammar and
+//! re-analyzes incrementally, `eco_query` reads the answer back
+//! (optionally forcing `"mode":"incremental"` or `"full"` re-analysis),
+//! `eco_revert` rolls back to a checkpoint (or one batch without
+//! `"to"`), and `eco_close` releases the pin and reports the session's
+//! cumulative stats. Closing the connection auto-closes the session.
 //!
 //! A submit names its design either by `case` (a [`benchgen::full_suite`]
 //! name) or inline by `params` (generator parameters; absent fields
@@ -139,6 +154,33 @@ pub enum Request {
     Metrics,
     /// Stop accepting work, cancel in-flight jobs, exit cleanly.
     Shutdown,
+    /// Pin a design resident and open an ECO session on this connection.
+    EcoOpen {
+        /// The design to hold resident.
+        design: DesignRef,
+    },
+    /// Apply a delta batch to the connection's ECO session.
+    EcoApply {
+        /// Raw delta-batch JSON (decoded against the open design by
+        /// [`eco::delta_batch_from_json`] at dispatch time).
+        deltas: JsonValue,
+    },
+    /// Read timing/congestion state back from the ECO session.
+    EcoQuery {
+        /// `Some(true)` forces a full re-analysis before the readout,
+        /// `Some(false)` an incremental one; `None` reads the current
+        /// state without re-analyzing.
+        full: Option<bool>,
+        /// Worst paths to include.
+        paths: usize,
+    },
+    /// Roll the ECO session back to a checkpoint (or one batch).
+    EcoRevert {
+        /// Checkpoint depth (`None` = revert the latest batch).
+        to: Option<usize>,
+    },
+    /// Close the ECO session and release the cache pin.
+    EcoClose,
 }
 
 /// Why a request line was rejected.
@@ -222,9 +264,47 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "cancel" => Ok(Request::Cancel { job: job_id(&doc)? }),
         "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
+        "eco_open" => Ok(Request::EcoOpen {
+            design: parse_design(&doc, "eco_open")?,
+        }),
+        "eco_apply" => Ok(Request::EcoApply {
+            deltas: doc
+                .get("deltas")
+                .cloned()
+                .ok_or_else(|| ProtoError::new("eco_apply needs a \"deltas\" array"))?,
+        }),
+        "eco_query" => Ok(Request::EcoQuery {
+            full: match doc.get("mode").map(JsonValue::as_str) {
+                None => None,
+                Some(Some("full")) => Some(true),
+                Some(Some("incremental")) => Some(false),
+                Some(other) => {
+                    return Err(ProtoError::new(format!(
+                        "\"mode\" must be \"incremental\" or \"full\" (got {:?})",
+                        other.unwrap_or("<non-string>")
+                    )))
+                }
+            },
+            paths: match doc.get("paths") {
+                None => 4,
+                Some(v) => v
+                    .as_usize()
+                    .ok_or_else(|| ProtoError::new("\"paths\" must be a non-negative integer"))?,
+            },
+        }),
+        "eco_revert" => Ok(Request::EcoRevert {
+            to: match doc.get("to") {
+                None => None,
+                Some(v) => Some(
+                    v.as_usize()
+                        .ok_or_else(|| ProtoError::new("\"to\" must be a non-negative integer"))?,
+                ),
+            },
+        }),
+        "eco_close" => Ok(Request::EcoClose),
         other => Err(ProtoError::new(format!(
-            "unknown cmd {other:?} (expected submit, status, wait, events, cancel, metrics \
-             or shutdown)"
+            "unknown cmd {other:?} (expected submit, status, wait, events, cancel, metrics, \
+             shutdown, eco_open, eco_apply, eco_query, eco_revert or eco_close)"
         ))),
     }
 }
@@ -235,25 +315,27 @@ fn job_id(doc: &JsonValue) -> Result<usize, ProtoError> {
         .ok_or_else(|| ProtoError::new("missing non-negative integer field \"job\""))
 }
 
-fn parse_submit(doc: &JsonValue) -> Result<SubmitRequest, ProtoError> {
-    let design = match (doc.get("case"), doc.get("params")) {
-        (Some(c), None) => DesignRef::Case(
+/// Decodes the shared `case`/`params` design naming used by `submit`
+/// and `eco_open`.
+fn parse_design(doc: &JsonValue, cmd: &str) -> Result<DesignRef, ProtoError> {
+    match (doc.get("case"), doc.get("params")) {
+        (Some(c), None) => Ok(DesignRef::Case(
             c.as_str()
                 .ok_or_else(|| ProtoError::new("\"case\" must be a string"))?
                 .to_string(),
-        ),
-        (None, Some(p)) => DesignRef::Inline(params_from_json(p)?),
-        (Some(_), Some(_)) => {
-            return Err(ProtoError::new(
-                "give either \"case\" or \"params\", not both",
-            ))
-        }
-        (None, None) => {
-            return Err(ProtoError::new(
-                "submit needs a design: \"case\" (catalog name) or \"params\" (inline)",
-            ))
-        }
-    };
+        )),
+        (None, Some(p)) => Ok(DesignRef::Inline(params_from_json(p)?)),
+        (Some(_), Some(_)) => Err(ProtoError::new(
+            "give either \"case\" or \"params\", not both",
+        )),
+        (None, None) => Err(ProtoError::new(format!(
+            "{cmd} needs a design: \"case\" (catalog name) or \"params\" (inline)"
+        ))),
+    }
+}
+
+fn parse_submit(doc: &JsonValue) -> Result<SubmitRequest, ProtoError> {
+    let design = parse_design(doc, "submit")?;
     let objective = doc
         .get("objective")
         .and_then(JsonValue::as_str)
@@ -514,6 +596,58 @@ mod tests {
 
         let err = parse_request("{\"cmd\":\"submit\",\"objective\":\"ours\"}").unwrap_err();
         assert!(err.msg.contains("design"), "{err}");
+    }
+
+    #[test]
+    fn eco_requests_parse_with_defaults_and_reject_bad_modes() {
+        assert_eq!(
+            parse_request("{\"cmd\":\"eco_open\",\"case\":\"cg1\"}").unwrap(),
+            Request::EcoOpen {
+                design: DesignRef::Case("cg1".into())
+            }
+        );
+        let err = parse_request("{\"cmd\":\"eco_open\"}").unwrap_err();
+        assert!(err.msg.contains("eco_open needs a design"), "{err}");
+
+        let Request::EcoApply { deltas } = parse_request(
+            "{\"cmd\":\"eco_apply\",\"deltas\":[{\"op\":\"retarget_clock\",\"period\":900.0}]}",
+        )
+        .unwrap() else {
+            panic!("expected eco_apply");
+        };
+        assert_eq!(deltas.as_array().map(<[JsonValue]>::len), Some(1));
+        let err = parse_request("{\"cmd\":\"eco_apply\"}").unwrap_err();
+        assert!(err.msg.contains("deltas"), "{err}");
+
+        assert_eq!(
+            parse_request("{\"cmd\":\"eco_query\"}").unwrap(),
+            Request::EcoQuery {
+                full: None,
+                paths: 4
+            }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"eco_query\",\"mode\":\"full\",\"paths\":0}").unwrap(),
+            Request::EcoQuery {
+                full: Some(true),
+                paths: 0
+            }
+        );
+        let err = parse_request("{\"cmd\":\"eco_query\",\"mode\":\"warp\"}").unwrap_err();
+        assert!(err.msg.contains("incremental"), "{err}");
+
+        assert_eq!(
+            parse_request("{\"cmd\":\"eco_revert\"}").unwrap(),
+            Request::EcoRevert { to: None }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"eco_revert\",\"to\":2}").unwrap(),
+            Request::EcoRevert { to: Some(2) }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"eco_close\"}").unwrap(),
+            Request::EcoClose
+        );
     }
 
     #[test]

@@ -518,6 +518,34 @@ fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
     stream.flush()
 }
 
+/// Per-connection ECO state: one open [`eco::EcoSession`] plus the
+/// cache pin that keeps its design resident for the session's lifetime.
+struct EcoConn {
+    key: u64,
+    /// Keeps the slot alive even if the cache entry were dropped; the
+    /// pin makes that impossible, but the `Arc` costs nothing and makes
+    /// the session's independence from cache internals explicit.
+    _slot: Arc<SessionSlot>,
+    eco: eco::EcoSession,
+}
+
+/// Releases an ECO session's cache pin and folds its cumulative stats
+/// into the server metrics. Shared by `eco_close` and the disconnect
+/// path, so a vanished client can never leak a pin.
+fn close_eco(shared: &Shared, conn: EcoConn) -> tdp_core::EcoStats {
+    let stats = conn.eco.stats();
+    shared.metrics.fold_eco(&stats);
+    shared.cache.unpin(conn.key);
+    stats
+}
+
+/// The connection's open ECO session, or the uniform "open one first"
+/// protocol error.
+fn eco_session(conn: &mut Option<EcoConn>) -> Result<&mut EcoConn, ProtoError> {
+    conn.as_mut()
+        .ok_or_else(|| ProtoError::new("no eco session open on this connection (eco_open first)"))
+}
+
 fn handle_connection(shared: &Shared, stream: TcpStream) {
     let Some(conn_id) = shared.register_conn(&stream) else {
         let _ = stream.shutdown(Shutdown::Both);
@@ -536,10 +564,11 @@ fn serve_requests(shared: &Shared, stream: TcpStream) {
     let mut writer = stream;
     let mut reader = BufReader::new(read_half);
     let mut line = String::new();
+    let mut eco_conn: Option<EcoConn> = None;
     loop {
         line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // EOF or torn-down socket
+            Ok(0) | Err(_) => break, // EOF or torn-down socket
             Ok(_) => {}
         }
         if line.trim().is_empty() {
@@ -548,17 +577,28 @@ fn serve_requests(shared: &Shared, stream: TcpStream) {
         ServeMetrics::bump(&shared.metrics.requests);
         let outcome = match parse_request(line.trim_end()) {
             Err(e) => write_line(&mut writer, &e.to_response()),
-            Ok(request) => dispatch(shared, request, &mut writer),
+            Ok(request) => dispatch(shared, request, &mut writer, &mut eco_conn),
         };
         if outcome.is_err() {
-            return; // client went away mid-response
+            break; // client went away mid-response
         }
+    }
+    // Disconnect auto-close: release the pin and account the session's
+    // stats even when the client never sent `eco_close`.
+    if let Some(conn) = eco_conn.take() {
+        close_eco(shared, conn);
     }
 }
 
 /// Handles one request; `Err` means the socket died and the connection
-/// loop should end.
-fn dispatch(shared: &Shared, request: Request, writer: &mut TcpStream) -> std::io::Result<()> {
+/// loop should end. `eco_conn` is the connection's ECO session slot —
+/// the `eco_*` verbs operate on it and every other verb ignores it.
+fn dispatch(
+    shared: &Shared,
+    request: Request,
+    writer: &mut TcpStream,
+    eco_conn: &mut Option<EcoConn>,
+) -> std::io::Result<()> {
     match request {
         Request::Submit(req) => match handle_submit(shared, &req) {
             Err(e) => write_line(writer, &e.to_response()),
@@ -674,7 +714,147 @@ fn dispatch(shared: &Shared, request: Request, writer: &mut TcpStream) -> std::i
             shared.initiate_shutdown();
             result
         }
+        Request::EcoOpen { design } => match handle_eco_open(shared, eco_conn, &design) {
+            Err(e) => write_line(writer, &e.to_response()),
+            Ok(response) => write_line(writer, &response),
+        },
+        Request::EcoApply { deltas } => {
+            let response = eco_session(eco_conn).and_then(|conn| {
+                let batch = eco::delta_batch_from_json(conn.eco.design(), &deltas)
+                    .map_err(ProtoError::new)?;
+                let summary = conn
+                    .eco
+                    .apply(&batch)
+                    .map_err(|e| ProtoError::new(e.to_string()))?;
+                ServeMetrics::bump(&shared.metrics.eco_applies);
+                let mut s = ok_prefix("eco_apply");
+                tdp_jsonio::field_num(&mut s, "moved_cells", summary.moved_cells.len() as f64);
+                tdp_jsonio::field_num(&mut s, "dirty_nets", summary.dirty_nets.len() as f64);
+                tdp_jsonio::field_num(&mut s, "checkpoint", conn.eco.checkpoint() as f64);
+                s.push('}');
+                Ok(s)
+            });
+            match response {
+                Err(e) => write_line(writer, &e.to_response()),
+                Ok(s) => write_line(writer, &s),
+            }
+        }
+        Request::EcoQuery { full, paths } => {
+            let response = eco_session(eco_conn).map(|conn| {
+                match full {
+                    Some(true) => conn.eco.reanalyze(eco::EcoMode::Full),
+                    Some(false) => conn.eco.reanalyze(eco::EcoMode::Incremental),
+                    None => {}
+                }
+                ServeMetrics::bump(&shared.metrics.eco_queries);
+                let mut s = ok_prefix("eco_query");
+                tdp_jsonio::field_raw(&mut s, "result", &conn.eco.query(paths).to_json().encode());
+                s.push('}');
+                s
+            });
+            match response {
+                Err(e) => write_line(writer, &e.to_response()),
+                Ok(s) => write_line(writer, &s),
+            }
+        }
+        Request::EcoRevert { to } => {
+            let response = eco_session(eco_conn).and_then(|conn| {
+                match to {
+                    Some(cp) => conn.eco.revert_to(cp),
+                    None => conn.eco.revert(),
+                }
+                .map_err(|e| ProtoError::new(e.to_string()))?;
+                ServeMetrics::bump(&shared.metrics.eco_reverts);
+                let mut s = ok_prefix("eco_revert");
+                tdp_jsonio::field_num(&mut s, "checkpoint", conn.eco.checkpoint() as f64);
+                s.push('}');
+                Ok(s)
+            });
+            match response {
+                Err(e) => write_line(writer, &e.to_response()),
+                Ok(s) => write_line(writer, &s),
+            }
+        }
+        Request::EcoClose => match eco_conn.take() {
+            None => write_line(
+                writer,
+                &ProtoError::new("no eco session open on this connection (eco_open first)")
+                    .to_response(),
+            ),
+            Some(conn) => {
+                let stats = close_eco(shared, conn);
+                let mut s = ok_prefix("eco_close");
+                tdp_jsonio::field_num(&mut s, "queries", stats.queries as f64);
+                tdp_jsonio::field_num(&mut s, "cells_moved", stats.cells_moved as f64);
+                tdp_jsonio::field_num(&mut s, "dirty_nets", stats.dirty_nets as f64);
+                tdp_jsonio::field_num(&mut s, "incremental_ns", stats.incremental_ns as f64);
+                tdp_jsonio::field_num(&mut s, "full_ns", stats.full_ns as f64);
+                s.push('}');
+                write_line(writer, &s)
+            }
+        },
     }
+}
+
+fn handle_eco_open(
+    shared: &Shared,
+    eco_conn: &mut Option<EcoConn>,
+    design: &DesignRef,
+) -> Result<String, ProtoError> {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Err(ProtoError::new("server is shutting down"));
+    }
+    if eco_conn.is_some() {
+        return Err(ProtoError::new(
+            "an eco session is already open on this connection (eco_close first)",
+        ));
+    }
+    let (_name, params) = resolve_design(design)?;
+    let key = design_key(&params);
+    let (slot, hit, evictions) = shared.cache.checkout_pinned(key).map_err(ProtoError::new)?;
+    if hit {
+        ServeMetrics::bump(&shared.metrics.cache_hits);
+    } else {
+        ServeMetrics::bump(&shared.metrics.cache_misses);
+    }
+    for _ in 0..evictions {
+        ServeMetrics::bump(&shared.metrics.cache_evictions);
+    }
+    let opened = slot
+        .session(&params)
+        .and_then(|session_mutex| {
+            session_mutex.lock().map_err(|_| {
+                "session poisoned by a previous job's panic on this design".to_string()
+            })
+        })
+        .map(|session| {
+            // Server-side ECO sessions analyze single-threaded: answers
+            // must be bitwise reproducible regardless of daemon sizing.
+            eco::EcoSession::open(&session, eco::rc_params_for(&params), 1)
+        });
+    let eco = match opened {
+        Ok(eco) => eco,
+        Err(msg) => {
+            // The open failed after the pin was taken; release it or
+            // the broken design would block eviction forever.
+            shared.cache.unpin(key);
+            return Err(ProtoError::new(msg));
+        }
+    };
+    ServeMetrics::bump(&shared.metrics.eco_opens);
+    let mut s = ok_prefix("eco_open");
+    tdp_jsonio::field_str(&mut s, "design", &format!("{key:#018x}"));
+    tdp_jsonio::field_bool(&mut s, "cached", hit);
+    tdp_jsonio::field_num(&mut s, "cells", eco.design().num_cells() as f64);
+    tdp_jsonio::field_num(&mut s, "nets", eco.design().num_nets() as f64);
+    tdp_jsonio::field_num(&mut s, "clock_period", eco.design().sdc().clock_period);
+    s.push('}');
+    *eco_conn = Some(EcoConn {
+        key,
+        _slot: slot,
+        eco,
+    });
+    Ok(s)
 }
 
 fn unknown_job(job: usize) -> String {
@@ -694,11 +874,10 @@ fn render_status(cmd: &str, job: &JobState) -> String {
     s
 }
 
-fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<String, ProtoError> {
-    if shared.shutting_down.load(Ordering::SeqCst) {
-        return Err(ProtoError::new("server is shutting down"));
-    }
-    let (name, params) = match &req.design {
+/// Resolves a design reference to (name, generator parameters); shared
+/// by `submit` and `eco_open`.
+fn resolve_design(design: &DesignRef) -> Result<(String, benchgen::CircuitParams), ProtoError> {
+    match design {
         DesignRef::Case(name) => {
             let case = benchgen::case_by_name(name).ok_or_else(|| {
                 let known: Vec<&str> = benchgen::full_suite().iter().map(|c| c.name).collect();
@@ -707,10 +886,17 @@ fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<String, ProtoEr
                     known.join(", ")
                 ))
             })?;
-            (case.name.to_string(), case.params)
+            Ok((case.name.to_string(), case.params))
         }
-        DesignRef::Inline(params) => (params.name.clone(), params.clone()),
-    };
+        DesignRef::Inline(params) => Ok((params.name.clone(), params.clone())),
+    }
+}
+
+fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<String, ProtoError> {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Err(ProtoError::new("server is shutting down"));
+    }
+    let (name, params) = resolve_design(&req.design)?;
     let objective = parse_objective(&req.objective)
         .map_err(|e| ProtoError::new(e.to_string()))?
         .ok_or_else(|| {
@@ -725,7 +911,7 @@ fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<String, ProtoEr
     let job = jobs.remove(0);
 
     let key = design_key(&params);
-    let (slot, hit, evictions) = shared.cache.checkout(key);
+    let (slot, hit, evictions) = shared.cache.checkout(key).map_err(ProtoError::new)?;
     if hit {
         ServeMetrics::bump(&shared.metrics.cache_hits);
     } else {

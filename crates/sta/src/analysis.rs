@@ -54,6 +54,7 @@ pub struct StaCheckpoint {
     required: Vec<f64>,
     worst_pred: Vec<Option<ArcId>>,
     endpoint_slacks: Vec<EndpointSlack>,
+    seeded_period: f64,
     analyzed: bool,
 }
 
@@ -82,6 +83,22 @@ pub struct Sta {
     /// Worst (latest-arrival) incoming arc per pin, for backtracing.
     worst_pred: Vec<Option<ArcId>>,
     endpoint_slacks: Vec<EndpointSlack>,
+    /// Per-pin source classification (`None` for non-sources), so the
+    /// incremental propagation can recompute any single pin with exactly
+    /// the seed the full kernel would use.
+    source_kind: Vec<Option<SourceKind>>,
+    /// Per-pin endpoint classification, mirror of `source_kind` for the
+    /// backward pass.
+    endpoint_kind: Vec<Option<EndpointKind>>,
+    /// Clock period the last required-time pass was seeded with. Every
+    /// endpoint seed depends on it, so a retarget forces a full backward
+    /// pass (`NaN` until the first analysis).
+    seeded_period: f64,
+    /// Scratch for the incremental propagation: per-pin dirty flags and
+    /// per-level worklists, retained across calls so steady-state ECO
+    /// updates allocate nothing.
+    dirty_mark: Vec<bool>,
+    level_buckets: Vec<Vec<u32>>,
     analyzed: bool,
     /// Worker count for RC refresh and propagation (0 = auto). Results
     /// are bit-identical for every value; see the module docs.
@@ -142,6 +159,14 @@ impl Sta {
                 }
             }
         }
+        let mut source_kind = vec![None; num_pins];
+        for &(pin, kind) in graph.sources() {
+            source_kind[pin.index()] = Some(kind);
+        }
+        let mut endpoint_kind = vec![None; num_pins];
+        for &(pin, kind) in graph.endpoints() {
+            endpoint_kind[pin.index()] = Some(kind);
+        }
         Self {
             graph,
             skeleton,
@@ -154,6 +179,11 @@ impl Sta {
             required: vec![f64::INFINITY; num_pins],
             worst_pred: vec![None; num_pins],
             endpoint_slacks: Vec::new(),
+            source_kind,
+            endpoint_kind,
+            seeded_period: f64::NAN,
+            dirty_mark: vec![false; num_pins],
+            level_buckets: Vec::new(),
             analyzed: false,
             threads: 1,
             rc_refreshes: 0,
@@ -190,6 +220,7 @@ impl Sta {
             required: self.required.clone(),
             worst_pred: self.worst_pred.clone(),
             endpoint_slacks: self.endpoint_slacks.clone(),
+            seeded_period: self.seeded_period,
             analyzed: self.analyzed,
         }
     }
@@ -215,6 +246,7 @@ impl Sta {
         self.required.clone_from(&checkpoint.required);
         self.worst_pred.clone_from(&checkpoint.worst_pred);
         self.endpoint_slacks.clone_from(&checkpoint.endpoint_slacks);
+        self.seeded_period = checkpoint.seeded_period;
         self.analyzed = checkpoint.analyzed;
     }
 
@@ -309,6 +341,36 @@ impl Sta {
         }
     }
 
+    /// Absorbs an ECO resize of `cell` into this analyzer, after the
+    /// caller retyped it with [`netlist::Design::set_cell_type`].
+    ///
+    /// Patches the gate-arc parameters in the timing graph and the sink
+    /// capacitances in the RC skeleton to the new master's values, and
+    /// re-seeds the constant delay of patched arcs that drive unconnected
+    /// outputs (the one arc class the per-net refresh never revisits,
+    /// mirroring [`Sta::from_parts`]). Both shared structures are updated
+    /// copy-on-write ([`Arc::make_mut`]), so sibling analyzers sharing
+    /// the handles — e.g. the cached session the ECO session wraps — keep
+    /// seeing the original design, and no build counter moves.
+    ///
+    /// The patch alone does not recompute any delay that depends on a
+    /// net: follow up with [`Sta::analyze_incremental`] passing `cell` as
+    /// moved, which refreshes every incident net (the ones whose load or
+    /// drive changed) and repropagates — bitwise identical to a
+    /// from-scratch analyzer built on the retyped design.
+    pub fn apply_resize(&mut self, design: &Design, cell: netlist::CellId) {
+        let patched = Arc::make_mut(&mut self.graph).repatch_cell_arcs(design, cell);
+        Arc::make_mut(&mut self.skeleton).repatch_cell_caps(design, cell);
+        for arc in patched {
+            let a = self.graph.arc(arc);
+            if let ArcKind::Cell { intrinsic, .. } = a.kind {
+                if design.pin(a.to).net.is_none() {
+                    self.arc_delay[arc.index()] = intrinsic;
+                }
+            }
+        }
+    }
+
     /// Allocation/op counters for this analyzer's RC work: refresh passes,
     /// nets refreshed, scratch-pool hits and resident slab bytes.
     pub fn rc_stats(&self) -> RcOpStats {
@@ -327,6 +389,185 @@ impl Sta {
         self.propagate_required(design);
         self.collect_endpoint_slacks();
         self.analyzed = true;
+    }
+
+    /// Worklist repropagation after [`Sta::refresh_nets`] rewrote the
+    /// arcs of `dirty_nets` (and [`Sta::apply_resize`] possibly patched
+    /// arcs of `moved_cells`): re-evaluates only the pins downstream
+    /// (arrival) and upstream (required) of the rewritten arcs, level by
+    /// level. Each re-evaluated pin runs exactly the full kernel's
+    /// per-pin computation against neighbor state the full pass would
+    /// also see, so the result is bit-identical to [`Sta::repropagate`].
+    ///
+    /// Falls back to the full passes when the dirty cone stops being
+    /// small (the placer moves most cells every iteration — chasing a
+    /// near-total cone through a worklist costs more than the flat
+    /// kernels) and for the backward pass when the clock period changed
+    /// (every endpoint seed depends on it).
+    pub(crate) fn repropagate_incremental(
+        &mut self,
+        design: &Design,
+        dirty_nets: &[NetId],
+        moved_cells: &[netlist::CellId],
+    ) {
+        // Seeds: every pin adjacent to an arc the refresh may have
+        // rewritten — wire arcs of dirty nets, gate arcs into their
+        // drivers (load changed), and every intra-cell arc of the
+        // moved/resized cells (intrinsic or drive changed).
+        let graph = Arc::clone(&self.graph);
+        let mut fwd: Vec<PinId> = Vec::new();
+        let mut bwd: Vec<PinId> = Vec::new();
+        for &net in dirty_nets {
+            let driver = design.net(net).driver();
+            for arc in graph.out_arcs(driver).chain(graph.in_arcs(driver)) {
+                let a = graph.arc(arc);
+                fwd.push(a.to);
+                bwd.push(a.from);
+            }
+        }
+        for &cell in moved_cells {
+            for &pin in &design.cell(cell).pins {
+                for arc in graph.in_arcs(pin) {
+                    let a = graph.arc(arc);
+                    fwd.push(a.to);
+                    bwd.push(a.from);
+                }
+            }
+        }
+
+        let budget = graph.num_pins() / 4;
+        if !self.try_propagate_incremental(design, &fwd, false, budget) {
+            self.propagate_arrival(design);
+        }
+        let period_changed = design.sdc().clock_period.to_bits() != self.seeded_period.to_bits();
+        if period_changed || !self.try_propagate_incremental(design, &bwd, true, budget) {
+            self.propagate_required(design);
+        }
+        self.collect_endpoint_slacks();
+        self.analyzed = true;
+    }
+
+    /// One direction of the worklist propagation: `rev == false` updates
+    /// arrivals (ascending levels), `rev == true` updates required times
+    /// (descending levels). Returns `false` — leaving the pass to the
+    /// full kernel — once more than `budget` pins have been queued; the
+    /// full pass rewrites every pin, so a partially-updated array is
+    /// never observed.
+    fn try_propagate_incremental(
+        &mut self,
+        design: &Design,
+        seeds: &[PinId],
+        rev: bool,
+        budget: usize,
+    ) -> bool {
+        let graph = Arc::clone(&self.graph);
+        let num_levels = graph.num_levels();
+        if self.level_buckets.len() < num_levels {
+            self.level_buckets.resize_with(num_levels, Vec::new);
+        }
+        let mut queued = 0usize;
+        for &p in seeds {
+            if !self.dirty_mark[p.index()] {
+                self.dirty_mark[p.index()] = true;
+                self.level_buckets[graph.level_of(p) as usize].push(p.index() as u32);
+                queued += 1;
+            }
+        }
+        let levels: Box<dyn Iterator<Item = usize>> = if rev {
+            Box::new((0..num_levels).rev())
+        } else {
+            Box::new(0..num_levels)
+        };
+        let mut overflow = false;
+        for l in levels {
+            if queued > budget {
+                overflow = true;
+                break;
+            }
+            let bucket = std::mem::take(&mut self.level_buckets[l]);
+            for &pu in &bucket {
+                let p = PinId::new(pu as usize);
+                self.dirty_mark[pu as usize] = false;
+                let changed = if rev {
+                    // The full kernel's per-pin computation: seed, then
+                    // min over outgoing arcs.
+                    let mut best = match self.endpoint_kind[pu as usize] {
+                        Some(EndpointKind::FlipFlopData) => design.sdc().clock_period,
+                        Some(EndpointKind::PrimaryOutput) => {
+                            design.sdc().required_at_output(design.pin(p).cell)
+                        }
+                        None => f64::INFINITY,
+                    };
+                    for arc in graph.out_arcs(p) {
+                        let to = graph.arc(arc).to;
+                        let cand = self.required[to.index()] - self.arc_delay[arc.index()];
+                        if cand < best {
+                            best = cand;
+                        }
+                    }
+                    let changed = best.to_bits() != self.required[pu as usize].to_bits();
+                    self.required[pu as usize] = best;
+                    changed
+                } else {
+                    // Mirror image: seed, then max over incoming arcs,
+                    // tracking the worst predecessor.
+                    let mut best = match self.source_kind[pu as usize] {
+                        Some(SourceKind::PrimaryInput) => {
+                            design.sdc().arrival_at(design.pin(p).cell)
+                        }
+                        Some(SourceKind::ClockPin) => 0.0,
+                        None => f64::NEG_INFINITY,
+                    };
+                    let mut best_arc = None;
+                    for arc in graph.in_arcs(p) {
+                        let from = graph.arc(arc).from;
+                        let cand = self.arrival[from.index()] + self.arc_delay[arc.index()];
+                        if cand > best {
+                            best = cand;
+                            best_arc = Some(arc);
+                        }
+                    }
+                    let changed = best.to_bits() != self.arrival[pu as usize].to_bits();
+                    self.arrival[pu as usize] = best;
+                    self.worst_pred[pu as usize] = best_arc;
+                    changed
+                };
+                if changed && rev {
+                    for arc in graph.in_arcs(p) {
+                        let n = graph.arc(arc).from;
+                        if !self.dirty_mark[n.index()] {
+                            self.dirty_mark[n.index()] = true;
+                            self.level_buckets[graph.level_of(n) as usize].push(n.index() as u32);
+                            queued += 1;
+                        }
+                    }
+                } else if changed {
+                    for arc in graph.out_arcs(p) {
+                        let n = graph.arc(arc).to;
+                        if !self.dirty_mark[n.index()] {
+                            self.dirty_mark[n.index()] = true;
+                            self.level_buckets[graph.level_of(n) as usize].push(n.index() as u32);
+                            queued += 1;
+                        }
+                    }
+                }
+            }
+            // Keep the bucket's allocation for the next pass.
+            let slot = &mut self.level_buckets[l];
+            debug_assert!(slot.is_empty());
+            *slot = bucket;
+            slot.clear();
+        }
+        if overflow {
+            for bucket in &mut self.level_buckets {
+                for &pu in bucket.iter() {
+                    self.dirty_mark[pu as usize] = false;
+                }
+                bucket.clear();
+            }
+            return false;
+        }
+        true
     }
 
     /// Total downstream capacitance the driver of `net` sees, as of the
@@ -403,6 +644,7 @@ impl Sta {
     /// required time at endpoints. Levels run in descending order; the
     /// same determinism argument as [`Sta::propagate_arrival`] applies.
     fn propagate_required(&mut self, design: &Design) {
+        self.seeded_period = design.sdc().clock_period;
         self.required.fill(f64::INFINITY);
         for &(pin, kind) in self.graph.endpoints() {
             let req = match kind {

@@ -362,6 +362,54 @@ impl TimingGraph {
     pub fn pin_cell(design: &Design, pin: PinId) -> CellId {
         design.pin(pin).cell
     }
+
+    /// Re-reads the gate-arc parameters of one cell from the design — the
+    /// graph half of an ECO resize after [`netlist::Design::set_cell_type`].
+    ///
+    /// Only the `intrinsic` / `drive_resistance` payloads of the cell's
+    /// [`ArcKind::Cell`] arcs change; topology, levelization and adjacency
+    /// are untouched, so no rebuild (and no bump of
+    /// [`graph_build_count`]) happens. Returns the patched arc ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell's current master carries a different arc
+    /// topology (pin-to-pin arc set) than the graph was built with —
+    /// pin-compatible drive variants never do.
+    pub fn repatch_cell_arcs(&mut self, design: &Design, cell: CellId) -> Vec<ArcId> {
+        let c = design.cell(cell);
+        let ty = design.cell_type(cell);
+        let existing = c
+            .pins
+            .iter()
+            .flat_map(|&p| self.out_arcs(p))
+            .filter(|&a| matches!(self.arcs[a.index()].kind, ArcKind::Cell { .. }))
+            .count();
+        assert_eq!(
+            existing,
+            ty.arcs.len(),
+            "resize changed the arc topology of cell {}",
+            c.name
+        );
+        let mut patched = Vec::with_capacity(ty.arcs.len());
+        for spec in &ty.arcs {
+            let from = c.pins[spec.from_pin];
+            let to = c.pins[spec.to_pin];
+            let arc = self
+                .out_arcs(from)
+                .find(|&a| {
+                    let arc = &self.arcs[a.index()];
+                    arc.to == to && matches!(arc.kind, ArcKind::Cell { .. })
+                })
+                .expect("resize changed cell arc topology");
+            self.arcs[arc.index()].kind = ArcKind::Cell {
+                intrinsic: spec.intrinsic,
+                drive_resistance: spec.drive_resistance,
+            };
+            patched.push(arc);
+        }
+        patched
+    }
 }
 
 /// Builds a CSR adjacency table: for each node, the list of arc indices

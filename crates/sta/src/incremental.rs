@@ -46,7 +46,14 @@ impl Sta {
         dirty.sort_unstable();
         dirty.dedup();
         self.refresh_nets(design, placement, &dirty);
-        self.repropagate(design);
+        // A near-total dirty set (the placer displaces most cells every
+        // iteration) repropagates faster through the flat level kernels
+        // than by chasing an almost-complete cone through a worklist.
+        if dirty.len() * 4 >= design.num_nets().max(1) {
+            self.repropagate(design);
+        } else {
+            self.repropagate_incremental(design, &dirty, moved_cells);
+        }
     }
 }
 

@@ -175,6 +175,35 @@ impl RcSkeleton {
         let hi = self.starts[net.index() + 1] as usize;
         &self.sink_caps[lo..hi]
     }
+
+    /// Re-reads the sink capacitances presented by one cell's input pins
+    /// from the design — the skeleton half of an ECO resize after
+    /// [`netlist::Design::set_cell_type`]. Connectivity must be unchanged
+    /// (a resize never rewires), so only cap values move; no rebuild and
+    /// no bump of [`rc_skeleton_build_count`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a connected input pin of the cell is not among its net's
+    /// sinks, which a validated design rules out.
+    pub fn repatch_cell_caps(&mut self, design: &Design, cell: netlist::CellId) {
+        for &pin in &design.cell(cell).pins {
+            if design.pin_direction(pin) != netlist::PinDirection::Input {
+                continue;
+            }
+            let Some(net) = design.pin(pin).net else {
+                continue;
+            };
+            let pos = design
+                .net(net)
+                .sinks()
+                .iter()
+                .position(|&s| s == pin)
+                .expect("input pin missing from its net's sink list");
+            let slot = self.starts[net.index()] as usize + pos;
+            self.sink_caps[slot] = design.pin_spec(pin).cap;
+        }
+    }
 }
 
 /// Wire parasitics per unit length.

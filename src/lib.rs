@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the Efficient-TDP workspace.
 pub use batch;
 pub use benchgen;
+pub use eco;
 pub use netlist;
 pub use placer;
 pub use serve;

@@ -1,0 +1,175 @@
+//! The ECO subsystem's differential guarantee: after any stream of
+//! delta batches, the incremental session's answers are **bitwise
+//! identical** to rebuilding the edited design from scratch — a fresh
+//! timing graph, a fresh full STA, a fresh congestion analyzer, on a
+//! design and placement reconstructed by independently replaying the
+//! same deltas onto a fresh `benchgen::generate`. Timing summary,
+//! every endpoint slack, the congestion report (map hash included) and
+//! the placement fingerprint must all agree, at 1 and 4 threads.
+//!
+//! The delta streams are the shared `benchgen::eco_stress` generator
+//! (seeded moves + resizes) with a clock retarget spliced in, so the
+//! test crosses all three delta kinds on every case.
+
+use efficient_tdp::benchgen::{self, CircuitParams, EcoStressParams};
+use efficient_tdp::eco::{rc_params_for, DeltaBatch, EcoDelta, EcoSession};
+use efficient_tdp::netlist::{Design, Placement};
+use efficient_tdp::sta::Sta;
+use efficient_tdp::tdp_core::Session;
+use efficient_tdp::tdp_route::{CongestionAnalyzer, RouteConfig};
+
+/// Replays the delta batches onto a freshly generated design and its
+/// resident placement — deliberately sharing no code with
+/// `EcoSession`'s mutation path beyond the netlist primitives.
+fn replay(params: &CircuitParams, batches: &[DeltaBatch]) -> (Design, Placement) {
+    let (mut design, pads) = benchgen::generate(params);
+    let mut placement = efficient_tdp::eco::resident_placement(&design, &pads);
+    for batch in batches {
+        for delta in batch.deltas() {
+            match delta {
+                EcoDelta::MoveCells(moves) => {
+                    for m in moves {
+                        placement.set(m.cell, m.x, m.y);
+                    }
+                }
+                EcoDelta::ResizeCells(resizes) => {
+                    for &(cell, ty) in resizes {
+                        design.set_cell_type(cell, ty).expect("replay resize");
+                    }
+                }
+                EcoDelta::RetargetClock(period) => design.sdc_mut().clock_period = *period,
+            }
+        }
+    }
+    (design, placement)
+}
+
+/// Asserts the session's current answers equal a from-scratch rebuild
+/// of the same edited state, bit for bit.
+fn assert_matches_rebuild(
+    eco: &mut EcoSession,
+    params: &CircuitParams,
+    batches: &[DeltaBatch],
+    threads: usize,
+    context: &str,
+) {
+    let (design, placement) = replay(params, batches);
+    let mut sta = Sta::new(&design, rc_params_for(params)).expect("rebuild timing graph");
+    sta.set_threads(threads);
+    sta.analyze(&design, &placement);
+    let mut congestion = CongestionAnalyzer::new(&design, RouteConfig::default());
+    congestion.set_threads(threads);
+    congestion.analyze(&design, &placement);
+
+    let q = eco.query(0);
+    let reference = sta.summary();
+    assert_eq!(
+        q.timing.wns.to_bits(),
+        reference.wns.to_bits(),
+        "{context}: wns diverged from rebuild"
+    );
+    assert_eq!(
+        q.timing.tns.to_bits(),
+        reference.tns.to_bits(),
+        "{context}: tns diverged from rebuild"
+    );
+    assert_eq!(q.timing, reference, "{context}: timing summary diverged");
+
+    let slacks = eco.endpoint_slacks();
+    let rebuilt = sta.endpoint_slacks();
+    assert_eq!(slacks.len(), rebuilt.len(), "{context}: endpoint count");
+    for (a, b) in slacks.iter().zip(rebuilt) {
+        assert_eq!(a.pin, b.pin, "{context}: endpoint order diverged");
+        assert_eq!(
+            a.slack.to_bits(),
+            b.slack.to_bits(),
+            "{context}: slack of {:?} diverged",
+            a.pin
+        );
+    }
+
+    let creport = congestion.summary();
+    assert_eq!(
+        q.congestion.map_hash, creport.map_hash,
+        "{context}: congestion map diverged"
+    );
+    assert_eq!(
+        q.congestion, creport,
+        "{context}: congestion report diverged"
+    );
+    assert_eq!(
+        q.placement_hash,
+        placement.content_hash(),
+        "{context}: placement diverged"
+    );
+    assert_eq!(
+        q.clock_period.to_bits(),
+        design.sdc().clock_period.to_bits(),
+        "{context}: clock period diverged"
+    );
+}
+
+/// Runs one case through a randomized delta stream at one thread count,
+/// checking against a rebuild after every batch and after a revert.
+fn run_case(name: &str, seed: u64, threads: usize) {
+    let case = benchgen::case_by_name(name).expect("suite case");
+    let (design, pads) = benchgen::generate(&case.params);
+    let session = Session::builder(design, pads).build().expect("session");
+    let mut eco = EcoSession::open(&session, rc_params_for(&case.params), threads);
+
+    let stream = benchgen::eco_stress(
+        eco.design(),
+        eco.placement(),
+        &EcoStressParams::at_churn(seed, 0.02, 3),
+    );
+    let mut applied: Vec<DeltaBatch> = Vec::new();
+    for (i, step) in stream.iter().enumerate() {
+        let mut batch = DeltaBatch::from_step(step);
+        if i == 1 {
+            // Splice a clock retarget into the middle batch so every
+            // delta kind crosses the incremental path on every case.
+            batch.push(EcoDelta::RetargetClock(
+                eco.design().sdc().clock_period * 0.97,
+            ));
+        }
+        eco.apply(&batch).expect("generated deltas are valid");
+        applied.push(batch);
+        assert_matches_rebuild(
+            &mut eco,
+            &case.params,
+            &applied,
+            threads,
+            &format!("{name}@{threads}t step {i}"),
+        );
+    }
+
+    // A revert is just another edit: the rolled-back state must also
+    // equal its from-scratch rebuild.
+    eco.revert().expect("journal is non-empty");
+    applied.pop();
+    assert_matches_rebuild(
+        &mut eco,
+        &case.params,
+        &applied,
+        threads,
+        &format!("{name}@{threads}t after revert"),
+    );
+}
+
+#[test]
+fn sb1_incremental_matches_rebuild_at_1_and_4_threads() {
+    run_case("sb1", 11, 1);
+    run_case("sb1", 11, 4);
+}
+
+#[test]
+fn sb4_incremental_matches_rebuild_at_1_and_4_threads() {
+    run_case("sb4", 23, 1);
+    run_case("sb4", 23, 4);
+}
+
+#[test]
+fn mx1_incremental_matches_rebuild_at_1_and_4_threads() {
+    run_case("mx1", 5, 1);
+    run_case("mx1", 5, 4);
+}

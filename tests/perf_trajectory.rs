@@ -2,15 +2,23 @@
 //! checked-in `BENCH_0.json` seed must stay parseable, fixpoint-stable
 //! and internally consistent, and it must actually record the speedup
 //! the arena refactor claims — an at-least-1.5× arena-over-legacy RC
-//! refresh on every measured case.
+//! refresh on every measured case. `BENCH_1.json` extends the
+//! trajectory with the interactive ECO kernels and is held to the same
+//! standard plus its own headline: a ≥5× incremental-over-full ECO
+//! round-trip on at least one case.
 
 use perf::{compare, encode, parse_run, thread_consistency, BenchRun};
 
-fn seed() -> (String, BenchRun) {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0.json");
-    let text = std::fs::read_to_string(path).expect("BENCH_0.json is checked in");
-    let run = parse_run(&text).expect("BENCH_0.json parses");
+fn load(name: &str) -> (String, BenchRun) {
+    let path = format!("{}/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name} is checked in: {e}"));
+    let run = parse_run(&text).unwrap_or_else(|e| panic!("{name} parses: {e}"));
     (text, run)
+}
+
+fn seed() -> (String, BenchRun) {
+    load("BENCH_0.json")
 }
 
 #[test]
@@ -61,6 +69,46 @@ fn bench_seed_checksums_are_thread_consistent() {
     let (_, run) = seed();
     let violations = thread_consistency(&run);
     assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn bench_1_is_a_consistent_encode_fixpoint() {
+    let (text, run) = load("BENCH_1.json");
+    assert_eq!(run.profile, "quick");
+    assert_eq!(format!("{}\n", encode(&run)), text);
+    assert_eq!(parse_run(&encode(&run)).unwrap(), run);
+    let violations = thread_consistency(&run);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn bench_1_records_the_eco_speedup() {
+    let (_, run) = load("BENCH_1.json");
+    let fulls: Vec<_> = run
+        .results
+        .iter()
+        .filter(|r| r.kernel == "eco_query_full" && r.threads == 1)
+        .collect();
+    assert!(!fulls.is_empty(), "BENCH_1 must measure the ECO kernels");
+    let mut best = 0.0f64;
+    for full in fulls {
+        let inc = run
+            .results
+            .iter()
+            .find(|r| r.case == full.case && r.kernel == "eco_query_incremental" && r.threads == 1)
+            .expect("every full ECO measurement has an incremental counterpart");
+        // The speedup is only meaningful because both round-trips
+        // produced the same bits — the incremental == rebuild contract.
+        assert_eq!(
+            full.checksum, inc.checksum,
+            "{}: incremental and full ECO answers disagree",
+            full.case
+        );
+        best = best.max(full.ns_per_op / inc.ns_per_op);
+    }
+    // The subsystem's headline, gated on the recorded trajectory: at
+    // least one case answers delta queries ≥5× faster incrementally.
+    assert!(best >= 5.0, "best ECO speedup on record is only {best:.2}x");
 }
 
 #[test]

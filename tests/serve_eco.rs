@@ -1,0 +1,195 @@
+//! The daemon's ECO verbs, differential and lifecycle-checked:
+//!
+//! - an `eco_open`/`eco_apply`/`eco_query` exchange over the wire
+//!   answers with exactly the bits a local [`EcoSession`] produces for
+//!   the same deltas (query hash, congestion map hash and placement
+//!   fingerprint compared as the hex strings both sides emit);
+//! - a pinned session is never evicted — a submit that would need the
+//!   pinned slot is *denied*, not served stale;
+//! - `eco_close` releases the pin (the same submit then succeeds);
+//! - a client that disconnects without closing releases its pin too —
+//!   the daemon auto-closes, so no abandoned connection can leak a
+//!   resident design.
+
+use efficient_tdp::benchgen::{self, EcoStressParams};
+use efficient_tdp::eco::{open_case_session, DeltaBatch};
+use efficient_tdp::serve::{Client, ClientError, Server, ServerConfig, SubmitRequest};
+use std::time::Duration;
+use tdp_jsonio::JsonValue;
+
+fn connect(handle: &efficient_tdp::serve::ServerHandle) -> Client {
+    Client::connect(handle.addr(), Duration::from_secs(5)).expect("connect to in-process server")
+}
+
+fn str_field<'a>(doc: &'a JsonValue, key: &str) -> &'a str {
+    doc.get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or_else(|| panic!("string field {key} missing in {}", doc.encode()))
+}
+
+#[test]
+fn wire_eco_answers_match_a_local_session_bitwise() {
+    let handle = Server::start(ServerConfig::default()).expect("server starts");
+
+    // The local reference: same case, same thread count the server
+    // pins (1), same generated delta batch.
+    let case = benchgen::case_by_name("sb1").expect("suite case");
+    let mut local = open_case_session(&case.params, 1).expect("local eco session");
+    let stream = benchgen::eco_stress(
+        local.design(),
+        local.placement(),
+        &EcoStressParams::at_churn(7, 0.02, 1),
+    );
+    let batch = DeltaBatch::from_step(&stream[0]);
+    let deltas_json = batch.to_json(local.design()).encode();
+    local.apply(&batch).expect("local apply");
+    let local_result = local.query(4).to_json();
+
+    let mut client = connect(&handle);
+    let opened = client.eco_open("sb1").expect("eco_open");
+    assert_eq!(
+        opened.get("cached").and_then(JsonValue::as_bool),
+        Some(false),
+        "{}",
+        opened.encode()
+    );
+    let applied = client.eco_apply(&deltas_json).expect("eco_apply");
+    assert_eq!(
+        applied.get("checkpoint").and_then(JsonValue::as_usize),
+        Some(1),
+        "{}",
+        applied.encode()
+    );
+    let queried = client.eco_query(None, 4).expect("eco_query");
+    let wire = queried.get("result").expect("query result object");
+
+    // The bitwise contract, compared through the hex strings both
+    // sides render: the query hash folds WNS/TNS, every reported path,
+    // the congestion report and the placement fingerprint.
+    for key in ["query_hash", "map_hash", "placement_hash"] {
+        assert_eq!(
+            str_field(wire, key),
+            str_field(&local_result, key),
+            "wire {key} diverged from the local session"
+        );
+    }
+    assert_eq!(
+        wire.get("dirty_nets").and_then(JsonValue::as_usize),
+        local_result.get("dirty_nets").and_then(JsonValue::as_usize)
+    );
+
+    // A forced full re-analysis over the wire must not change a bit.
+    let full = client.eco_query(Some("full"), 4).expect("eco_query full");
+    let full_result = full.get("result").expect("query result object");
+    assert_eq!(
+        str_field(full_result, "query_hash"),
+        str_field(wire, "query_hash")
+    );
+
+    let closed = client.eco_close().expect("eco_close");
+    assert_eq!(
+        closed.get("queries").and_then(JsonValue::as_usize),
+        Some(2),
+        "{}",
+        closed.encode()
+    );
+
+    client.shutdown().expect("shutdown ack");
+    handle.join();
+}
+
+#[test]
+fn pinned_sessions_deny_eviction_until_closed() {
+    let cfg = ServerConfig {
+        cache_capacity: 1,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(cfg).expect("server starts");
+
+    let mut eco_client = connect(&handle);
+    eco_client.eco_open("sb1").expect("eco_open pins sb1");
+
+    // A second open on the same connection is a protocol error, not a
+    // silent replacement.
+    match eco_client.eco_open("sb3") {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("eco_close"), "{msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+
+    // The cache holds one slot and it is pinned: a submit for a
+    // different design must be denied, not evict the resident session.
+    let mut batch_client = connect(&handle);
+    match batch_client.submit(&SubmitRequest::case("sb3", "efficient-tdp")) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("pinned"), "{msg}"),
+        other => panic!("expected eviction denial, got {other:?}"),
+    }
+
+    // Closing releases the pin; the same submit now evicts and runs.
+    eco_client.eco_close().expect("eco_close");
+    let job = batch_client
+        .submit(&SubmitRequest::case("sb3", "efficient-tdp"))
+        .expect("submit succeeds after the pin is released");
+    let done = batch_client.wait(job).expect("wait");
+    assert_eq!(
+        done.get("state").and_then(JsonValue::as_str),
+        Some("done"),
+        "{}",
+        done.encode()
+    );
+
+    batch_client.shutdown().expect("shutdown ack");
+    handle.join();
+}
+
+#[test]
+fn disconnecting_without_eco_close_releases_the_pin() {
+    let cfg = ServerConfig {
+        cache_capacity: 1,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(cfg).expect("server starts");
+
+    {
+        let mut abandoned = connect(&handle);
+        abandoned.eco_open("sb1").expect("eco_open pins sb1");
+        // Dropped here without eco_close: the socket closes and the
+        // server's connection handler must auto-close the session.
+    }
+
+    // The unpin happens when the handler thread notices EOF; poll until
+    // the pinned slot becomes evictable.
+    let mut client = connect(&handle);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let job = loop {
+        match client.submit(&SubmitRequest::case("sb3", "efficient-tdp")) {
+            Ok(job) => break job,
+            Err(ClientError::Server(msg)) if msg.contains("pinned") => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "pin leaked: still denied 10s after disconnect: {msg}"
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("unexpected submit failure: {e}"),
+        }
+    };
+    let done = client.wait(job).expect("wait");
+    assert_eq!(
+        done.get("state").and_then(JsonValue::as_str),
+        Some("done"),
+        "{}",
+        done.encode()
+    );
+
+    // The auto-close accounted the session like an explicit one.
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(
+        metrics.get("eco_opens").and_then(JsonValue::as_usize),
+        Some(1),
+        "{}",
+        metrics.encode()
+    );
+
+    client.shutdown().expect("shutdown ack");
+    handle.join();
+}

@@ -10,7 +10,7 @@
 use crate::runner::{BatchResult, JobReport, JobStatus};
 use std::fmt::Write as _;
 use std::time::Duration;
-use tdp_jsonio::{field_bool, field_num, field_str};
+use tdp_jsonio::{field_bool, field_hex, field_num, field_str};
 
 /// Fleet-level accounting across one batch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -282,10 +282,10 @@ pub fn job_fields(s: &mut String, r: &JobReport) {
         field_num(s, "congestion_overflow", c.overflow);
         field_num(s, "congestion_overflow_bins", c.overflow_bins as f64);
         // u64 map hash rendered like placement_hash: hex string.
-        field_str(s, "congestion_map_hash", &format!("{:#018x}", c.map_hash));
+        field_hex(s, "congestion_map_hash", c.map_hash);
     }
     // u64 does not fit losslessly in a JSON number; hex string instead.
-    field_str(s, "placement_hash", &format!("{:#018x}", r.placement_hash));
+    field_hex(s, "placement_hash", r.placement_hash);
     field_num(s, "runtime_s", r.runtime.total.as_secs_f64());
     field_num(s, "sta_s", r.runtime.timing_analysis.as_secs_f64());
     field_num(s, "weighting_s", r.runtime.weighting.as_secs_f64());

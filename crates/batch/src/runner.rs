@@ -58,7 +58,7 @@ impl JobStatus {
 
 /// The compact, placement-free summary of one finished job — the only
 /// thing the runner retains.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobReport {
     /// Job id (index into the plan's jobs).
     pub job: usize,

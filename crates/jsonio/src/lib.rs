@@ -253,6 +253,21 @@ pub fn field_raw(out: &mut String, key: &str, raw: &str) {
     out.push_str(raw);
 }
 
+/// Appends `,"key":"0x0123456789abcdef"`. A `u64` does not fit
+/// losslessly in a JSON number (an `f64` holds 53 bits of mantissa), so
+/// content hashes travel as fixed-width hex strings — the convention the
+/// batch reports, the serve wire and the serve journal all share.
+pub fn field_hex(out: &mut String, key: &str, value: u64) {
+    field_str(out, key, &format!("{value:#018x}"));
+}
+
+/// Parses a `"0x…"` hex string back to its `u64` — the inverse of
+/// [`field_hex`] (any number of digits after the mandatory `0x`).
+pub fn parse_hex_u64(s: &str) -> Option<u64> {
+    let digits = s.strip_prefix("0x")?;
+    u64::from_str_radix(digits, 16).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +315,21 @@ mod tests {
             ("s".into(), "x\"y".into()),
         ]);
         assert_eq!(v.encode(), "{\"b\":1,\"a\":[null,true],\"s\":\"x\\\"y\"}");
+    }
+
+    #[test]
+    fn hex_fields_round_trip_u64s_exactly() {
+        let mut s = String::from("{\"x\":0");
+        field_hex(&mut s, "hash", 0xdead_beef);
+        s.push('}');
+        assert_eq!(s, "{\"x\":0,\"hash\":\"0x00000000deadbeef\"}");
+        assert_eq!(parse_hex_u64("0x00000000deadbeef"), Some(0xdead_beef));
+        assert_eq!(
+            parse_hex_u64(&format!("{:#018x}", u64::MAX)),
+            Some(u64::MAX)
+        );
+        assert_eq!(parse_hex_u64("deadbeef"), None, "0x prefix is mandatory");
+        assert_eq!(parse_hex_u64("0xnope"), None);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //!   submit --case NAME --objective NAME|all [--profile paper|quick]
 //!          [--set key=value ...] [--stride K] [--await] [--stream]
 //!   submit --jobs FILE [--profile paper|quick] [--await]
-//!   status JOB | wait JOB | events JOB | cancel JOB
-//!   metrics | shutdown
+//!   status JOB | wait JOB | events JOB [--from I] | cancel JOB
+//!   metrics | metrics-text | shutdown
 //!   eco --case NAME [--paths K] [--script FILE|-]
 //! ```
 //!
@@ -45,9 +45,12 @@ const USAGE: &str = "usage: tdp-client [--addr HOST:PORT] [--retry SECS] <comman
   submit --jobs FILE [--profile paper|quick] [--await]
   status JOB       non-blocking state poll
   wait JOB         block until terminal, print the final report
-  events JOB       stream progress events until the job finishes
+  events JOB [--from I]
+                   stream progress events (from index I) until the job
+                   finishes; resumes cleanly across daemon restarts
   cancel JOB       request cancellation
   metrics          server counters
+  metrics-text     server counters in Prometheus text exposition format
   shutdown         stop the server
   eco --case NAME [--paths K] [--script FILE|-]
                    interactive ECO exchange (JSONL apply/query/revert
@@ -292,13 +295,40 @@ fn run() -> Result<i32, String> {
             Ok(if job_succeeded(&doc) { 0 } else { 1 })
         }
         "events" => {
+            let job = job_arg(&args)?;
+            let mut from = 0usize;
+            let mut it = args.iter().skip(1);
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--from" => {
+                        from = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| usage_err("--from expects a non-negative integer"))?
+                    }
+                    other => return Err(usage_err(format!("unknown events flag {other:?}"))),
+                }
+            }
             client
-                .events(job_arg(&args)?, 0, |event| print_doc(event))
+                .events(job, from, |event| print_doc(event))
                 .map_err(|e| e.to_string())?;
             Ok(0)
         }
         "cancel" => report(client.cancel(job_arg(&args)?)),
         "metrics" => report(client.metrics()),
+        "metrics-text" => match client.metrics_text() {
+            Ok(text) => {
+                // The raw scrape body, not a JSON line: this output is
+                // what a Prometheus scraper (or a human) consumes.
+                print!("{text}");
+                Ok(0)
+            }
+            Err(ClientError::Server(msg)) => {
+                eprintln!("tdp-client: server error: {msg}");
+                Ok(1)
+            }
+            Err(e) => Err(e.to_string()),
+        },
         "shutdown" => report(client.shutdown()),
         "eco" => run_eco(&mut client, args),
         other => Err(usage_err(format!("unknown command {other:?}"))),

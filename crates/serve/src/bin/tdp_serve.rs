@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! tdp-serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
-//!           [--stride K] [--quiet]
+//!           [--stride K] [--journal DIR] [--no-replay] [--retain N]
+//!           [--quiet]
 //! ```
 //!
 //! Binds, prints the bound address (port 0 resolves to an ephemeral
-//! port), and serves until a wire `shutdown` request arrives. See the
-//! README's `tdp-serve` section for the protocol grammar.
+//! port), and serves until a wire `shutdown` request arrives. With
+//! `--journal DIR` every job is written through to a JSONL write-ahead
+//! log and replayed on restart: finished jobs come back with their
+//! reports and event logs, unfinished jobs re-run (or resolve as failed
+//! under `--no-replay`). `--retain N` bounds in-memory state to the N
+//! most recent finished jobs, re-serving older ones from the journal.
+//! See the README's `tdp-serve` section for the protocol grammar and
+//! the journal record schema.
 
 use serve::{Server, ServerConfig};
 
@@ -18,6 +25,12 @@ const USAGE: &str = "usage: tdp-serve [options]
                        (default: 2)
   --cache-capacity N   sessions kept hot in the LRU cache (default: 8)
   --stride K           default event stride for submits (default: 16)
+  --journal DIR        append every submit/state/event/report to a JSONL
+                       write-ahead log in DIR and replay it on startup
+  --no-replay          on restart, mark journaled unfinished jobs failed
+                       instead of re-running them
+  --retain N           keep at most N finished jobs in memory; older ones
+                       are re-served from the journal (requires --journal)
   --quiet              suppress the startup banner";
 
 fn parse_args() -> Result<(ServerConfig, bool), String> {
@@ -46,6 +59,13 @@ fn parse_args() -> Result<(ServerConfig, bool), String> {
                     .parse()
                     .map_err(|_| "--stride expects a positive integer".to_string())?
             }
+            "--journal" => cfg.journal = Some(value("--journal")?.into()),
+            "--no-replay" => cfg.replay = false,
+            "--retain" => {
+                cfg.retain = value("--retain")?
+                    .parse()
+                    .map_err(|_| "--retain expects a positive integer".to_string())?
+            }
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -53,6 +73,11 @@ fn parse_args() -> Result<(ServerConfig, bool), String> {
             }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
+    }
+    if cfg.retain > 0 && cfg.journal.is_none() {
+        return Err("--retain requires --journal (compacted jobs are re-served \
+                    from the journal)"
+            .to_string());
     }
     Ok((cfg, quiet))
 }
@@ -70,7 +95,7 @@ fn main() {
     let handle = match Server::start(cfg) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("tdp-serve: bind failed: {e}");
+            eprintln!("tdp-serve: startup failed: {e}");
             std::process::exit(1);
         }
     };

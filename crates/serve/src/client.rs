@@ -154,6 +154,20 @@ impl Client {
         self.roundtrip("{\"cmd\":\"metrics\"}")
     }
 
+    /// Server counters in Prometheus text exposition format — the
+    /// scrape body, ready to serve to a scraper or print.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let doc = self.roundtrip("{\"cmd\":\"metrics_text\"}")?;
+        doc.get("text")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("metrics_text response lacks \"text\"".into()))
+    }
+
     /// Asks the server to stop; returns its acknowledgement.
     ///
     /// # Errors

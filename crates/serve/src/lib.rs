@@ -19,7 +19,13 @@
 //!   [`Session`](tdp_core::Session), so the timing graph and RC skeleton
 //!   are constructed exactly once per design per residency — the batch
 //!   runner's amortization, promoted from per-plan to per-daemon.
-//! * [`metrics`] — counters behind the `metrics` request.
+//! * [`metrics`] — counters behind the `metrics` request, plus the
+//!   Prometheus text renderer behind `metrics_text`.
+//! * [`journal`] — the durable JSONL write-ahead log: with `--journal`
+//!   every submit, state transition, event line and final report is
+//!   appended (fsync'd on transition boundaries), the daemon replays it
+//!   on startup, and `--retain` compacts old finished jobs out of
+//!   memory, re-serving them from the journal byte-identically.
 //! * [`client`] — the [`Client`] library used by `tdp-client`, the CI
 //!   smoke job and the differential tests.
 //!
@@ -36,12 +42,14 @@
 
 pub mod cache;
 pub mod client;
+pub mod journal;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{SessionCache, SessionSlot};
 pub use client::{Client, ClientError};
+pub use journal::Journal;
 pub use metrics::{Gauges, ServeMetrics};
 pub use protocol::{design_key, DesignRef, ProtoError, Request, SubmitRequest};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -47,6 +47,19 @@ pub struct ServeMetrics {
     pub eco_incremental_ns: AtomicU64,
     /// Nanoseconds spent in full ECO analysis (closed sessions).
     pub eco_full_ns: AtomicU64,
+    /// Records appended to the job journal by this instance.
+    pub journal_appends: AtomicU64,
+    /// Records replayed from the journal at startup.
+    pub journal_replays: AtomicU64,
+    /// Jobs restored from the journal at startup (finished jobs
+    /// re-materialized plus unfinished jobs re-enqueued).
+    pub jobs_recovered: AtomicU64,
+    /// Finished jobs whose in-memory event log was compacted away under
+    /// the `--retain` cap (their state lives on in the journal).
+    pub jobs_compacted: AtomicU64,
+    /// Connection-handler threads reaped (joined) after their
+    /// connections closed.
+    pub conns_reaped: AtomicU64,
     /// `sta::graph_build_count()` at server start — the baseline for
     /// the `graph_builds` metric (builds attributable to this server).
     pub graph_builds_at_start: u64,
@@ -86,6 +99,11 @@ impl ServeMetrics {
             eco_dirty_nets: AtomicU64::new(0),
             eco_incremental_ns: AtomicU64::new(0),
             eco_full_ns: AtomicU64::new(0),
+            journal_appends: AtomicU64::new(0),
+            journal_replays: AtomicU64::new(0),
+            jobs_recovered: AtomicU64::new(0),
+            jobs_compacted: AtomicU64::new(0),
+            conns_reaped: AtomicU64::new(0),
             graph_builds_at_start: sta::graph_build_count() as u64,
             rc_builds_at_start: sta::rc_skeleton_build_count() as u64,
             rc_tree_builds_at_start: sta::rc_tree_build_count() as u64,
@@ -172,6 +190,84 @@ impl ServeMetrics {
         tdp_jsonio::field_num(out, "eco_dirty_nets", get(&self.eco_dirty_nets));
         tdp_jsonio::field_num(out, "eco_incremental_ns", get(&self.eco_incremental_ns));
         tdp_jsonio::field_num(out, "eco_full_ns", get(&self.eco_full_ns));
+        tdp_jsonio::field_num(out, "events_resident", gauges.events_resident as f64);
+        tdp_jsonio::field_num(out, "journal_appends", get(&self.journal_appends));
+        tdp_jsonio::field_num(out, "journal_replays", get(&self.journal_replays));
+        tdp_jsonio::field_num(out, "jobs_recovered", get(&self.jobs_recovered));
+        tdp_jsonio::field_num(out, "jobs_compacted", get(&self.jobs_compacted));
+        tdp_jsonio::field_num(out, "conns_reaped", get(&self.conns_reaped));
+    }
+
+    /// Renders the same counters and gauges in Prometheus text
+    /// exposition format (the `metrics_text` verb): one `# TYPE` line
+    /// per sample, names prefixed `tdp_serve_`, counters suffixed
+    /// `_total`.
+    pub fn render_prometheus(&self, gauges: &Gauges) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+        let mut sample = |name: &str, kind: &str, value: f64| {
+            let _ = writeln!(out, "# TYPE tdp_serve_{name} {kind}");
+            let _ = writeln!(out, "tdp_serve_{name} {}", tdp_jsonio::format_num(value));
+        };
+        let mut gauge = |name: &str, value: f64| sample(name, "gauge", value);
+        gauge("uptime_seconds", self.started.elapsed().as_secs_f64());
+        gauge("workers", gauges.workers as f64);
+        gauge("jobs", gauges.jobs_total as f64);
+        gauge("jobs_queued", gauges.jobs_queued as f64);
+        gauge("jobs_running", gauges.jobs_running as f64);
+        gauge("cache_entries", gauges.cache_entries as f64);
+        gauge("cache_capacity", gauges.cache_capacity as f64);
+        gauge("events_resident", gauges.events_resident as f64);
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64;
+        let mut counter =
+            |name: &str, value: f64| sample(&format!("{name}_total"), "counter", value);
+        counter("requests", get(&self.requests));
+        counter("submits", get(&self.submits));
+        counter("jobs_done", get(&self.jobs_done));
+        counter("jobs_canceled", get(&self.jobs_canceled));
+        counter("jobs_failed", get(&self.jobs_failed));
+        counter("cache_hits", get(&self.cache_hits));
+        counter("cache_misses", get(&self.cache_misses));
+        counter("cache_evictions", get(&self.cache_evictions));
+        counter("event_streams", get(&self.event_streams));
+        counter(
+            "graph_builds",
+            (sta::graph_build_count() as u64).saturating_sub(self.graph_builds_at_start) as f64,
+        );
+        counter(
+            "rc_builds",
+            (sta::rc_skeleton_build_count() as u64).saturating_sub(self.rc_builds_at_start) as f64,
+        );
+        counter(
+            "rc_tree_builds",
+            (sta::rc_tree_build_count() as u64).saturating_sub(self.rc_tree_builds_at_start) as f64,
+        );
+        counter(
+            "rc_refreshes",
+            sta::rc_refresh_count().saturating_sub(self.rc_refreshes_at_start) as f64,
+        );
+        counter(
+            "rc_nets_refreshed",
+            sta::rc_nets_refreshed_count().saturating_sub(self.rc_nets_refreshed_at_start) as f64,
+        );
+        counter(
+            "rc_scratch_reuses",
+            sta::rc_scratch_reuse_count().saturating_sub(self.rc_scratch_reuses_at_start) as f64,
+        );
+        counter("eco_opens", get(&self.eco_opens));
+        counter("eco_applies", get(&self.eco_applies));
+        counter("eco_queries", get(&self.eco_queries));
+        counter("eco_reverts", get(&self.eco_reverts));
+        counter("eco_cells_moved", get(&self.eco_cells_moved));
+        counter("eco_dirty_nets", get(&self.eco_dirty_nets));
+        counter("eco_incremental_ns", get(&self.eco_incremental_ns));
+        counter("eco_full_ns", get(&self.eco_full_ns));
+        counter("journal_appends", get(&self.journal_appends));
+        counter("journal_replays", get(&self.journal_replays));
+        counter("jobs_recovered", get(&self.jobs_recovered));
+        counter("jobs_compacted", get(&self.jobs_compacted));
+        counter("conns_reaped", get(&self.conns_reaped));
+        out
     }
 }
 
@@ -197,4 +293,7 @@ pub struct Gauges {
     pub cache_entries: usize,
     /// Cache capacity.
     pub cache_capacity: usize,
+    /// Event-log lines resident in memory across live jobs — the
+    /// quantity `--retain` compaction bounds.
+    pub events_resident: usize,
 }

@@ -12,6 +12,7 @@
 //! {"cmd":"events","job":0,"from":0}
 //! {"cmd":"cancel","job":0}
 //! {"cmd":"metrics"}
+//! {"cmd":"metrics_text"}
 //! {"cmd":"shutdown"}
 //! {"cmd":"eco_open","case":"cg1"}
 //! {"cmd":"eco_apply","deltas":[{"op":"move","cells":[[3,10.5,20.0]]}]}
@@ -152,6 +153,9 @@ pub enum Request {
     },
     /// Server counters.
     Metrics,
+    /// Server counters in Prometheus text exposition format (the
+    /// response carries the scrape body in its `"text"` field).
+    MetricsText,
     /// Stop accepting work, cancel in-flight jobs, exit cleanly.
     Shutdown,
     /// Pin a design resident and open an ECO session on this connection.
@@ -263,6 +267,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         }),
         "cancel" => Ok(Request::Cancel { job: job_id(&doc)? }),
         "metrics" => Ok(Request::Metrics),
+        "metrics_text" => Ok(Request::MetricsText),
         "shutdown" => Ok(Request::Shutdown),
         "eco_open" => Ok(Request::EcoOpen {
             design: parse_design(&doc, "eco_open")?,
@@ -304,7 +309,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "eco_close" => Ok(Request::EcoClose),
         other => Err(ProtoError::new(format!(
             "unknown cmd {other:?} (expected submit, status, wait, events, cancel, metrics, \
-             shutdown, eco_open, eco_apply, eco_query, eco_revert or eco_close)"
+             metrics_text, shutdown, eco_open, eco_apply, eco_query, eco_revert or eco_close)"
         ))),
     }
 }
@@ -655,6 +660,10 @@ mod tests {
         assert_eq!(
             parse_request("{\"cmd\":\"metrics\"}").unwrap(),
             Request::Metrics
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"metrics_text\"}").unwrap(),
+            Request::MetricsText
         );
         assert_eq!(
             parse_request("{\"cmd\":\"shutdown\"}").unwrap(),

@@ -21,6 +21,19 @@
 //! test at the workspace root asserts this, placement fingerprint
 //! included).
 //!
+//! # Durability
+//!
+//! With [`ServerConfig::journal`] set, every submit, state transition,
+//! event line and final report is appended to a JSONL write-ahead log
+//! (see [`crate::journal`]). On startup the journal is replayed:
+//! finished jobs come back with their reports and event logs, unfinished
+//! jobs are re-enqueued (their deterministic re-run regenerates the
+//! identical event stream and report) or — under
+//! [`ServerConfig::replay`]` = false` — resolved as failed-by-restart.
+//! [`ServerConfig::retain`] bounds in-memory growth: beyond the cap, the
+//! oldest finished jobs' event logs and reports are compacted out of
+//! memory and re-served from the journal, byte-identically.
+//!
 //! # Shutdown discipline
 //!
 //! `shutdown` (request or [`ServerHandle::shutdown`]) closes the queue,
@@ -29,9 +42,13 @@
 //! jobs that never started), every job reaches a terminal state (so
 //! `wait`ers and `events` streams wake), and [`ServerHandle::join`]
 //! returns only after the acceptor, every handler and every worker have
-//! been joined — no leaked threads, asserted by the serve tests.
+//! been joined — no leaked threads, asserted by the serve tests. Handler
+//! threads are also reaped *during* operation, as their connections
+//! close, so a resident daemon does not accumulate one dead
+//! [`JoinHandle`] per served connection.
 
 use crate::cache::{SessionCache, SessionSlot};
+use crate::journal::{self, Journal, Record, SubmitRecord};
 use crate::metrics::ServeMetrics;
 use crate::protocol::{
     design_key, event_line, ok_prefix, parse_request, DesignRef, ProtoError, Request, SubmitRequest,
@@ -40,8 +57,10 @@ use batch::{
     execute_job, job_json, make_jobs_for, parse_objective, BatchEvent, BatchJob, BatchSink,
     CancelSet, JobReport, JobStatus, Profile,
 };
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -59,6 +78,17 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Default event stride for submits that do not set one.
     pub default_stride: usize,
+    /// Journal directory (`None` = in-memory only, no durability).
+    pub journal: Option<PathBuf>,
+    /// On startup, re-enqueue journaled jobs that never finished
+    /// (`true`, the default) instead of resolving them failed-by-restart
+    /// (`false`, the `--no-replay` policy).
+    pub replay: bool,
+    /// Retention cap on finished jobs held in memory (`0` = unlimited).
+    /// Beyond the cap the oldest finished jobs are compacted: their
+    /// event logs and reports are dropped from memory and re-served
+    /// from the journal. Requires [`ServerConfig::journal`].
+    pub retain: usize,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +98,9 @@ impl Default for ServerConfig {
             workers: 2,
             cache_capacity: 8,
             default_stride: 16,
+            journal: None,
+            replay: true,
+            retain: 0,
         }
     }
 }
@@ -91,6 +124,16 @@ impl JobPhase {
     }
 }
 
+/// Terminal-state label with a `'static` lifetime — a compaction
+/// tombstone cannot borrow from the report it replaces.
+fn static_label(status: &JobStatus) -> &'static str {
+    match status {
+        JobStatus::Done => "done",
+        JobStatus::Canceled => "canceled",
+        JobStatus::Failed(_) => "failed",
+    }
+}
+
 /// Append-only per-job event log with blocking readers.
 #[derive(Debug, Default)]
 struct EventLog {
@@ -105,18 +148,41 @@ struct EventLogState {
 }
 
 impl EventLog {
-    fn push(&self, line: String) {
-        let mut s = self.state.lock().expect("event log lock");
-        if !s.closed {
-            s.lines.push(line);
+    /// A closed log pre-populated with journaled lines (for jobs
+    /// restored finished — their stream is complete by construction).
+    fn restored(lines: Vec<String>) -> Self {
+        Self {
+            state: Mutex::new(EventLogState {
+                lines,
+                closed: true,
+            }),
+            cv: Condvar::new(),
         }
+    }
+
+    /// Appends a line, returning its index; `None` when the log is
+    /// already closed (the line is dropped).
+    fn push(&self, line: &str) -> Option<usize> {
+        let mut s = self.state.lock().expect("event log lock");
+        let seq = if s.closed {
+            None
+        } else {
+            s.lines.push(line.to_string());
+            Some(s.lines.len() - 1)
+        };
         drop(s);
         self.cv.notify_all();
+        seq
     }
 
     fn close(&self) {
         self.state.lock().expect("event log lock").closed = true;
         self.cv.notify_all();
+    }
+
+    /// Lines currently resident (the quantity `--retain` bounds).
+    fn len(&self) -> usize {
+        self.state.lock().expect("event log lock").lines.len()
     }
 
     /// Blocks until lines beyond `index` exist (returning them) or the
@@ -150,19 +216,27 @@ struct JobState {
 }
 
 impl JobState {
-    fn finish(&self, report: JobReport, metrics: &ServeMetrics) {
+    /// Resolves the job terminally: counters, the terminal event line,
+    /// the journal's fsync'd `finished` record, phase flip, waiter
+    /// wake-up, log close, and retention compaction — in that order, so
+    /// a parseable `finished` record on disk implies the complete event
+    /// history precedes it.
+    fn finish(&self, report: JobReport, shared: &Shared) {
         match report.status {
-            JobStatus::Done => ServeMetrics::bump(&metrics.jobs_done),
-            JobStatus::Canceled => ServeMetrics::bump(&metrics.jobs_canceled),
-            JobStatus::Failed(_) => ServeMetrics::bump(&metrics.jobs_failed),
+            JobStatus::Done => ServeMetrics::bump(&shared.metrics.jobs_done),
+            JobStatus::Canceled => ServeMetrics::bump(&shared.metrics.jobs_canceled),
+            JobStatus::Failed(_) => ServeMetrics::bump(&shared.metrics.jobs_failed),
         }
-        self.events.push(event_line("finished", self.id, |s| {
+        let line = event_line("finished", self.id, |s| {
             tdp_jsonio::field_str(s, "state", report.status.label());
             tdp_jsonio::field_raw(s, "report", &job_json(&report));
-        }));
+        });
+        shared.push_event(self, &line);
+        shared.journal_append(&journal::finished_record(self.id, &report), true);
         *self.phase.lock().expect("job phase lock") = JobPhase::Finished(Box::new(report));
         self.cv.notify_all();
         self.events.close();
+        shared.note_finished(self.id);
     }
 
     fn is_finished(&self) -> bool {
@@ -173,6 +247,42 @@ impl JobState {
     }
 }
 
+/// A job-table entry: live state, or the tombstone a finished job
+/// leaves behind once its memory is compacted under `--retain`.
+enum JobEntry {
+    Live(Arc<JobState>),
+    /// Everything `status`/`events` need that the journal does not
+    /// re-derive cheaply; the report and event lines themselves are
+    /// re-read from the journal on demand.
+    Compacted {
+        key: u64,
+        state: &'static str,
+    },
+}
+
+/// What a job-id lookup resolves to.
+enum JobRef {
+    Live(Arc<JobState>),
+    Compacted {
+        id: usize,
+        key: u64,
+        state: &'static str,
+    },
+}
+
+/// The job table: id-keyed (NOT `Vec`-indexed — compaction must be able
+/// to drop a job's memory without renumbering every later job), plus
+/// the FIFO of finished jobs still resident, oldest first.
+#[derive(Default)]
+struct JobTable {
+    /// Ids ever assigned; the next submit takes `next_id`.
+    next_id: usize,
+    entries: HashMap<usize, JobEntry>,
+    /// Finished jobs whose state is still in memory, in finish order —
+    /// the compaction queue.
+    resident: VecDeque<usize>,
+}
+
 /// State shared by the acceptor, handlers and workers.
 struct Shared {
     cfg: ServerConfig,
@@ -180,38 +290,113 @@ struct Shared {
     addr: SocketAddr,
     cache: SessionCache,
     metrics: ServeMetrics,
-    jobs: Mutex<Vec<Arc<JobState>>>,
+    jobs: Mutex<JobTable>,
     queue: parx::TaskQueue<usize>,
     shutting_down: AtomicBool,
     /// Live connections by id, so shutdown can unblock their reads. A
     /// handler *must* unregister on exit — a resident daemon would
     /// otherwise leak one fd per closed connection.
-    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn: std::sync::atomic::AtomicU64,
+    /// Handler ids whose threads have exited and whose `JoinHandle`s
+    /// await reaping by the acceptor.
+    dead_conns: Mutex<Vec<u64>>,
+    /// The write-ahead log, when durability is enabled.
+    journal: Option<Journal>,
 }
 
 impl Shared {
-    fn job(&self, id: usize) -> Option<Arc<JobState>> {
-        self.jobs.lock().expect("jobs lock").get(id).cloned()
+    fn job(&self, id: usize) -> Option<JobRef> {
+        match self.jobs.lock().expect("jobs lock").entries.get(&id) {
+            None => None,
+            Some(JobEntry::Live(job)) => Some(JobRef::Live(Arc::clone(job))),
+            Some(JobEntry::Compacted { key, state }) => Some(JobRef::Compacted {
+                id,
+                key: *key,
+                state,
+            }),
+        }
     }
 
-    /// Registers a connection for shutdown teardown; returns its
-    /// registry id, or `None` if the server is already shutting down
-    /// (the caller should bail).
-    fn register_conn(&self, stream: &TcpStream) -> Option<u64> {
-        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
-        let mut conns = self.conns.lock().expect("conns lock");
-        if let Ok(clone) = stream.try_clone() {
-            conns.insert(id, clone);
+    /// Appends one record to the journal, if one is configured. Append
+    /// failures are reported but do not fail the job — the daemon
+    /// degrades to in-memory operation rather than refusing work.
+    fn journal_append(&self, record: &str, sync: bool) {
+        if let Some(j) = &self.journal {
+            match j.append(record, sync) {
+                Ok(()) => ServeMetrics::bump(&self.metrics.journal_appends),
+                Err(e) => eprintln!("tdp-serve: journal append failed: {e}"),
+            }
         }
+    }
+
+    /// Pushes one line into a job's event log and journals it (unsynced:
+    /// event records are made durable by the next transition's fsync on
+    /// the same file).
+    fn push_event(&self, job: &JobState, line: &str) {
+        let Some(seq) = job.events.push(line) else {
+            return; // log already closed: terminal state won the race
+        };
+        if self.journal.is_some() {
+            self.journal_append(&journal::event_record(job.id, seq, line), false);
+        }
+    }
+
+    /// Records a job as finished-and-journaled and enforces the
+    /// retention cap.
+    fn note_finished(&self, id: usize) {
+        let mut table = self.jobs.lock().expect("jobs lock");
+        table.resident.push_back(id);
+        self.compact_locked(&mut table);
+    }
+
+    /// Compacts the oldest finished jobs beyond [`ServerConfig::retain`]:
+    /// their `JobState` (event log and report included) is replaced by a
+    /// tombstone, and later reads are served from the journal. Only
+    /// meaningful with a journal — [`Server::start`] rejects `retain`
+    /// without one.
+    fn compact_locked(&self, table: &mut JobTable) {
+        if self.cfg.retain == 0 || self.journal.is_none() {
+            return;
+        }
+        while table.resident.len() > self.cfg.retain {
+            let Some(id) = table.resident.pop_front() else {
+                break;
+            };
+            let Some(entry) = table.entries.get_mut(&id) else {
+                continue;
+            };
+            let JobEntry::Live(job) = entry else { continue };
+            let phase = job.phase.lock().expect("job phase lock");
+            let JobPhase::Finished(report) = &*phase else {
+                continue; // defensive: only finished jobs enter `resident`
+            };
+            let (key, state) = (job.key, static_label(&report.status));
+            drop(phase);
+            *entry = JobEntry::Compacted { key, state };
+            ServeMetrics::bump(&self.metrics.jobs_compacted);
+        }
+    }
+
+    /// Registers a connection for shutdown teardown; `false` means the
+    /// connection is refused — either the server is shutting down, or
+    /// the stream could not be cloned into the registry (in which case
+    /// serving it would leave a blocking read that
+    /// [`Shared::initiate_shutdown`] can never unblock).
+    fn register_conn(&self, stream: &TcpStream, id: u64) -> bool {
+        let Ok(clone) = stream.try_clone() else {
+            return false;
+        };
+        let mut conns = self.conns.lock().expect("conns lock");
+        conns.insert(id, clone);
         // Checked under the conns lock: `initiate_shutdown` sets the
         // flag before sweeping this map, so either we see the flag here
         // or the sweep sees our entry — never neither.
         if self.shutting_down.load(Ordering::SeqCst) {
             conns.remove(&id);
-            None
+            false
         } else {
-            Some(id)
+            true
         }
     }
 
@@ -227,9 +412,11 @@ impl Shared {
         // No new work; workers drain what is queued (fast-failing it).
         self.queue.close();
         // Stop in-flight flows at their next observer callback.
-        for job in self.jobs.lock().expect("jobs lock").iter() {
-            if !job.is_finished() {
-                job.cancel.cancel(0);
+        for entry in self.jobs.lock().expect("jobs lock").entries.values() {
+            if let JobEntry::Live(job) = entry {
+                if !job.is_finished() {
+                    job.cancel.cancel(0);
+                }
             }
         }
         // Unblock every handler thread's read/write...
@@ -284,28 +471,53 @@ impl Drop for ServerHandle {
 pub struct Server;
 
 impl Server {
-    /// Binds, spawns the worker pool and the acceptor, and returns
-    /// immediately.
+    /// Binds, replays the journal (when configured), spawns the worker
+    /// pool and the acceptor, and returns immediately.
     ///
     /// # Errors
     ///
-    /// Returns the bind error if the address is unavailable.
+    /// Returns the bind error if the address is unavailable, journal
+    /// open errors, and `InvalidInput` for `retain` without `journal`
+    /// (compacted jobs are re-served from the journal; without one,
+    /// compaction would destroy their state).
     pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        if cfg.retain > 0 && cfg.journal.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "retain requires a journal: compacted jobs are re-served from the journal",
+            ));
+        }
+        let (journal, records) = match &cfg.journal {
+            Some(dir) => {
+                let (j, records) = Journal::open(dir)?;
+                (Some(j), records)
+            }
+            None => (None, Vec::new()),
+        };
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workers = parx::resolve_threads(cfg.workers);
         let shared = Arc::new(Shared {
             cache: SessionCache::new(cfg.cache_capacity),
             metrics: ServeMetrics::new(),
-            jobs: Mutex::new(Vec::new()),
+            jobs: Mutex::new(JobTable::default()),
             queue: parx::TaskQueue::new(),
             shutting_down: AtomicBool::new(false),
-            conns: Mutex::new(std::collections::HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
             next_conn: std::sync::atomic::AtomicU64::new(0),
+            dead_conns: Mutex::new(Vec::new()),
+            journal,
             workers,
             addr,
             cfg,
         });
+
+        // Replay before any worker or connection exists: recovered jobs
+        // must be visible (and re-enqueued jobs queued, in id order)
+        // before the first post-restart request lands.
+        if !records.is_empty() {
+            replay_journal(&shared, records);
+        }
 
         let mut worker_handles = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -322,22 +534,29 @@ impl Server {
             std::thread::Builder::new()
                 .name("tdp-serve-acceptor".to_string())
                 .spawn(move || {
-                    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                    let mut handlers: HashMap<u64, JoinHandle<()>> = HashMap::new();
                     for stream in listener.incoming() {
+                        // Reap handlers whose connections have closed —
+                        // a resident daemon must not accumulate one
+                        // dead JoinHandle per served connection.
+                        reap_dead_handlers(&shared, &mut handlers);
                         if shared.shutting_down.load(Ordering::SeqCst) {
                             break;
                         }
                         let Ok(stream) = stream else { continue };
-                        let shared = Arc::clone(&shared);
+                        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                        let conn_shared = Arc::clone(&shared);
                         if let Ok(h) = std::thread::Builder::new()
                             .name("tdp-serve-conn".to_string())
-                            .spawn(move || handle_connection(&shared, stream))
+                            .spawn(move || handle_connection(&conn_shared, stream, conn_id))
                         {
-                            handlers.push(h);
+                            handlers.insert(conn_id, h);
                         }
                     }
-                    for h in handlers {
+                    reap_dead_handlers(&shared, &mut handlers);
+                    for (_, h) in handlers.drain() {
                         let _ = h.join();
+                        ServeMetrics::bump(&shared.metrics.conns_reaped);
                     }
                     for h in worker_handles {
                         let _ = h.join();
@@ -352,13 +571,192 @@ impl Server {
     }
 }
 
+/// Joins the handlers whose connections have announced their exit via
+/// `dead_conns`. An id whose handle is not registered yet (the handler
+/// exited before the acceptor inserted it) is put back for the next
+/// sweep.
+fn reap_dead_handlers(shared: &Shared, handlers: &mut HashMap<u64, JoinHandle<()>>) {
+    let dead = std::mem::take(&mut *shared.dead_conns.lock().expect("dead conns lock"));
+    let mut unmatched = Vec::new();
+    for id in dead {
+        match handlers.remove(&id) {
+            Some(h) => {
+                let _ = h.join();
+                ServeMetrics::bump(&shared.metrics.conns_reaped);
+            }
+            None => unmatched.push(id),
+        }
+    }
+    if !unmatched.is_empty() {
+        shared
+            .dead_conns
+            .lock()
+            .expect("dead conns lock")
+            .extend(unmatched);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Journal replay
+// ---------------------------------------------------------------------
+
+/// Rebuilds the job table from the journal's records: finished jobs are
+/// restored with their reports and event logs (no done/failed counter
+/// bumps — they were counted by the instance that ran them), unfinished
+/// jobs are re-enqueued in id order (deterministic re-runs regenerate
+/// their exact event streams and reports) or, under `replay = false`,
+/// resolved failed-by-restart through the normal finish path (which
+/// journals the terminal record, so later restarts agree).
+fn replay_journal(shared: &Shared, records: Vec<Record>) {
+    let mut submits: Vec<Box<SubmitRecord>> = Vec::new();
+    let mut events: HashMap<usize, Vec<String>> = HashMap::new();
+    let mut finished: HashMap<usize, Box<JobReport>> = HashMap::new();
+    let replayed = records.len() as u64;
+    for rec in records {
+        match rec {
+            Record::Submit(sub) => submits.push(sub),
+            // Scheduler state is rebuilt from scratch, not trusted: a
+            // journaled "running" only means the crash interrupted it.
+            Record::State { .. } => {}
+            Record::Event { job, seq, line } => {
+                let lines = events.entry(job).or_default();
+                // seq == len: append. seq < len: a pre-crash attempt's
+                // duplicate of a line the re-run regenerated identically
+                // (determinism) — keep the first copy. seq > len cannot
+                // survive the open-time truncation; ignore defensively.
+                if seq == lines.len() {
+                    lines.push(line);
+                }
+            }
+            Record::Finished { job, report } => {
+                finished.insert(job, report);
+            }
+        }
+    }
+    shared
+        .metrics
+        .journal_replays
+        .fetch_add(replayed, Ordering::Relaxed);
+
+    let mut recovered = 0u64;
+    let mut failed_by_restart: Vec<Arc<JobState>> = Vec::new();
+    for sub in submits {
+        let id = sub.job;
+        let report = finished.remove(&id);
+        let state = match rebuild_job_state(shared, &sub, report, &mut events) {
+            Ok(state) => state,
+            Err(msg) => {
+                eprintln!("tdp-serve: journal replay skipped job {id}: {msg}");
+                continue;
+            }
+        };
+        let restored_finished = state.is_finished();
+        {
+            let mut table = shared.jobs.lock().expect("jobs lock");
+            table.entries.insert(id, JobEntry::Live(Arc::clone(&state)));
+            table.next_id = table.next_id.max(id + 1);
+            if restored_finished {
+                table.resident.push_back(id);
+            }
+        }
+        recovered += 1;
+        if !restored_finished {
+            if shared.cfg.replay {
+                // Workers have not spawned yet; the push cannot race a
+                // closed queue.
+                shared.queue.push(id);
+            } else {
+                failed_by_restart.push(state);
+            }
+        }
+    }
+    for state in failed_by_restart {
+        state.finish(
+            failed_report(
+                &state,
+                "job interrupted by daemon restart (replay disabled)".into(),
+            ),
+            shared,
+        );
+    }
+    shared
+        .metrics
+        .jobs_recovered
+        .fetch_add(recovered, Ordering::Relaxed);
+    let mut table = shared.jobs.lock().expect("jobs lock");
+    shared.compact_locked(&mut table);
+}
+
+/// Reconstructs one journaled job's `JobState`. With `report`, the job
+/// comes back finished: closed pre-populated event log, detached
+/// session slot (it will never run). Without, it comes back queued with
+/// an empty log, holding a real cache slot for its re-run (the checkout
+/// does not count as a cache hit/miss — replay is recovery, not a
+/// submit).
+fn rebuild_job_state(
+    shared: &Shared,
+    sub: &SubmitRecord,
+    report: Option<Box<JobReport>>,
+    events: &mut HashMap<usize, Vec<String>>,
+) -> Result<Arc<JobState>, String> {
+    let objective = parse_objective(&sub.objective)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| {
+            format!(
+                "journaled objective {:?} is not a single objective",
+                sub.objective
+            )
+        })?;
+    let profile = Profile::parse(&sub.profile).map_err(|e| e.to_string())?;
+    let mut jobs = make_jobs_for(
+        &sub.name,
+        &sub.params,
+        Some(&objective),
+        profile,
+        &sub.overrides,
+    )
+    .map_err(|e| e.to_string())?;
+    if jobs.len() != 1 {
+        return Err(format!("rebuilt {} jobs, expected 1", jobs.len()));
+    }
+    let job = jobs.remove(0);
+    let key = design_key(&sub.params);
+    let (slot, phase, log) = match report {
+        Some(report) => (
+            // Never runs again: no reason to hold (or build) a session.
+            Arc::new(SessionSlot::default()),
+            JobPhase::Finished(report),
+            EventLog::restored(events.remove(&sub.job).unwrap_or_default()),
+        ),
+        None => {
+            let (slot, _hit, _evictions) = shared.cache.checkout(key)?;
+            // The pre-crash attempt's partial event lines are dropped:
+            // the deterministic re-run regenerates every one of them
+            // (journal replay dedupes the re-journaled copies by seq).
+            (slot, JobPhase::Queued, EventLog::default())
+        }
+    };
+    Ok(Arc::new(JobState {
+        id: sub.job,
+        job,
+        key,
+        slot,
+        stride: sub.stride.max(1),
+        cancel: CancelSet::new(1),
+        phase: Mutex::new(phase),
+        cv: Condvar::new(),
+        events: log,
+    }))
+}
+
 // ---------------------------------------------------------------------
 // Worker side
 // ---------------------------------------------------------------------
 
-/// Renders flow events into the job's event log.
+/// Renders flow events into the job's event log (journaling each line).
 struct LogSink<'a> {
-    log: &'a EventLog,
+    shared: &'a Shared,
+    job: &'a JobState,
 }
 
 impl BatchSink for LogSink<'_> {
@@ -415,13 +813,15 @@ impl BatchSink for LogSink<'_> {
             // also closes the log), not by the sink.
             BatchEvent::JobFinished { .. } => return,
         };
-        self.log.push(line);
+        self.shared.push_event(self.job, &line);
     }
 }
 
 fn worker_loop(shared: &Shared) {
     while let Some(id) = shared.queue.pop() {
-        let Some(job) = shared.job(id) else { continue };
+        let Some(JobRef::Live(job)) = shared.job(id) else {
+            continue;
+        };
         run_job(shared, &job);
     }
 }
@@ -462,12 +862,13 @@ fn run_job(shared: &Shared, job: &JobState) {
         // waiters wake and shutdown stays prompt.
         job.finish(
             failed_report(job, "server shut down before the job started".into()),
-            &shared.metrics,
+            shared,
         );
         return;
     }
     *job.phase.lock().expect("job phase lock") = JobPhase::Running;
-    let sink = LogSink { log: &job.events };
+    shared.journal_append(&journal::state_record(job.id, "running"), true);
+    let sink = LogSink { shared, job };
     sink.on_event(&BatchEvent::JobStarted {
         job: job.id,
         case: job.job.case.clone(),
@@ -505,7 +906,7 @@ fn run_job(shared: &Shared, job: &JobState) {
     let report = attempt.unwrap_or_else(|payload| {
         failed_report(job, format!("job panicked: {}", panic_text(payload)))
     });
-    job.finish(report, &shared.metrics);
+    job.finish(report, shared);
 }
 
 // ---------------------------------------------------------------------
@@ -546,13 +947,20 @@ fn eco_session(conn: &mut Option<EcoConn>) -> Result<&mut EcoConn, ProtoError> {
         .ok_or_else(|| ProtoError::new("no eco session open on this connection (eco_open first)"))
 }
 
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let Some(conn_id) = shared.register_conn(&stream) else {
+fn handle_connection(shared: &Shared, stream: TcpStream, conn_id: u64) {
+    if shared.register_conn(&stream, conn_id) {
+        serve_requests(shared, stream);
+        shared.unregister_conn(conn_id);
+    } else {
         let _ = stream.shutdown(Shutdown::Both);
-        return;
-    };
-    serve_requests(shared, stream);
-    shared.unregister_conn(conn_id);
+    }
+    // On every exit path — refused connections included — hand this
+    // handler's id to the acceptor so its JoinHandle is reaped.
+    shared
+        .dead_conns
+        .lock()
+        .expect("dead conns lock")
+        .push(conn_id);
 }
 
 /// The per-connection request loop; returns on EOF, socket teardown or
@@ -590,6 +998,48 @@ fn serve_requests(shared: &Shared, stream: TcpStream) {
     }
 }
 
+/// One pass over the job table: scheduler gauges plus the congestion
+/// aggregates of every finished report still resident. Compaction
+/// removes a finished job's report from memory, so on a retention-capped
+/// server the congestion aggregates cover the retained window, not all
+/// time. Iteration is in id order: the float sum must be deterministic.
+fn snapshot(shared: &Shared) -> (crate::metrics::Gauges, (usize, f64, f64)) {
+    let table = shared.jobs.lock().expect("jobs lock");
+    let mut queued = 0usize;
+    let mut running = 0usize;
+    let mut events_resident = 0usize;
+    let mut congestion = (0usize, 0.0f64, 0.0f64); // (jobs, Σ overflow, peak max)
+    for id in 0..table.next_id {
+        let Some(JobEntry::Live(j)) = table.entries.get(&id) else {
+            continue;
+        };
+        events_resident += j.events.len();
+        match &*j.phase.lock().expect("job phase lock") {
+            JobPhase::Queued => queued += 1,
+            JobPhase::Running => running += 1,
+            JobPhase::Finished(report) => {
+                if let Some(c) = report.congestion {
+                    congestion.0 += 1;
+                    congestion.1 += c.overflow;
+                    congestion.2 = congestion.2.max(c.peak);
+                }
+            }
+        }
+    }
+    (
+        crate::metrics::Gauges {
+            workers: shared.workers,
+            jobs_total: table.next_id,
+            jobs_queued: queued,
+            jobs_running: running,
+            cache_entries: shared.cache.len(),
+            cache_capacity: shared.cache.capacity(),
+            events_resident,
+        },
+        congestion,
+    )
+}
+
 /// Handles one request; `Err` means the socket died and the connection
 /// loop should end. `eco_conn` is the connection's ECO session slot —
 /// the `eco_*` verbs operate on it and every other verb ignores it.
@@ -606,11 +1056,17 @@ fn dispatch(
         },
         Request::Status { job } => match shared.job(job) {
             None => write_line(writer, &unknown_job(job)),
-            Some(j) => write_line(writer, &render_status("status", &j)),
+            Some(JobRef::Live(j)) => write_line(writer, &render_status("status", &j)),
+            Some(JobRef::Compacted { id, key, .. }) => {
+                match render_compacted_status(shared, "status", id, key) {
+                    Err(e) => write_line(writer, &e.to_response()),
+                    Ok(s) => write_line(writer, &s),
+                }
+            }
         },
         Request::Wait { job } => match shared.job(job) {
             None => write_line(writer, &unknown_job(job)),
-            Some(j) => {
+            Some(JobRef::Live(j)) => {
                 let mut phase = j.phase.lock().expect("job phase lock");
                 while !matches!(*phase, JobPhase::Finished(_)) {
                     phase = j.cv.wait(phase).expect("job phase lock");
@@ -618,10 +1074,17 @@ fn dispatch(
                 drop(phase);
                 write_line(writer, &render_status("wait", &j))
             }
+            // Compacted jobs are terminal by construction: answer now.
+            Some(JobRef::Compacted { id, key, .. }) => {
+                match render_compacted_status(shared, "wait", id, key) {
+                    Err(e) => write_line(writer, &e.to_response()),
+                    Ok(s) => write_line(writer, &s),
+                }
+            }
         },
         Request::Events { job, from } => match shared.job(job) {
             None => write_line(writer, &unknown_job(job)),
-            Some(j) => {
+            Some(JobRef::Live(j)) => {
                 ServeMetrics::bump(&shared.metrics.event_streams);
                 let mut index = from;
                 let mut sent = 0usize;
@@ -649,11 +1112,38 @@ fn dispatch(
                     }
                 }
             }
+            Some(JobRef::Compacted { id, state, .. }) => {
+                ServeMetrics::bump(&shared.metrics.event_streams);
+                // The journal holds the complete stream (terminal
+                // `finished` line included); replay the requested
+                // suffix byte-identically to the live stream.
+                let lines = shared
+                    .journal
+                    .as_ref()
+                    .and_then(|j| journal::read_compacted(j.path(), id).ok())
+                    .map(|c| c.events)
+                    .unwrap_or_default();
+                if from < lines.len() {
+                    for l in &lines[from..] {
+                        write_line(writer, l)?;
+                    }
+                    Ok(())
+                } else {
+                    let end = event_line("end", id, |s| {
+                        tdp_jsonio::field_str(s, "state", state);
+                    });
+                    write_line(writer, &end)
+                }
+            }
         },
         Request::Cancel { job } => match shared.job(job) {
             None => write_line(writer, &unknown_job(job)),
             Some(j) => {
-                j.cancel.cancel(0);
+                // Compacted jobs are already terminal; cancel is the
+                // same no-op it is for a live finished job.
+                if let JobRef::Live(j) = &j {
+                    j.cancel.cancel(0);
+                }
                 let mut s = ok_prefix("cancel");
                 tdp_jsonio::field_num(&mut s, "job", job as f64);
                 s.push('}');
@@ -661,44 +1151,20 @@ fn dispatch(
             }
         },
         Request::Metrics => {
-            // One pass over the job table: scheduler gauges plus the
-            // congestion aggregates of every finished report (the
-            // routability counterpart of done/canceled/failed).
-            let (total, queued, running, congestion) = {
-                let jobs = shared.jobs.lock().expect("jobs lock");
-                let mut queued = 0usize;
-                let mut running = 0usize;
-                let mut congestion = (0usize, 0.0f64, 0.0f64); // (jobs, Σ overflow, peak max)
-                for j in jobs.iter() {
-                    match &*j.phase.lock().expect("job phase lock") {
-                        JobPhase::Queued => queued += 1,
-                        JobPhase::Running => running += 1,
-                        JobPhase::Finished(report) => {
-                            if let Some(c) = report.congestion {
-                                congestion.0 += 1;
-                                congestion.1 += c.overflow;
-                                congestion.2 = congestion.2.max(c.peak);
-                            }
-                        }
-                    }
-                }
-                (jobs.len(), queued, running, congestion)
-            };
+            let (gauges, congestion) = snapshot(shared);
             let mut s = ok_prefix("metrics");
-            shared.metrics.render(
-                &mut s,
-                &crate::metrics::Gauges {
-                    workers: shared.workers,
-                    jobs_total: total,
-                    jobs_queued: queued,
-                    jobs_running: running,
-                    cache_entries: shared.cache.len(),
-                    cache_capacity: shared.cache.capacity(),
-                },
-            );
+            shared.metrics.render(&mut s, &gauges);
             tdp_jsonio::field_num(&mut s, "congestion_jobs", congestion.0 as f64);
             tdp_jsonio::field_num(&mut s, "congestion_overflow_sum", congestion.1);
             tdp_jsonio::field_num(&mut s, "congestion_peak_max", congestion.2);
+            s.push('}');
+            write_line(writer, &s)
+        }
+        Request::MetricsText => {
+            let (gauges, _) = snapshot(shared);
+            let text = shared.metrics.render_prometheus(&gauges);
+            let mut s = ok_prefix("metrics_text");
+            tdp_jsonio::field_str(&mut s, "text", &text);
             s.push('}');
             write_line(writer, &s)
         }
@@ -707,7 +1173,7 @@ fn dispatch(
             tdp_jsonio::field_num(
                 &mut s,
                 "jobs",
-                shared.jobs.lock().expect("jobs lock").len() as f64,
+                shared.jobs.lock().expect("jobs lock").next_id as f64,
             );
             s.push('}');
             let result = write_line(writer, &s);
@@ -874,6 +1340,33 @@ fn render_status(cmd: &str, job: &JobState) -> String {
     s
 }
 
+/// Re-renders a compacted job's `status`/`wait` response from its
+/// journaled report — byte-identical to what [`render_status`] produced
+/// while the job was resident (the journal round-trip is exact).
+fn render_compacted_status(
+    shared: &Shared,
+    cmd: &str,
+    id: usize,
+    key: u64,
+) -> Result<String, ProtoError> {
+    let journal = shared
+        .journal
+        .as_ref()
+        .ok_or_else(|| ProtoError::new(format!("job {id} was compacted without a journal")))?;
+    let compacted = journal::read_compacted(journal.path(), id)
+        .map_err(|e| ProtoError::new(format!("journal read failed for job {id}: {e}")))?;
+    let report = compacted
+        .report
+        .ok_or_else(|| ProtoError::new(format!("journal holds no report for job {id}")))?;
+    let mut s = ok_prefix(cmd);
+    tdp_jsonio::field_num(&mut s, "job", id as f64);
+    tdp_jsonio::field_str(&mut s, "state", report.status.label());
+    tdp_jsonio::field_str(&mut s, "design", &format!("{key:#018x}"));
+    tdp_jsonio::field_raw(&mut s, "report", &job_json(&report));
+    s.push('}');
+    Ok(s)
+}
+
 /// Resolves a design reference to (name, generator parameters); shared
 /// by `submit` and `eco_open`.
 fn resolve_design(design: &DesignRef) -> Result<(String, benchgen::CircuitParams), ProtoError> {
@@ -923,8 +1416,9 @@ fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<String, ProtoEr
 
     let stride = req.stride.unwrap_or(shared.cfg.default_stride).max(1);
     let state = {
-        let mut jobs_vec = shared.jobs.lock().expect("jobs lock");
-        let id = jobs_vec.len();
+        let mut table = shared.jobs.lock().expect("jobs lock");
+        let id = table.next_id;
+        table.next_id += 1;
         let state = Arc::new(JobState {
             id,
             job,
@@ -936,7 +1430,23 @@ fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<String, ProtoEr
             cv: Condvar::new(),
             events: EventLog::default(),
         });
-        jobs_vec.push(Arc::clone(&state));
+        // Journaled under the table lock so submit records land on disk
+        // in id order — replay depends on it (and the WAL rule: the
+        // record is durable before the job is visible).
+        if shared.journal.is_some() {
+            let rec = SubmitRecord {
+                job: id,
+                name: name.clone(),
+                params: params.clone(),
+                objective: req.objective.clone(),
+                profile: req.profile.clone(),
+                overrides: req.overrides.clone(),
+                stride,
+                key,
+            };
+            shared.journal_append(&journal::submit_record(&rec), true);
+        }
+        table.entries.insert(id, JobEntry::Live(Arc::clone(&state)));
         state
     };
     ServeMetrics::bump(&shared.metrics.submits);
@@ -945,7 +1455,7 @@ fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<String, ProtoEr
         // status/wait/events still behave.
         state.finish(
             failed_report(&state, "server shut down before the job started".into()),
-            &shared.metrics,
+            shared,
         );
     }
     let mut s = ok_prefix("submit");

@@ -48,7 +48,18 @@ fn hex_field(doc: &JsonValue, key: &str) -> u64 {
 
 #[test]
 fn daemon_results_match_local_sessions_bitwise() {
-    let handle = Server::start(ServerConfig::default()).expect("server starts");
+    // Journaling enabled: the write-ahead log must not change a single
+    // bit of what the daemon serves.
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .as_nanos();
+    let journal = std::env::temp_dir().join(format!("tdp-diff-{}-{nanos}", std::process::id()));
+    let handle = Server::start(ServerConfig {
+        journal: Some(journal.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
     let mut client = connect(&handle);
 
     // Three objectives on one design — the paper's method, a baseline,
@@ -174,6 +185,7 @@ fn daemon_results_match_local_sessions_bitwise() {
     // the daemon builds its spec through the same Profile path.
     client.shutdown().expect("shutdown ack");
     handle.join();
+    std::fs::remove_dir_all(&journal).ok();
 }
 
 #[test]

@@ -291,6 +291,21 @@ pub fn job_fields(s: &mut String, r: &JobReport) {
     field_num(s, "weighting_s", r.runtime.weighting.as_secs_f64());
     field_num(s, "legalization_s", r.runtime.legalization.as_secs_f64());
     field_num(s, "congestion_s", r.runtime.congestion.as_secs_f64());
+    // Self-audit of the breakdown: the sum of the wall-clock categories
+    // and how far it sits from `runtime_s` (zero unless clocks skewed;
+    // `RuntimeBreakdown::CONSISTENCY_TOLERANCE` bounds it in tests).
+    // Derived from the duration fields above, so a journal round-trip
+    // reproduces them byte-for-byte.
+    field_num(
+        s,
+        "runtime_accounted_s",
+        r.runtime.accounted().as_secs_f64(),
+    );
+    field_num(
+        s,
+        "runtime_consistency_error_s",
+        r.runtime.consistency_error().as_secs_f64(),
+    );
     field_num(s, "threads", r.runtime.threads as f64);
     // RC allocation/op counters (RuntimeBreakdown::rc). Exact for a fixed
     // workload except `rc_scratch_reuses`, which — like the `*_s` wall

@@ -338,6 +338,7 @@ pub fn execute_job(
     flag: usize,
     stride: usize,
 ) -> JobReport {
+    let _span = tdp_trace::span_job("batch.job", "batch", job_id as u64);
     let mut observer = SinkObserver::new(job_id, sink, cancel, flag, stride);
     let outcome = match session.run_with_observer(&job.spec, &mut observer) {
         Ok(outcome) => outcome,

@@ -760,6 +760,7 @@ impl Session {
         observer: &mut dyn Observer,
     ) -> Result<FlowOutcome, FlowError> {
         let cfg = &spec.config;
+        let _flow_span = tdp_trace::span("flow.run", "flow");
         let t_total = Instant::now();
         let mut tracer = TraceObserver::new();
 
@@ -776,6 +777,7 @@ impl Session {
             hub.borrow_mut().phase(FlowPhase::Setup);
 
             let t_io = Instant::now();
+            let setup_span = tdp_trace::span("flow.setup", "flow");
             let mut placer_cfg = cfg.placer;
             // One knob drives every parallel kernel in the run.
             placer_cfg.threads = cfg.threads;
@@ -799,6 +801,7 @@ impl Session {
             // Custom non-timing objectives keep their configured schedule.
             let mut engine = GlobalPlacer::new(&self.design, self.pads.clone(), placer_cfg);
             let io = t_io.elapsed();
+            drop(setup_span);
 
             let inner = {
                 let ctx = ObjectiveContext {
@@ -829,7 +832,9 @@ impl Session {
                 };
                 h.iteration(&row)
             };
+            let place_span = tdp_trace::span("flow.place", "flow");
             let result = engine.run_observed(&self.design, &mut wrapped, &mut on_iteration);
+            drop(place_span);
             let (sta_time, weighting_time) = wrapped.inner.runtimes();
             let objective_congestion = wrapped.inner.congestion_time();
             let objective_rc = wrapped.inner.rc_stats();
@@ -849,10 +854,14 @@ impl Session {
         let iterations = result.iterations;
         let t_leg = Instant::now();
         let mut placement = result.placement;
-        abacus_legalize(&self.design, &mut placement);
+        {
+            let _span = tdp_trace::span("flow.legalize", "flow");
+            abacus_legalize(&self.design, &mut placement);
+        }
         let legalization = t_leg.elapsed();
 
         let _ = observer.on_phase_change(FlowPhase::Evaluation);
+        let eval_span = tdp_trace::span("flow.evaluate", "flow");
         let (metrics, eval_rc) = self.evaluate_metrics(cfg.rc, &placement);
         // Routability is part of the shared evaluation kit: every run —
         // congestion-aware or not — reports the RUDY summary of its
@@ -877,6 +886,7 @@ impl Session {
             cache.analyzer.summary()
         };
         let congestion_time = objective_congestion + t_route.elapsed();
+        drop(eval_span);
 
         let total = t_total.elapsed();
         let accounted = io + sta_time + weighting_time + legalization + congestion_time;

@@ -763,6 +763,7 @@ impl EcoSession {
     ///
     /// Returns the first validation failure; the session is untouched.
     pub fn apply(&mut self, batch: &DeltaBatch) -> Result<DirtySummary, EcoError> {
+        let _span = tdp_trace::span("eco.apply", "eco");
         self.validate(batch)?;
         let (inverse, touched) = self.mutate(batch.deltas());
         self.journal.push(inverse);
@@ -797,6 +798,7 @@ impl EcoSession {
     /// [`EcoError::BadCheckpoint`] when `checkpoint` exceeds the
     /// journal depth.
     pub fn revert_to(&mut self, checkpoint: usize) -> Result<(), EcoError> {
+        let _span = tdp_trace::span("eco.revert", "eco");
         let depth = self.journal.len();
         if checkpoint > depth {
             return Err(EcoError::BadCheckpoint {
@@ -853,6 +855,7 @@ impl EcoSession {
     /// touched-bin list and the placement hash. Pure readout — the
     /// analyzers are not re-run.
     pub fn query(&mut self, max_paths: usize) -> EcoQueryResult {
+        let _span = tdp_trace::span("eco.query", "eco");
         self.stats.queries += 1;
         let dirty_nets = &self.last_dirty.dirty_nets;
         // Endpoints whose input net the last batch dirtied, most

@@ -66,6 +66,51 @@ pub fn par_for<F>(threads: usize, n: usize, min_chunk: usize, body: F)
 where
     F: Fn(std::ops::Range<usize>) + Sync,
 {
+    par_for_inner(threads, n, min_chunk, None, body)
+}
+
+/// [`par_for`] with a kernel name for the tracing layer: each worker's
+/// participation in the dispatch is recorded as one `name` span on a
+/// stable per-worker lane ([`tdp_trace::worker_lane`]), and the caller's
+/// own participation as a span on its lane. Chunk boundaries, claiming
+/// and results are exactly [`par_for`]'s — tracing observes the dispatch
+/// and never shapes it. With tracing disabled the extra cost is one
+/// relaxed atomic load.
+pub fn par_for_named<F>(threads: usize, n: usize, min_chunk: usize, name: &'static str, body: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    par_for_inner(threads, n, min_chunk, Some(name), body)
+}
+
+/// Names the worker lane for worker `index` of a dispatch from `caller`.
+fn adopt_worker_lane(caller: u32, index: usize) {
+    tdp_trace::adopt_lane(
+        tdp_trace::worker_lane(caller, index),
+        &format!("parx.worker{index}"),
+    );
+}
+
+/// The caller's lane id, read only when a named kernel will trace (the
+/// disabled path must not touch thread-locals).
+fn trace_caller(name: Option<&'static str>) -> Option<u32> {
+    match name {
+        Some(_) if tdp_trace::enabled() => Some(tdp_trace::current_lane()),
+        _ => None,
+    }
+}
+
+fn kernel_span(name: Option<&'static str>) -> tdp_trace::SpanGuard {
+    match name {
+        Some(name) => tdp_trace::span(name, "parx"),
+        None => tdp_trace::SpanGuard::disarmed(),
+    }
+}
+
+fn par_for_inner<F>(threads: usize, n: usize, min_chunk: usize, name: Option<&'static str>, body: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
     if n == 0 {
         return;
     }
@@ -73,21 +118,32 @@ where
     let num_chunks = n.div_ceil(chunk);
     let workers = threads.min(num_chunks);
     if workers <= 1 || num_chunks < MIN_PARALLEL_CHUNKS {
+        let _span = kernel_span(name);
         body(0..n);
         return;
     }
+    let caller = trace_caller(name);
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
-        for _ in 1..workers {
-            s.spawn(|| loop {
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= num_chunks {
-                    break;
+        let next = &next;
+        let body = &body;
+        for w in 1..workers {
+            s.spawn(move || {
+                if let Some(caller) = caller {
+                    adopt_worker_lane(caller, w);
                 }
-                let lo = c * chunk;
-                body(lo..(lo + chunk).min(n));
+                let _span = kernel_span(name);
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= num_chunks {
+                        break;
+                    }
+                    let lo = c * chunk;
+                    body(lo..(lo + chunk).min(n));
+                }
             });
         }
+        let _span = kernel_span(name);
         loop {
             let c = next.fetch_add(1, Ordering::Relaxed);
             if c >= num_chunks {
@@ -104,8 +160,43 @@ where
 /// left-to-right in chunk order on the calling thread. The result is
 /// bit-identical for every thread count because both the chunk boundaries
 /// and the fold order are thread-independent.
-pub fn par_map_reduce<T, M, R>(threads: usize, n: usize, min_chunk: usize, map: M, mut reduce: R)
+pub fn par_map_reduce<T, M, R>(threads: usize, n: usize, min_chunk: usize, map: M, reduce: R)
 where
+    T: Send,
+    M: Fn(std::ops::Range<usize>) -> T + Sync,
+    R: FnMut(T),
+{
+    par_map_reduce_inner(threads, n, min_chunk, None, map, reduce)
+}
+
+/// [`par_map_reduce`] with a kernel name for the tracing layer — same
+/// span placement as [`par_for_named`] (one span per worker's
+/// participation, on stable worker lanes; the chunk-ordered fold runs
+/// inside the caller's span). Chunk boundaries and the fold order are
+/// exactly [`par_map_reduce`]'s.
+pub fn par_map_reduce_named<T, M, R>(
+    threads: usize,
+    n: usize,
+    min_chunk: usize,
+    name: &'static str,
+    map: M,
+    reduce: R,
+) where
+    T: Send,
+    M: Fn(std::ops::Range<usize>) -> T + Sync,
+    R: FnMut(T),
+{
+    par_map_reduce_inner(threads, n, min_chunk, Some(name), map, reduce)
+}
+
+fn par_map_reduce_inner<T, M, R>(
+    threads: usize,
+    n: usize,
+    min_chunk: usize,
+    name: Option<&'static str>,
+    map: M,
+    mut reduce: R,
+) where
     T: Send,
     M: Fn(std::ops::Range<usize>) -> T + Sync,
     R: FnMut(T),
@@ -117,20 +208,30 @@ where
     let num_chunks = n.div_ceil(chunk);
     let workers = threads.min(num_chunks);
     if workers <= 1 || num_chunks < MIN_PARALLEL_CHUNKS {
+        let _span = kernel_span(name);
         for c in 0..num_chunks {
             let lo = c * chunk;
             reduce(map(lo..(lo + chunk).min(n)));
         }
         return;
     }
+    let _span = kernel_span(name);
+    let caller = trace_caller(name);
     let mut slots: Vec<Option<T>> = Vec::with_capacity(num_chunks);
     slots.resize_with(num_chunks, || None);
     {
         let slots = UnsafeSlice::new(&mut slots);
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
-            for _ in 1..workers {
-                s.spawn(|| {
+            let slots = &slots;
+            let next = &next;
+            let map = &map;
+            for w in 1..workers {
+                s.spawn(move || {
+                    if let Some(caller) = caller {
+                        adopt_worker_lane(caller, w);
+                    }
+                    let _span = kernel_span(name);
                     loop {
                         let c = next.fetch_add(1, Ordering::Relaxed);
                         if c >= num_chunks {

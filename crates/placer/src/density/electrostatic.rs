@@ -175,62 +175,68 @@ impl ElectrostaticDensity {
         let workers = parx::resolve_threads(threads);
         let gx_slots = parx::UnsafeSlice::new(grad_x);
         let gy_slots = parx::UnsafeSlice::new(grad_y);
-        parx::par_for(workers, design.num_cells(), 128, |range| {
-            for c in range {
-                let cell = netlist::CellId::new(c);
-                if design.cell(cell).fixed {
-                    continue;
-                }
-                let ty = design.cell_type(cell);
-                let q = ty.area();
-                let (x, y) = placement.get(cell);
-                // Expand small cells to a bin, as the density splat does.
-                let (cx, cy) = (x + ty.width / 2.0, y + ty.height / 2.0);
-                let w = ty.width.max(bin_w);
-                let h = ty.height.max(bin_h);
-                let x0 = (cx - w / 2.0 - die.lx).max(0.0);
-                let y0 = (cy - h / 2.0 - die.ly).max(0.0);
-                let x1 = (cx + w / 2.0 - die.lx).min(die.width());
-                let y1 = (cy + h / 2.0 - die.ly).min(die.height());
-                if x1 <= x0 || y1 <= y0 {
-                    continue;
-                }
-                let bx0 = (x0 / bin_w).floor() as usize;
-                let bx1 = ((x1 / bin_w).ceil() as usize).min(nx);
-                let by0 = (y0 / bin_h).floor() as usize;
-                let by1 = ((y1 / bin_h).ceil() as usize).min(ny);
-                let mut fx = 0.0;
-                let mut fy = 0.0;
-                let mut total = 0.0;
-                for by in by0..by1 {
-                    let blo = by as f64 * bin_h;
-                    let oy = (y1.min(blo + bin_h) - y0.max(blo)).max(0.0);
-                    if oy == 0.0 {
+        parx::par_for_named(
+            workers,
+            design.num_cells(),
+            128,
+            "placer.density.field",
+            |range| {
+                for c in range {
+                    let cell = netlist::CellId::new(c);
+                    if design.cell(cell).fixed {
                         continue;
                     }
-                    for bx in bx0..bx1 {
-                        let alo = bx as f64 * bin_w;
-                        let ox = (x1.min(alo + bin_w) - x0.max(alo)).max(0.0);
-                        if ox == 0.0 {
+                    let ty = design.cell_type(cell);
+                    let q = ty.area();
+                    let (x, y) = placement.get(cell);
+                    // Expand small cells to a bin, as the density splat does.
+                    let (cx, cy) = (x + ty.width / 2.0, y + ty.height / 2.0);
+                    let w = ty.width.max(bin_w);
+                    let h = ty.height.max(bin_h);
+                    let x0 = (cx - w / 2.0 - die.lx).max(0.0);
+                    let y0 = (cy - h / 2.0 - die.ly).max(0.0);
+                    let x1 = (cx + w / 2.0 - die.lx).min(die.width());
+                    let y1 = (cy + h / 2.0 - die.ly).min(die.height());
+                    if x1 <= x0 || y1 <= y0 {
+                        continue;
+                    }
+                    let bx0 = (x0 / bin_w).floor() as usize;
+                    let bx1 = ((x1 / bin_w).ceil() as usize).min(nx);
+                    let by0 = (y0 / bin_h).floor() as usize;
+                    let by1 = ((y1 / bin_h).ceil() as usize).min(ny);
+                    let mut fx = 0.0;
+                    let mut fy = 0.0;
+                    let mut total = 0.0;
+                    for by in by0..by1 {
+                        let blo = by as f64 * bin_h;
+                        let oy = (y1.min(blo + bin_h) - y0.max(blo)).max(0.0);
+                        if oy == 0.0 {
                             continue;
                         }
-                        let wgt = ox * oy;
-                        let idx = by * nx + bx;
-                        fx += wgt * self.field_x[idx];
-                        fy += wgt * self.field_y[idx];
-                        total += wgt;
+                        for bx in bx0..bx1 {
+                            let alo = bx as f64 * bin_w;
+                            let ox = (x1.min(alo + bin_w) - x0.max(alo)).max(0.0);
+                            if ox == 0.0 {
+                                continue;
+                            }
+                            let wgt = ox * oy;
+                            let idx = by * nx + bx;
+                            fx += wgt * self.field_x[idx];
+                            fy += wgt * self.field_y[idx];
+                            total += wgt;
+                        }
+                    }
+                    if total > 0.0 {
+                        // Force is q·⟨ξ⟩; the penalty gradient is the negative.
+                        // SAFETY: slot `c` is written by this chunk alone.
+                        unsafe {
+                            gx_slots.write(c, gx_slots.read(c) - lambda * q * fx / total);
+                            gy_slots.write(c, gy_slots.read(c) - lambda * q * fy / total);
+                        }
                     }
                 }
-                if total > 0.0 {
-                    // Force is q·⟨ξ⟩; the penalty gradient is the negative.
-                    // SAFETY: slot `c` is written by this chunk alone.
-                    unsafe {
-                        gx_slots.write(c, gx_slots.read(c) - lambda * q * fx / total);
-                        gy_slots.write(c, gy_slots.read(c) - lambda * q * fy / total);
-                    }
-                }
-            }
-        });
+            },
+        );
     }
 
     /// Electric field at a bin (diagnostics/tests).

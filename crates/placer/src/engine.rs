@@ -308,16 +308,24 @@ impl GlobalPlacer {
         let wl_scratch = &mut bufs.wl;
 
         for iter in 0..self.config.max_iterations {
+            let _iter_span = tdp_trace::span("placer.iteration", "placer");
             iterations = iter + 1;
             // Publish the major solution.
             self.write_solution(design, opt.solution());
-            timing.begin_iteration(iter, design, &self.placement, &mut moves);
+            {
+                // Timing analysis + net reweighting (the objective's
+                // begin-of-iteration work — the RuntimeBreakdown
+                // `timing_analysis`/`weighting` categories).
+                let _span = tdp_trace::span("placer.weighting", "placer");
+                timing.begin_iteration(iter, design, &self.placement, &mut moves);
+            }
 
             // Evaluate gradients at the lookahead point.
             Self::fill_placement(&self.movable, opt.query_point(), &mut scratch);
             scratch.clamp_to_die(design);
 
             let overflow = {
+                let _span = tdp_trace::span("placer.density_update", "placer");
                 self.density.update(design, &scratch);
                 self.density.overflow(design)
             };
@@ -331,9 +339,12 @@ impl GlobalPlacer {
             // Borrow the objective's weights in place; an empty slice
             // means all-ones to the wirelength kernel.
             let weights: &[f64] = timing.net_weights(design).unwrap_or(&[]);
-            wl.accumulate_gradient_threads(
-                design, &scratch, weights, grad_x, grad_y, threads, wl_scratch,
-            );
+            {
+                let _span = tdp_trace::span("placer.gradient.wirelength", "placer");
+                wl.accumulate_gradient_threads(
+                    design, &scratch, weights, grad_x, grad_y, threads, wl_scratch,
+                );
+            }
 
             if self.lambda == 0.0 {
                 // ePlace λ₀: balance the two gradient field magnitudes.
@@ -365,15 +376,21 @@ impl GlobalPlacer {
                     1e-4
                 };
             }
-            self.density.accumulate_gradient_threads(
-                design,
-                &scratch,
-                self.lambda,
-                grad_x,
-                grad_y,
-                threads,
-            );
-            let timing_loss = timing.accumulate_gradient(design, &scratch, grad_x, grad_y);
+            {
+                let _span = tdp_trace::span("placer.gradient.density", "placer");
+                self.density.accumulate_gradient_threads(
+                    design,
+                    &scratch,
+                    self.lambda,
+                    grad_x,
+                    grad_y,
+                    threads,
+                );
+            }
+            let timing_loss = {
+                let _span = tdp_trace::span("placer.gradient.timing", "placer");
+                timing.accumulate_gradient(design, &scratch, grad_x, grad_y)
+            };
 
             // Jacobi preconditioning: normalize by pin count + λ·area.
             for (k, &c) in self.movable.iter().enumerate() {

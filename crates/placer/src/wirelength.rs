@@ -124,10 +124,11 @@ impl WaWirelength {
         let mut total = 0.0f64;
         {
             let slots = UnsafeSlice::new(coeffs);
-            parx::par_map_reduce(
+            parx::par_map_reduce_named(
                 workers,
                 num_nets,
                 64,
+                "placer.wl.net_coeffs",
                 |range| {
                     let mut partial = 0.0f64;
                     // Per-chunk coordinate scratch, reused across nets so
@@ -173,35 +174,41 @@ impl WaWirelength {
             let gx = UnsafeSlice::new(grad_x);
             let gy = UnsafeSlice::new(grad_y);
             let coeffs: &[NetWaCoeff] = coeffs;
-            parx::par_for(workers, design.num_cells(), 64, |range| {
-                for c in range {
-                    let cell = netlist::CellId::new(c);
-                    let mut sx = 0.0;
-                    let mut sy = 0.0;
-                    for &p in &design.cell(cell).pins {
-                        let Some(net) = design.pin(p).net else {
-                            continue;
-                        };
-                        if design.net(net).pins.len() < 2 {
-                            continue;
+            parx::par_for_named(
+                workers,
+                design.num_cells(),
+                64,
+                "placer.wl.cell_pull",
+                |range| {
+                    for c in range {
+                        let cell = netlist::CellId::new(c);
+                        let mut sx = 0.0;
+                        let mut sy = 0.0;
+                        for &p in &design.cell(cell).pins {
+                            let Some(net) = design.pin(p).net else {
+                                continue;
+                            };
+                            if design.net(net).pins.len() < 2 {
+                                continue;
+                            }
+                            let w = if net_weights.is_empty() {
+                                1.0
+                            } else {
+                                net_weights[net.index()]
+                            };
+                            let (px, py) = placement.pin_position(design, p);
+                            let coeff = &coeffs[net.index()];
+                            sx += w * coeff.x.pin_gradient(px, gamma);
+                            sy += w * coeff.y.pin_gradient(py, gamma);
                         }
-                        let w = if net_weights.is_empty() {
-                            1.0
-                        } else {
-                            net_weights[net.index()]
-                        };
-                        let (px, py) = placement.pin_position(design, p);
-                        let coeff = &coeffs[net.index()];
-                        sx += w * coeff.x.pin_gradient(px, gamma);
-                        sy += w * coeff.y.pin_gradient(py, gamma);
+                        // SAFETY: cell slot `c` is written by this chunk alone.
+                        unsafe {
+                            gx.write(c, gx.read(c) + sx);
+                            gy.write(c, gy.read(c) + sy);
+                        }
                     }
-                    // SAFETY: cell slot `c` is written by this chunk alone.
-                    unsafe {
-                        gx.write(c, gx.read(c) + sx);
-                        gy.write(c, gy.read(c) + sy);
-                    }
-                }
-            });
+                },
+            );
         }
         total
     }

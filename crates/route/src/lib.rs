@@ -808,6 +808,7 @@ impl CongestionAnalyzer {
     /// exposure pass) run through [`parx`] with thread-count-invariant
     /// results.
     pub fn analyze(&mut self, design: &Design, placement: &Placement) {
+        let _span = tdp_trace::span("route.analyze", "route");
         let workers = parx::resolve_threads(self.threads);
         let geom = self.geom;
         let num_nets = design.num_nets();
@@ -820,7 +821,7 @@ impl CongestionAnalyzer {
             {
                 let entry_slots = UnsafeSlice::new(&mut net_entries);
                 let perim_slots = UnsafeSlice::new(&mut net_perimeter);
-                parx::par_for(workers, num_nets, 32, |range| {
+                parx::par_for_named(workers, num_nets, 32, "route.rasterize.nets", |range| {
                     for e in range {
                         let mut out = Vec::new();
                         let perimeter =
@@ -839,7 +840,7 @@ impl CongestionAnalyzer {
             let mut cell_entries = std::mem::take(&mut self.cell_entries);
             {
                 let slots = UnsafeSlice::new(&mut cell_entries);
-                parx::par_for(workers, num_cells, 64, |range| {
+                parx::par_for_named(workers, num_cells, 64, "route.rasterize.cells", |range| {
                     for c in range {
                         let mut out = Vec::new();
                         geom.rasterize_cell(design, placement, CellId::new(c), &mut out);
@@ -958,6 +959,7 @@ impl CongestionAnalyzer {
             self.last_dirty_bins.clear();
             return;
         }
+        let _span = tdp_trace::span("route.incremental", "route");
         let workers = parx::resolve_threads(self.threads);
         let geom = self.geom;
 
@@ -981,7 +983,7 @@ impl CongestionAnalyzer {
         {
             let slots = UnsafeSlice::new(&mut net_rasters);
             let nets = &dirty_nets;
-            parx::par_for(workers, nets.len(), 16, |range| {
+            parx::par_for_named(workers, nets.len(), 16, "route.rasterize.nets", |range| {
                 for k in range {
                     let mut out = Vec::new();
                     let perimeter = geom.rasterize_net(
@@ -1000,7 +1002,7 @@ impl CongestionAnalyzer {
         {
             let slots = UnsafeSlice::new(&mut cell_rasters);
             let cells = &dirty_cells;
-            parx::par_for(workers, cells.len(), 32, |range| {
+            parx::par_for_named(workers, cells.len(), 32, "route.rasterize.cells", |range| {
                 for k in range {
                     let mut out = Vec::new();
                     geom.rasterize_cell(
@@ -1107,6 +1109,7 @@ impl CongestionAnalyzer {
     /// restricts the work to those bins (the incremental path); `None`
     /// covers the whole grid.
     fn reduce_bins(&mut self, bins: Option<&[u32]>) {
+        let _span = tdp_trace::span("route.reduce", "route");
         let workers = parx::resolve_threads(self.threads);
         let bin_wire = &self.bin_wire;
         let bin_pins = &self.bin_pins;
@@ -1131,16 +1134,20 @@ impl CongestionAnalyzer {
             }
         };
         match bins {
-            None => parx::par_for(workers, bin_wire.len(), 64, |range| {
-                for b in range {
-                    reduce_one(b);
-                }
-            }),
-            Some(dirty) => parx::par_for(workers, dirty.len(), 64, |range| {
-                for k in range {
-                    reduce_one(dirty[k] as usize);
-                }
-            }),
+            None => {
+                parx::par_for_named(workers, bin_wire.len(), 64, "route.reduce.bins", |range| {
+                    for b in range {
+                        reduce_one(b);
+                    }
+                })
+            }
+            Some(dirty) => {
+                parx::par_for_named(workers, dirty.len(), 64, "route.reduce.bins", |range| {
+                    for k in range {
+                        reduce_one(dirty[k] as usize);
+                    }
+                })
+            }
         }
     }
 

@@ -9,7 +9,7 @@
 //!          [--set key=value ...] [--stride K] [--await] [--stream]
 //!   submit --jobs FILE [--profile paper|quick] [--await]
 //!   status JOB | wait JOB | events JOB [--from I] | cancel JOB
-//!   metrics | metrics-text | shutdown
+//!   metrics | metrics-text | trace [--out FILE] | shutdown
 //!   eco --case NAME [--paths K] [--script FILE|-]
 //! ```
 //!
@@ -51,6 +51,10 @@ const USAGE: &str = "usage: tdp-client [--addr HOST:PORT] [--retry SECS] <comman
   cancel JOB       request cancellation
   metrics          server counters
   metrics-text     server counters in Prometheus text exposition format
+  trace [--out FILE]
+                   dump the server's resident span ring as a Chrome
+                   trace document (to FILE, or stdout) — load it in
+                   Perfetto or chrome://tracing
   shutdown         stop the server
   eco --case NAME [--paths K] [--script FILE|-]
                    interactive ECO exchange (JSONL apply/query/revert
@@ -329,6 +333,44 @@ fn run() -> Result<i32, String> {
             }
             Err(e) => Err(e.to_string()),
         },
+        "trace" => {
+            let mut out: Option<String> = None;
+            let mut it = args.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--out" => {
+                        out = Some(
+                            it.next()
+                                .cloned()
+                                .ok_or_else(|| usage_err("--out needs a value"))?,
+                        )
+                    }
+                    other => return Err(usage_err(format!("unknown trace flag {other:?}"))),
+                }
+            }
+            match client.trace() {
+                Ok(doc) => {
+                    let trace = doc
+                        .get("trace")
+                        .ok_or_else(|| "trace_dump response lacks \"trace\"".to_string())?;
+                    let events = doc.get("events").and_then(JsonValue::as_usize).unwrap_or(0);
+                    match out {
+                        Some(path) => {
+                            std::fs::write(&path, trace.encode())
+                                .map_err(|e| format!("cannot write {path}: {e}"))?;
+                            eprintln!("tdp-client: wrote {events} trace events to {path}");
+                        }
+                        None => println!("{}", trace.encode()),
+                    }
+                    Ok(0)
+                }
+                Err(ClientError::Server(msg)) => {
+                    eprintln!("tdp-client: server error: {msg}");
+                    Ok(1)
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        }
         "shutdown" => report(client.shutdown()),
         "eco" => run_eco(&mut client, args),
         other => Err(usage_err(format!("unknown command {other:?}"))),

@@ -3,7 +3,7 @@
 //! ```text
 //! tdp-serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
 //!           [--stride K] [--journal DIR] [--no-replay] [--retain N]
-//!           [--quiet]
+//!           [--trace-ring N] [--quiet]
 //! ```
 //!
 //! Binds, prints the bound address (port 0 resolves to an ephemeral
@@ -31,6 +31,9 @@ const USAGE: &str = "usage: tdp-serve [options]
                        instead of re-running them
   --retain N           keep at most N finished jobs in memory; older ones
                        are re-served from the journal (requires --journal)
+  --trace-ring N       keep the last N trace span events resident for the
+                       trace_dump verb; 0 disables tracing
+                       (default: 65536)
   --quiet              suppress the startup banner";
 
 fn parse_args() -> Result<(ServerConfig, bool), String> {
@@ -65,6 +68,11 @@ fn parse_args() -> Result<(ServerConfig, bool), String> {
                 cfg.retain = value("--retain")?
                     .parse()
                     .map_err(|_| "--retain expects a positive integer".to_string())?
+            }
+            "--trace-ring" => {
+                cfg.trace_ring = value("--trace-ring")?
+                    .parse()
+                    .map_err(|_| "--trace-ring expects a non-negative integer".to_string())?
             }
             "--quiet" => quiet = true,
             "--help" | "-h" => {

@@ -168,6 +168,18 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("metrics_text response lacks \"text\"".into()))
     }
 
+    /// Dumps the server's resident span ring as a Chrome trace
+    /// document (the `"trace"` value — load it in Perfetto or
+    /// `chrome://tracing` after writing it to a file).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; notably [`ClientError::Server`] when the
+    /// daemon runs with `--trace-ring 0`.
+    pub fn trace(&mut self) -> Result<JsonValue, ClientError> {
+        self.roundtrip("{\"cmd\":\"trace_dump\"}")
+    }
+
     /// Asks the server to stop; returns its acknowledgement.
     ///
     /// # Errors

@@ -194,10 +194,12 @@ impl Journal {
     ///
     /// The underlying write or sync error.
     pub fn append(&self, record: &str, sync: bool) -> std::io::Result<()> {
+        let _span = tdp_trace::span("journal.append", "journal");
         let mut file = self.file.lock().expect("journal lock");
         file.write_all(record.as_bytes())?;
         file.write_all(b"\n")?;
         if sync {
+            let _fsync = tdp_trace::span("journal.fsync", "journal");
             file.sync_data()?;
         }
         self.appends.fetch_add(1, Ordering::Relaxed);

@@ -8,6 +8,108 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+/// Upper bounds (seconds) of the per-verb request-latency histogram,
+/// log-spaced two-per-decade (1, 5) from 100µs to 10s, each with its
+/// canonical Prometheus `le` label so rendering is exact and stable.
+/// A final implicit `+Inf` bucket catches everything slower.
+pub const LATENCY_LE: [(f64, &str); 11] = [
+    (0.0001, "0.0001"),
+    (0.0005, "0.0005"),
+    (0.001, "0.001"),
+    (0.005, "0.005"),
+    (0.01, "0.01"),
+    (0.05, "0.05"),
+    (0.1, "0.1"),
+    (0.5, "0.5"),
+    (1.0, "1"),
+    (5.0, "5"),
+    (10.0, "10"),
+];
+
+/// Every wire verb, in protocol order — the label set of the
+/// `request_seconds` histogram. Requests that fail to parse have no
+/// verb and are not observed (they still count in `requests`).
+pub const VERBS: [&str; 14] = [
+    "submit",
+    "status",
+    "wait",
+    "events",
+    "cancel",
+    "metrics",
+    "metrics_text",
+    "shutdown",
+    "eco_open",
+    "eco_apply",
+    "eco_query",
+    "eco_revert",
+    "eco_close",
+    "trace_dump",
+];
+
+/// One verb's latency histogram: per-bucket (non-cumulative) relaxed
+/// counters plus a running sum in nanoseconds. Cumulative `le` counts
+/// are computed at render time.
+#[derive(Debug)]
+pub struct LatencyHisto {
+    buckets: [AtomicU64; LATENCY_LE.len() + 1],
+    sum_ns: AtomicU64,
+}
+
+impl LatencyHisto {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, seconds: f64) {
+        let idx = LATENCY_LE
+            .iter()
+            .position(|&(bound, _)| seconds <= bound)
+            .unwrap_or(LATENCY_LE.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add((seconds * 1e9).round() as u64, Ordering::Relaxed);
+    }
+
+    /// Cumulative bucket counts (the last entry is `+Inf` = total
+    /// count) and the sum in seconds.
+    fn snapshot(&self) -> ([u64; LATENCY_LE.len() + 1], f64) {
+        let mut cum = [0u64; LATENCY_LE.len() + 1];
+        let mut total = 0u64;
+        for (slot, bucket) in cum.iter_mut().zip(&self.buckets) {
+            total += bucket.load(Ordering::Relaxed);
+            *slot = total;
+        }
+        (cum, self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9)
+    }
+}
+
+/// Per-verb request latency histograms, indexed by [`VERBS`].
+#[derive(Debug)]
+pub struct RequestLatencies {
+    verbs: [LatencyHisto; VERBS.len()],
+}
+
+impl RequestLatencies {
+    fn new() -> Self {
+        Self {
+            verbs: std::array::from_fn(|_| LatencyHisto::new()),
+        }
+    }
+
+    /// Records one request's wall-clock under its verb. Unknown verbs
+    /// are ignored (the verb set is closed; this cannot happen from the
+    /// dispatch path).
+    pub fn observe(&self, verb: &str, seconds: f64) {
+        if let Some(i) = VERBS.iter().position(|&v| v == verb) {
+            self.verbs[i].observe(seconds);
+        }
+    }
+}
+
 /// Counters for one server instance.
 #[derive(Debug)]
 pub struct ServeMetrics {
@@ -60,6 +162,9 @@ pub struct ServeMetrics {
     /// Connection-handler threads reaped (joined) after their
     /// connections closed.
     pub conns_reaped: AtomicU64,
+    /// Per-verb request latency histograms (wall-clock across parse +
+    /// dispatch, observed by the connection handler).
+    pub latency: RequestLatencies,
     /// `sta::graph_build_count()` at server start — the baseline for
     /// the `graph_builds` metric (builds attributable to this server).
     pub graph_builds_at_start: u64,
@@ -104,6 +209,7 @@ impl ServeMetrics {
             jobs_recovered: AtomicU64::new(0),
             jobs_compacted: AtomicU64::new(0),
             conns_reaped: AtomicU64::new(0),
+            latency: RequestLatencies::new(),
             graph_builds_at_start: sta::graph_build_count() as u64,
             rc_builds_at_start: sta::rc_skeleton_build_count() as u64,
             rc_tree_builds_at_start: sta::rc_tree_build_count() as u64,
@@ -196,6 +302,48 @@ impl ServeMetrics {
         tdp_jsonio::field_num(out, "jobs_recovered", get(&self.jobs_recovered));
         tdp_jsonio::field_num(out, "jobs_compacted", get(&self.jobs_compacted));
         tdp_jsonio::field_num(out, "conns_reaped", get(&self.conns_reaped));
+        tdp_jsonio::field_raw(out, "request_seconds", &self.latency_json());
+    }
+
+    /// The `request_seconds` histogram as a JSON object: the shared
+    /// `le` bounds once, then one `{count,sum_s,buckets}` entry per
+    /// verb that has been observed (`buckets` are cumulative counts
+    /// aligned with `le` plus a final `+Inf` total).
+    fn latency_json(&self) -> String {
+        let mut s = String::from("{\"le\":[");
+        for (i, &(bound, _)) in LATENCY_LE.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&tdp_jsonio::format_num(bound));
+        }
+        s.push_str("],\"verbs\":{");
+        let mut first = true;
+        for (verb, histo) in VERBS.iter().zip(&self.latency.verbs) {
+            let (cum, sum_s) = histo.snapshot();
+            let count = cum[cum.len() - 1];
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            tdp_jsonio::push_escaped(&mut s, verb);
+            s.push_str(":{\"count\":");
+            s.push_str(&tdp_jsonio::format_num(count as f64));
+            tdp_jsonio::field_num(&mut s, "sum_s", sum_s);
+            s.push_str(",\"buckets\":[");
+            for (i, c) in cum.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&tdp_jsonio::format_num(*c as f64));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("}}");
+        s
     }
 
     /// Renders the same counters and gauges in Prometheus text
@@ -267,6 +415,31 @@ impl ServeMetrics {
         counter("jobs_recovered", get(&self.jobs_recovered));
         counter("jobs_compacted", get(&self.jobs_compacted));
         counter("conns_reaped", get(&self.conns_reaped));
+        let _ = writeln!(out, "# TYPE tdp_serve_request_seconds histogram");
+        for (verb, histo) in VERBS.iter().zip(&self.latency.verbs) {
+            let (cum, sum_s) = histo.snapshot();
+            let count = cum[cum.len() - 1];
+            for (i, &(_, le)) in LATENCY_LE.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "tdp_serve_request_seconds_bucket{{verb=\"{verb}\",le=\"{le}\"}} {}",
+                    cum[i]
+                );
+            }
+            let _ = writeln!(
+                out,
+                "tdp_serve_request_seconds_bucket{{verb=\"{verb}\",le=\"+Inf\"}} {count}"
+            );
+            let _ = writeln!(
+                out,
+                "tdp_serve_request_seconds_sum{{verb=\"{verb}\"}} {}",
+                tdp_jsonio::format_num(sum_s)
+            );
+            let _ = writeln!(
+                out,
+                "tdp_serve_request_seconds_count{{verb=\"{verb}\"}} {count}"
+            );
+        }
         out
     }
 }
@@ -296,4 +469,57 @@ pub struct Gauges {
     /// Event-log lines resident in memory across live jobs — the
     /// quantity `--retain` compaction bounds.
     pub events_resident: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_histograms_render_in_both_formats() {
+        let m = ServeMetrics::new();
+        m.latency.observe("submit", 0.003);
+        m.latency.observe("submit", 0.2);
+        m.latency.observe("wait", 42.0); // beyond the last bound: +Inf only
+        m.latency.observe("bogus", 1.0); // unknown verb: ignored
+        let gauges = Gauges {
+            workers: 2,
+            jobs_total: 0,
+            jobs_queued: 0,
+            jobs_running: 0,
+            cache_entries: 0,
+            cache_capacity: 4,
+            events_resident: 0,
+        };
+
+        let mut json = String::from("{\"ok\":true");
+        m.render(&mut json, &gauges);
+        json.push('}');
+        let doc = tdp_jsonio::parse(&json).unwrap();
+        let verbs = doc
+            .get("request_seconds")
+            .and_then(|h| h.get("verbs"))
+            .expect("request_seconds.verbs");
+        let submit = verbs.get("submit").expect("submit entry");
+        assert_eq!(submit.get("count").and_then(|v| v.as_f64()), Some(2.0));
+        let buckets = submit.get("buckets").and_then(|b| b.as_array()).unwrap();
+        assert_eq!(buckets.len(), LATENCY_LE.len() + 1);
+        // Cumulative counts: 0.003 lands at le=0.005, 0.2 at le=0.5.
+        assert_eq!(buckets[2].as_f64(), Some(0.0));
+        assert_eq!(buckets[3].as_f64(), Some(1.0));
+        assert_eq!(buckets[7].as_f64(), Some(2.0));
+        // Unobserved verbs are omitted from the JSON form.
+        assert!(verbs.get("status").is_none());
+
+        let text = m.render_prometheus(&gauges);
+        assert!(text.contains("# TYPE tdp_serve_request_seconds histogram"));
+        assert!(text.contains("tdp_serve_request_seconds_bucket{verb=\"submit\",le=\"0.005\"} 1"));
+        assert!(text.contains("tdp_serve_request_seconds_bucket{verb=\"submit\",le=\"+Inf\"} 2"));
+        assert!(text.contains("tdp_serve_request_seconds_sum{verb=\"submit\"}"));
+        // The 42s wait overflows every finite bound but still counts.
+        assert!(text.contains("tdp_serve_request_seconds_bucket{verb=\"wait\",le=\"10\"} 0"));
+        assert!(text.contains("tdp_serve_request_seconds_count{verb=\"wait\"} 1"));
+        // Unobserved verbs still emit a full (all-zero) series.
+        assert!(text.contains("tdp_serve_request_seconds_count{verb=\"trace_dump\"} 0"));
+    }
 }

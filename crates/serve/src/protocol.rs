@@ -19,6 +19,7 @@
 //! {"cmd":"eco_query","mode":"full","paths":4}
 //! {"cmd":"eco_revert","to":0}
 //! {"cmd":"eco_close"}
+//! {"cmd":"trace_dump"}
 //! ```
 //!
 //! The five `eco_*` verbs drive an interactive ECO session bound to the
@@ -185,6 +186,9 @@ pub enum Request {
     },
     /// Close the ECO session and release the cache pin.
     EcoClose,
+    /// Dump the daemon's resident span ring as a Chrome trace document
+    /// (the response carries it in its `"trace"` field).
+    TraceDump,
 }
 
 /// Why a request line was rejected.
@@ -307,9 +311,11 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             },
         }),
         "eco_close" => Ok(Request::EcoClose),
+        "trace_dump" => Ok(Request::TraceDump),
         other => Err(ProtoError::new(format!(
             "unknown cmd {other:?} (expected submit, status, wait, events, cancel, metrics, \
-             metrics_text, shutdown, eco_open, eco_apply, eco_query, eco_revert or eco_close)"
+             metrics_text, shutdown, eco_open, eco_apply, eco_query, eco_revert, eco_close \
+             or trace_dump)"
         ))),
     }
 }
@@ -672,6 +678,10 @@ mod tests {
         assert_eq!(
             parse_request("{\"cmd\":\"events\",\"job\":2}").unwrap(),
             Request::Events { job: 2, from: 0 }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"trace_dump\"}").unwrap(),
+            Request::TraceDump
         );
     }
 }

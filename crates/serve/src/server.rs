@@ -89,6 +89,14 @@ pub struct ServerConfig {
     /// event logs and reports are dropped from memory and re-served
     /// from the journal. Requires [`ServerConfig::journal`].
     pub retain: usize,
+    /// Event capacity of the resident span ring served by `trace_dump`
+    /// (`0` = tracing off). When set, [`Server::start`] enables the
+    /// process-wide recorder; spans from requests and jobs are folded
+    /// into a bounded ring that evicts whole lane chunks oldest-first.
+    /// Tracing never perturbs results — the flow's arithmetic is
+    /// identical with it on or off (asserted by the trace differential
+    /// test at the workspace root).
+    pub trace_ring: usize,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +109,7 @@ impl Default for ServerConfig {
             journal: None,
             replay: true,
             retain: 0,
+            trace_ring: 65_536,
         }
     }
 }
@@ -303,6 +312,8 @@ struct Shared {
     dead_conns: Mutex<Vec<u64>>,
     /// The write-ahead log, when durability is enabled.
     journal: Option<Journal>,
+    /// The resident span ring `trace_dump` serves, when tracing is on.
+    trace: Option<tdp_trace::TraceRing>,
 }
 
 impl Shared {
@@ -405,6 +416,17 @@ impl Shared {
         self.conns.lock().expect("conns lock").remove(&id);
     }
 
+    /// Folds this thread's finished span chunks (and any other chunks
+    /// flushed to the registry, e.g. by parx worker threads exiting)
+    /// into the resident ring. Called after each request and each job;
+    /// a no-op when tracing is off.
+    fn absorb_trace(&self) {
+        if let Some(ring) = &self.trace {
+            tdp_trace::flush_thread();
+            ring.absorb(tdp_trace::take());
+        }
+    }
+
     fn initiate_shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
@@ -497,6 +519,16 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workers = parx::resolve_threads(cfg.workers);
+        let trace = if cfg.trace_ring > 0 {
+            // Enable, never disable: the recorder is process-global and
+            // another in-process server (tests) may still be tracing.
+            // Enabled tracing only appends to thread-local buffers — it
+            // cannot change any result.
+            tdp_trace::set_enabled(true);
+            Some(tdp_trace::TraceRing::new(cfg.trace_ring))
+        } else {
+            None
+        };
         let shared = Arc::new(Shared {
             cache: SessionCache::new(cfg.cache_capacity),
             metrics: ServeMetrics::new(),
@@ -507,6 +539,7 @@ impl Server {
             next_conn: std::sync::atomic::AtomicU64::new(0),
             dead_conns: Mutex::new(Vec::new()),
             journal,
+            trace,
             workers,
             addr,
             cfg,
@@ -822,7 +855,11 @@ fn worker_loop(shared: &Shared) {
         let Some(JobRef::Live(job)) = shared.job(id) else {
             continue;
         };
-        run_job(shared, &job);
+        {
+            let _span = tdp_trace::span_job("serve.job", "serve", id as u64);
+            run_job(shared, &job);
+        }
+        shared.absorb_trace();
     }
 }
 
@@ -985,7 +1022,23 @@ fn serve_requests(shared: &Shared, stream: TcpStream) {
         ServeMetrics::bump(&shared.metrics.requests);
         let outcome = match parse_request(line.trim_end()) {
             Err(e) => write_line(&mut writer, &e.to_response()),
-            Ok(request) => dispatch(shared, request, &mut writer, &mut eco_conn),
+            Ok(request) => {
+                let (verb, span_name, job) = request_names(&request);
+                let t0 = std::time::Instant::now();
+                let result = {
+                    let _span = match job {
+                        Some(id) => tdp_trace::span_job(span_name, "serve", id),
+                        None => tdp_trace::span(span_name, "serve"),
+                    };
+                    dispatch(shared, request, &mut writer, &mut eco_conn)
+                };
+                shared
+                    .metrics
+                    .latency
+                    .observe(verb, t0.elapsed().as_secs_f64());
+                shared.absorb_trace();
+                result
+            }
         };
         if outcome.is_err() {
             break; // client went away mid-response
@@ -1038,6 +1091,28 @@ fn snapshot(shared: &Shared) -> (crate::metrics::Gauges, (usize, f64, f64)) {
         },
         congestion,
     )
+}
+
+/// The wire verb, span name and (when the request addresses one) job id
+/// of a request — static strings so the histogram and span recorder can
+/// label without allocating.
+fn request_names(req: &Request) -> (&'static str, &'static str, Option<u64>) {
+    match req {
+        Request::Submit(_) => ("submit", "serve.submit", None),
+        Request::Status { job } => ("status", "serve.status", Some(*job as u64)),
+        Request::Wait { job } => ("wait", "serve.wait", Some(*job as u64)),
+        Request::Events { job, .. } => ("events", "serve.events", Some(*job as u64)),
+        Request::Cancel { job } => ("cancel", "serve.cancel", Some(*job as u64)),
+        Request::Metrics => ("metrics", "serve.metrics", None),
+        Request::MetricsText => ("metrics_text", "serve.metrics_text", None),
+        Request::Shutdown => ("shutdown", "serve.shutdown", None),
+        Request::EcoOpen { .. } => ("eco_open", "serve.eco_open", None),
+        Request::EcoApply { .. } => ("eco_apply", "serve.eco_apply", None),
+        Request::EcoQuery { .. } => ("eco_query", "serve.eco_query", None),
+        Request::EcoRevert { .. } => ("eco_revert", "serve.eco_revert", None),
+        Request::EcoClose => ("eco_close", "serve.eco_close", None),
+        Request::TraceDump => ("trace_dump", "serve.trace_dump", None),
+    }
 }
 
 /// Handles one request; `Err` means the socket died and the connection
@@ -1259,6 +1334,23 @@ fn dispatch(
                 write_line(writer, &s)
             }
         },
+        Request::TraceDump => match &shared.trace {
+            None => write_line(
+                writer,
+                &ProtoError::new("tracing is disabled on this server (--trace-ring 0)")
+                    .to_response(),
+            ),
+            Some(ring) => {
+                let chunks = ring.snapshot();
+                let trace = tdp_trace::chrome_trace(&chunks);
+                let events: usize = chunks.iter().map(|c| c.events.len()).sum();
+                let mut s = ok_prefix("trace_dump");
+                tdp_jsonio::field_num(&mut s, "events", events as f64);
+                tdp_jsonio::field_raw(&mut s, "trace", &trace.encode());
+                s.push('}');
+                write_line(writer, &s)
+            }
+        },
     }
 }
 
@@ -1450,6 +1542,7 @@ fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<String, ProtoEr
         state
     };
     ServeMetrics::bump(&shared.metrics.submits);
+    tdp_trace::mark("serve.submitted", "serve", Some(state.id as u64));
     if !shared.queue.push(state.id) {
         // Shutdown raced the submit; resolve the job terminally so
         // status/wait/events still behave.

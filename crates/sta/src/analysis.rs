@@ -280,6 +280,7 @@ impl Sta {
     /// propagation passes. Deterministic for identical inputs and for
     /// any thread count.
     pub fn analyze(&mut self, design: &Design, placement: &Placement) {
+        let _span = tdp_trace::span("sta.full", "sta");
         self.refresh_rc(design, placement);
         self.repropagate(design);
     }
@@ -305,6 +306,7 @@ impl Sta {
     /// arc-delay table then runs serially in `nets` order, keeping the
     /// state update deterministic for any thread count.
     pub(crate) fn refresh_nets(&mut self, design: &Design, placement: &Placement, nets: &[NetId]) {
+        let _span = tdp_trace::span("sta.rc_refresh", "sta");
         let params = self.params;
         let workers = self.refresh_workers(nets.len());
         self.rc_refreshes += 1;
@@ -604,6 +606,7 @@ impl Sta {
     /// over the same operands is exact in floating point, making the
     /// result independent of the worker count.
     fn propagate_arrival(&mut self, design: &Design) {
+        let _span = tdp_trace::span("sta.arrival", "sta");
         self.arrival.fill(f64::NEG_INFINITY);
         self.worst_pred.fill(None);
         for &(pin, kind) in self.graph.sources() {
@@ -644,6 +647,7 @@ impl Sta {
     /// required time at endpoints. Levels run in descending order; the
     /// same determinism argument as [`Sta::propagate_arrival`] applies.
     fn propagate_required(&mut self, design: &Design) {
+        let _span = tdp_trace::span("sta.required", "sta");
         self.seeded_period = design.sdc().clock_period;
         self.required.fill(f64::INFINITY);
         for &(pin, kind) in self.graph.endpoints() {

@@ -33,6 +33,7 @@ impl Sta {
             self.is_analyzed(),
             "run a full analyze() before analyze_incremental()"
         );
+        let _span = tdp_trace::span("sta.incremental", "sta");
         // Dirty nets: any net touching a moved cell's pins. Sorted and
         // deduplicated so refresh order is deterministic.
         let mut dirty: Vec<NetId> = Vec::with_capacity(moved_cells.len() * 4);

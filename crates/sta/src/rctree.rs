@@ -678,7 +678,7 @@ impl RcForest {
         let net_load = UnsafeSlice::new(&mut self.net_load);
         let pool = &self.pool;
         let reuses = &self.scratch_reuses;
-        parx::par_for(workers, nets.len(), 32, |range| {
+        parx::par_for_named(workers, nets.len(), 32, "sta.rc_refresh.kernel", |range| {
             let mut scratch = pool.lock().expect("rc scratch pool").pop();
             if scratch.is_some() {
                 reuses.fetch_add(1, Ordering::Relaxed);

@@ -9,3 +9,4 @@ pub use sta;
 pub use tdp_core;
 pub use tdp_jsonio;
 pub use tdp_route;
+pub use tdp_trace;

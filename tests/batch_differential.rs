@@ -6,10 +6,10 @@
 //! speed knob only.
 
 use efficient_tdp::batch::{
-    make_jobs, run_batch, BatchPlan, BatchRunConfig, JobStatus, NullSink, Profile,
+    job_json, make_jobs, run_batch, BatchPlan, BatchRunConfig, JobStatus, NullSink, Profile,
 };
 use efficient_tdp::benchgen::{CircuitParams, SuiteCase};
-use efficient_tdp::tdp_core::{Metrics, Session};
+use efficient_tdp::tdp_core::{Metrics, RuntimeBreakdown, Session};
 
 /// Three tiny designs spanning the structural families: baseline layered
 /// logic, a macro-heavy floorplan and a deeper cone. Small enough that
@@ -90,6 +90,25 @@ fn n_workers_match_serial_bitwise() {
             &p.metrics.expect("parallel metrics"),
             &format!("job {} ({} × {})", s.job, s.case, s.objective),
         );
+        // The runtime breakdown's self-audit: the category sum accounts
+        // for the total wall-clock within the documented tolerance, and
+        // the JSONL record surfaces both audit fields.
+        for r in [s, p] {
+            assert!(
+                r.runtime.consistency_error() <= RuntimeBreakdown::CONSISTENCY_TOLERANCE,
+                "job {}: breakdown accounts {:?} of total {:?}",
+                r.job,
+                r.runtime.accounted(),
+                r.runtime.total,
+            );
+            let line = job_json(r);
+            assert!(
+                line.contains("\"runtime_accounted_s\":")
+                    && line.contains("\"runtime_consistency_error_s\":"),
+                "job {}: JSONL record lacks the breakdown audit fields: {line}",
+                r.job,
+            );
+        }
     }
 }
 

@@ -1,0 +1,123 @@
+//! The tracer's zero-effect contract: enabling span recording must not
+//! change a single result bit, and the trace it records must be
+//! structurally sound.
+//!
+//! Two runs of the same spec — recorder off (the default), then on —
+//! must agree bitwise on the placement fingerprint, every evaluation
+//! metric and the congestion map hash. The recorder only appends to
+//! thread-local buffers and reads a monotonic clock; it never
+//! synchronizes kernels or perturbs chunk boundaries, and this test is
+//! the proof. The recorded trace itself must nest (every `B` closed by
+//! its `E` on its lane), cover every instrumented subsystem, include
+//! parx worker lanes, and export to Chrome-trace JSON that survives the
+//! `tdp-jsonio` encode→parse→encode fixpoint.
+//!
+//! Everything lives in one `#[test]`: the recorder's registry is
+//! process-global, so concurrent test threads taking from it would race.
+
+use efficient_tdp::batch::{make_jobs_for, parse_objective, Profile};
+use efficient_tdp::benchgen::{self, CircuitParams};
+use efficient_tdp::tdp_core::{Metrics, Session};
+use efficient_tdp::tdp_trace::{self, EventKind};
+use std::collections::BTreeSet;
+
+/// One flow run through the exact batch/serve spec path; returns the
+/// deterministic outcome fingerprint (placement content hash, metrics,
+/// congestion map hash, iterations).
+fn run_once(params: &CircuitParams) -> (u64, Metrics, u64, usize) {
+    let objective = parse_objective("efficient-tdp")
+        .expect("known objective")
+        .expect("single objective");
+    let jobs = make_jobs_for(
+        &params.name,
+        params,
+        Some(&objective),
+        Profile::Quick,
+        &[("threads".to_string(), "2".to_string())],
+    )
+    .expect("valid jobs");
+    let (design, pads) = benchgen::generate(params);
+    let mut session = Session::builder(design, pads).build().expect("acyclic");
+    let outcome = session.run(&jobs[0].spec).expect("builtin objective");
+    (
+        outcome.placement.content_hash(),
+        outcome.metrics,
+        outcome.congestion.map_hash,
+        outcome.iterations,
+    )
+}
+
+#[test]
+fn tracing_on_changes_no_bits_and_records_a_well_formed_trace() {
+    let params = CircuitParams::small("tracediff", 9);
+
+    // Reference run with the recorder in its default (disabled) state.
+    let off = run_once(&params);
+    // A disabled run records nothing (flush anything defensively so the
+    // traced run starts from an empty registry either way).
+    tdp_trace::flush_thread();
+    assert!(
+        tdp_trace::take().iter().all(|c| c.events.is_empty()),
+        "disabled run must record no events"
+    );
+
+    tdp_trace::set_enabled(true);
+    tdp_trace::set_lane_name("trace-differential");
+    let on = run_once(&params);
+    let chunks = tdp_trace::take();
+
+    // Bitwise-identical results: tracing is observation, not arithmetic.
+    assert_eq!(off.0, on.0, "placement content hash");
+    assert_eq!(off.1.tns.to_bits(), on.1.tns.to_bits(), "tns");
+    assert_eq!(off.1.wns.to_bits(), on.1.wns.to_bits(), "wns");
+    assert_eq!(off.1.hpwl.to_bits(), on.1.hpwl.to_bits(), "hpwl");
+    assert_eq!(off.1.failing_endpoints, on.1.failing_endpoints);
+    assert_eq!(off.1.total_endpoints, on.1.total_endpoints);
+    assert_eq!(off.2, on.2, "congestion map hash");
+    assert_eq!(off.3, on.3, "iterations");
+
+    // The trace is non-empty and structurally sound: every chunk's
+    // events nest, with every B closed by an E.
+    assert!(!chunks.is_empty(), "traced run must record chunks");
+    let spans = tdp_trace::validate(&chunks).expect("spans nest");
+    assert!(spans > 0, "traced run must record spans");
+
+    // Every instrumented subsystem shows up, and the 2-thread kernels
+    // put at least one parx worker lane in the trace.
+    let cats: BTreeSet<&str> = chunks
+        .iter()
+        .flat_map(|c| c.events.iter())
+        .filter_map(|e| match &e.kind {
+            EventKind::Begin { cat, .. } => Some(*cat),
+            _ => None,
+        })
+        .collect();
+    for want in ["flow", "sta", "placer", "route", "parx"] {
+        assert!(cats.contains(want), "missing category {want:?} in {cats:?}");
+    }
+    assert!(
+        chunks.iter().any(|c| c.lane >= tdp_trace::WORKER_LANE_BASE),
+        "expected parx worker lanes above WORKER_LANE_BASE"
+    );
+
+    // The Chrome export survives the jsonio round-trip byte-for-byte,
+    // and every duration event carries the lane as its tid.
+    let doc = tdp_trace::chrome_trace(&chunks);
+    let text = doc.encode();
+    let parsed = efficient_tdp::tdp_jsonio::parse(&text).expect("export parses");
+    assert_eq!(parsed.encode(), text, "encode→parse→encode fixpoint");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    let (mut begins, mut ends) = (0usize, 0usize);
+    for e in events {
+        match e.get("ph").and_then(|p| p.as_str()) {
+            Some("B") => begins += 1,
+            Some("E") => ends += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(begins, ends, "every B has its E in the export");
+    assert_eq!(begins, spans, "export span count matches validate()");
+}
